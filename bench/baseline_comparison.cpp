@@ -1,0 +1,66 @@
+// E14 — Baseline comparison: the Trapdoor protocol vs the wakeup-style
+// doubling baseline (full band, no long final epoch) and the ALOHA
+// strawman, across disruption levels. Two axes: time-to-liveness and
+// safety (multi-leader elections).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/experiment/sweep.h"
+#include "src/stats/table.h"
+
+namespace wsync {
+namespace {
+
+void compare_at(Table& table, int t, int runs) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kWakeupBaseline,
+        ProtocolKind::kAloha}) {
+    ExperimentPoint point;
+    point.F = 16;
+    point.t = t;
+    point.N = 64;
+    point.n = 10;
+    point.protocol = kind;
+    point.adversary =
+        t == 0 ? AdversaryKind::kNone : AdversaryKind::kRandomSubset;
+    point.activation = ActivationKind::kStaggeredUniform;
+    point.activation_window = 32;
+    point.extra_rounds = 128;
+    const PointResult r = run_point(point, make_seeds(runs));
+    table.row()
+        .cell(static_cast<int64_t>(t))
+        .cell(std::string(to_string(kind)))
+        .cell(static_cast<int64_t>(r.synced_runs))
+        .cell(r.synced_runs > 0 ? r.rounds_to_live.p50 : -1.0, 0)
+        .cell(static_cast<int64_t>(r.multi_leader_runs))
+        .cell(r.agreement_violations);
+  }
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  const int runs = 60;
+  bench::section("Baseline comparison — Trapdoor vs wakeup-style vs ALOHA");
+  std::printf("F = 16, N = 64, n = 10, staggered activation over 32 rounds, "
+              "random-subset jammer, %d seeds per row\n\n", runs);
+  Table table({"t", "protocol", "synced runs", "median rounds",
+               "multi-leader runs", "agreement violations"});
+  compare_at(table, 0, runs);
+  compare_at(table, 4, runs);
+  compare_at(table, 8, runs);
+  compare_at(table, 12, runs);
+  std::printf("%s", table.markdown().c_str());
+  bench::note(
+      "\nShape check: with a clean spectrum everything synchronizes and "
+      "the simple\nbaselines are competitive on speed; as t grows the "
+      "baselines elect multiple\nleaders / violate agreement while the "
+      "Trapdoor protocol stays safe at a\nmoderate round cost — the "
+      "paper's core value proposition.\n\nNote: the paper's agreement "
+      "guarantee is 'with high probability' = 1 - 1/N.\nAt N = 64 an "
+      "occasional multi-leader trapdoor run (~1 in 64) is within the\n"
+      "guarantee; the baselines fail in nearly EVERY disrupted run.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E13 — engine performance (google-benchmark): node-rounds per second of
+// the radio simulator under each protocol, so the scaling experiments'
+// costs are understood and regressions in the hot path are visible.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/adversary/basic.h"
+#include "src/baseline/aloha.h"
+#include "src/radio/engine.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+std::unique_ptr<Simulation> make_sim(ProtocolFactory factory, int F, int t,
+                                     int n) {
+  SimConfig config;
+  config.F = F;
+  config.t = t;
+  config.N = 2 * n;
+  config.n = n;
+  config.seed = 42;
+  return std::make_unique<Simulation>(
+      config, std::move(factory), std::make_unique<RandomSubsetAdversary>(t),
+      std::make_unique<SimultaneousActivation>(n));
+}
+
+void BM_TrapdoorStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sim = make_sim(TrapdoorProtocol::factory(), 16, 4, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->step());
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrapdoorStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GoodSamaritanStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sim = make_sim(GoodSamaritanProtocol::factory(), 16, 4, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->step());
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoodSamaritanStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AlohaStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sim = make_sim(AlohaSync::factory(), 16, 4, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->step());
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AlohaStep)->Arg(64);
+
+void BM_FullTrapdoorRun(benchmark::State& state) {
+  // End-to-end cost of one complete synchronization at a typical bench
+  // configuration.
+  for (auto _ : state) {
+    auto sim = make_sim(TrapdoorProtocol::factory(), 16, 8, 16);
+    const auto result = sim->run_until_synced(1000000);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullTrapdoorRun)->Unit(benchmark::kMillisecond);
+
+void BM_RngDraw(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(16));
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+}  // namespace
+}  // namespace wsync
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E1 — Figure 1: "Epoch lengths and contender broadcast probabilities for
+// the Trapdoor Protocol", regenerated from the implemented schedule.
+//
+// Paper row:
+//   Epoch #   1 ... lgN-1                         lgN
+//   Length    Theta(F'/(F'-t) logN)               Theta(F'^2/(F'-t) logN)
+//   Prob.     1/N, 2/N, ..., 1/4                  1/2
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/stats/table.h"
+#include "src/trapdoor/schedule.h"
+
+namespace wsync {
+namespace {
+
+void print_schedule(int F, int t, int64_t N) {
+  const auto schedule = TrapdoorSchedule::standard(F, t, N);
+  std::printf(
+      "\nF = %d, t = %d, N = %lld  =>  F' = min(F, 2t) = %d, lgN = %d, "
+      "total = %lld rounds\n\n",
+      F, t, static_cast<long long>(N), schedule.f_prime(), schedule.lg_n(),
+      static_cast<long long>(schedule.total_rounds()));
+
+  Table table({"epoch", "length (rounds)", "broadcast prob", "paper form"});
+  for (int e = 0; e < schedule.num_epochs(); ++e) {
+    const EpochSpec& spec = schedule.epoch(e);
+    char form[64];
+    if (e + 1 == schedule.num_epochs()) {
+      std::snprintf(form, sizeof(form), "1/2 (final)");
+    } else {
+      std::snprintf(form, sizeof(form), "2^%d/(2N)", spec.index);
+    }
+    table.row()
+        .cell(static_cast<int64_t>(spec.index))
+        .cell(spec.length)
+        .cell(spec.broadcast_prob, 6)
+        .cell(std::string(form));
+  }
+  std::printf("%s", table.markdown().c_str());
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  wsync::bench::section(
+      "Figure 1 — Trapdoor epoch schedule (regenerated from the "
+      "implementation)");
+  wsync::print_schedule(8, 2, 256);
+  wsync::print_schedule(16, 8, 65536);
+  wsync::print_schedule(16, 12, 1024);
+  wsync::bench::note(
+      "\nShape checks: all epochs but the last share the Theta(F'/(F'-t) "
+      "lgN) length;\nthe final epoch is F' times longer "
+      "(Theta(F'^2/(F'-t) lgN)); probabilities double\nper epoch from 1/N "
+      "up to 1/2, exactly as in the paper's Figure 1.");
+  return 0;
+}

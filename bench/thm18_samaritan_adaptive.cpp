@@ -1,0 +1,96 @@
+// E5 — Theorem 18, adaptive case: all nodes wake together and the adversary
+// disrupts only t' < t frequencies. Good Samaritan time must scale with the
+// ACTUAL disruption t' (O(t' log^3 N)), while the Trapdoor protocol pays
+// for the worst-case budget t regardless. The crossover at small t' is the
+// paper's headline comparison.
+#include <cstdio>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/experiment/sweep.h"
+#include "src/stats/table.h"
+
+namespace wsync {
+namespace {
+
+PointResult run_protocol(ProtocolKind kind, int F, int t, int t_prime,
+                         int64_t N, int n, int seeds) {
+  ExperimentPoint point;
+  point.F = F;
+  point.t = t;
+  point.N = N;
+  point.n = n;
+  point.jam_count = t_prime;
+  point.protocol = kind;
+  // A low-frequency jammer (oblivious, fixed set {0..t'-1}) is the worst
+  // case for the Good Samaritan narrow bands: super-epoch k makes progress
+  // only once its band 2^k exceeds t', which is exactly the adaptivity the
+  // theorem prices at O(t' log^3 N). A random jammer would leave the
+  // narrow band mostly clear and hide the effect.
+  point.adversary =
+      t_prime == 0 ? AdversaryKind::kNone : AdversaryKind::kFixedFirst;
+  point.activation = ActivationKind::kSimultaneous;
+  return run_point(point, make_seeds(seeds));
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  // The crossover needs t >> t' lg^2 N (the Trapdoor pays Ft/(F-t) lgN for
+  // the worst-case budget; GS pays t' lg^3 N for the actual disruption), so
+  // we provision a wide band with half of it adversary-budgeted.
+  const int F = 256;
+  const int t = 128;  // worst-case budget both protocols must tolerate
+  const int64_t N = 64;
+  const int n = 6;
+  const int seeds = 8;
+
+  bench::section(
+      "Theorem 18 — adaptive Good Samaritan vs worst-case-provisioned "
+      "Trapdoor (simultaneous wake)");
+  std::printf(
+      "F = %d, t = %d (provisioned), N = %lld, n = %d, oblivious "
+      "low-frequency jammer fixed on {1..t'}, %d seeds\n\n",
+      F, t, static_cast<long long>(N), n, seeds);
+
+  Table table({"t' (actual jam)", "GS median rounds", "GS p90",
+               "Trapdoor median rounds", "Trapdoor p90",
+               "GS t'-scaling t'lg^3N", "winner"});
+  std::vector<double> gs_medians;
+  for (int t_prime : {0, 1, 2, 4, 8}) {
+    const PointResult gs = run_protocol(ProtocolKind::kGoodSamaritan, F, t,
+                                        t_prime, N, n, seeds);
+    const PointResult td =
+        run_protocol(ProtocolKind::kTrapdoor, F, t, t_prime, N, n, seeds);
+    gs_medians.push_back(gs.rounds_to_live.p50);
+    const char* winner =
+        gs.rounds_to_live.p50 < td.rounds_to_live.p50 ? "GS" : "Trapdoor";
+    table.row()
+        .cell(static_cast<int64_t>(t_prime))
+        .cell(gs.rounds_to_live.p50, 0)
+        .cell(gs.rounds_to_live.p90, 0)
+        .cell(td.rounds_to_live.p50, 0)
+        .cell(td.rounds_to_live.p90, 0)
+        .cell(samaritan_predicted_rounds(t_prime, N), 0)
+        .cell(std::string(winner));
+  }
+  std::printf("%s", table.markdown().c_str());
+
+  std::printf("\nGS growth between consecutive t' doublings (expect ~2x "
+              "once t' drives the super-epoch, the linear-in-t' "
+              "signature):\n");
+  for (size_t i = 2; i < gs_medians.size(); ++i) {
+    std::printf("  t' %d -> %d: x%.2f\n", 1 << (i - 2), 1 << (i - 1),
+                gs_medians[i] / gs_medians[i - 1]);
+  }
+  bench::note(
+      "\nShape check: GS time grows roughly linearly with the ACTUAL "
+      "disruption t'\n(geometric super-epoch dominance) while the Trapdoor "
+      "time is flat in t' —\nit is provisioned for the worst case t. GS "
+      "wins at small t'; Trapdoor wins\nonce t' approaches t (its log-power "
+      "is lower). The crossover is the paper's\nheadline trade-off.");
+  return 0;
+}

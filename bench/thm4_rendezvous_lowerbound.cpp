@@ -1,0 +1,134 @@
+// E7 — Theorem 4: the two-node rendezvous game against the product
+// adversary (jam the t largest p_j*q_j). Measured meeting-time quantiles
+// vs the paper's Omega(Ft/(F-t) log(1/eps)) bound, and the k = min(F, 2t)
+// horizon: uniform over min(F,2t) beats uniform over F.
+#include <cstdio>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/lowerbound/rendezvous.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+namespace wsync {
+namespace {
+
+struct GameStats {
+  double p50 = -1;
+  double p90 = -1;
+  double p99 = -1;
+  int failures = 0;
+};
+
+GameStats play(const RendezvousConfig& config, const RendezvousStrategy& s,
+               int seeds) {
+  std::vector<double> meets;
+  GameStats stats;
+  for (int i = 0; i < seeds; ++i) {
+    Rng rng(0xBEEF + static_cast<uint64_t>(i) * 1315423911ULL);
+    const RendezvousResult r = run_rendezvous(config, s, s, rng);
+    if (r.meet_round < 0) {
+      ++stats.failures;
+    } else {
+      meets.push_back(static_cast<double>(r.meet_round));
+    }
+  }
+  if (!meets.empty()) {
+    stats.p50 = quantile(meets, 0.50);
+    stats.p90 = quantile(meets, 0.90);
+    stats.p99 = quantile(meets, 0.99);
+  }
+  return stats;
+}
+
+void sweep_f_t(int seeds) {
+  Table table({"F", "t", "strategy", "median meet", "p90", "p99",
+               "paper bound (eps=0.5)", "paper bound (eps=0.01)"});
+  struct Case {
+    int F;
+    int t;
+  };
+  for (const Case c : {Case{8, 2}, Case{16, 4}, Case{16, 8}, Case{32, 4},
+                       Case{32, 12}, Case{64, 16}}) {
+    RendezvousConfig config;
+    config.F = c.F;
+    config.t = c.t;
+    config.max_rounds = 2000000;
+    config.adversary = RendezvousAdversaryKind::kProduct;
+
+    const double q = per_round_meeting_upper_bound(c.F, c.t);
+    const auto bound50 = static_cast<double>(rounds_to_confidence(q, 0.5));
+    const auto bound99 = static_cast<double>(rounds_to_confidence(q, 0.01));
+
+    const int k = std::min(c.F, 2 * c.t);
+    const UniformStrategy optimal(c.F, k);
+    const UniformStrategy wide(c.F, c.F);
+    for (const RendezvousStrategy* s :
+         {static_cast<const RendezvousStrategy*>(&optimal),
+          static_cast<const RendezvousStrategy*>(&wide)}) {
+      const GameStats stats = play(config, *s, seeds);
+      table.row()
+          .cell(static_cast<int64_t>(c.F))
+          .cell(static_cast<int64_t>(c.t))
+          .cell(s->name())
+          .cell(stats.p50, 0)
+          .cell(stats.p90, 0)
+          .cell(stats.p99, 0)
+          .cell(bound50, 0)
+          .cell(bound99, 0);
+    }
+  }
+  std::printf("%s", table.markdown().c_str());
+}
+
+void adversary_comparison(int seeds) {
+  std::printf("\nAdversary strength at F = 16, t = 4 (uniform-over-min(F,2t)"
+              " strategy):\n\n");
+  Table table({"adversary", "median meet", "p90", "p99"});
+  for (const RendezvousAdversaryKind kind :
+       {RendezvousAdversaryKind::kNone, RendezvousAdversaryKind::kFixed,
+        RendezvousAdversaryKind::kRandom,
+        RendezvousAdversaryKind::kProduct}) {
+    RendezvousConfig config;
+    config.F = 16;
+    config.t = 4;
+    config.max_rounds = 2000000;
+    config.adversary = kind;
+    const UniformStrategy s(16, 8);
+    const GameStats stats = play(config, s, seeds);
+    table.row()
+        .cell(std::string(to_string(kind)))
+        .cell(stats.p50, 0)
+        .cell(stats.p90, 0)
+        .cell(stats.p99, 0);
+  }
+  std::printf("%s", table.markdown().c_str());
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  bench::section(
+      "Theorem 4 — two-node rendezvous under the product adversary "
+      "(Omega(Ft/(F-t) log(1/eps)))");
+  std::printf("300 seeded games per row; 'meet' = rounds (after both awake) "
+              "until the first\ncommon undisrupted frequency — the paper's "
+              "necessary event for synchronization.\n\n");
+  sweep_f_t(300);
+  bench::note(
+      "\nShape checks: (1) the optimal uniform[min(F,2t)] strategy tracks "
+      "the paper's\nbound (its per-round meeting probability is exactly "
+      "(k-t)/k^2); (2) spreading\nover the full band is strictly worse "
+      "when 2t < F — the k = min(F, 2t) horizon\nis real; (3) quantile "
+      "growth p50 -> p99 matches the log(1/eps) factor.");
+  adversary_comparison(300);
+  bench::note(
+      "\nShape check: the product adversary dominates fixed and random "
+      "jamming —\nknowing the protocol's distributions is what buys the "
+      "lower bound.");
+  return 0;
+}

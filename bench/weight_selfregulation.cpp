@@ -1,0 +1,115 @@
+// E10 — Lemma 9 / Lemma 13: the broadcast weight W(r) = sum of per-node
+// broadcast probabilities self-regulates — it stays O(F') even under mass
+// simultaneous activation, because once W(r) = Theta(F') the knockout
+// probability is high enough to pull it back down ("a self-regulating
+// feedback circuit").
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/radio/trace.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/stats/table.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+struct WeightProfile {
+  double max_weight = 0.0;
+  double weight_at_sync = 0.0;
+  RoundId rounds = 0;
+  std::vector<double> trajectory;  // sampled every `stride` rounds
+  RoundId stride = 1;
+};
+
+WeightProfile run(ProtocolFactory factory, int F, int t, int64_t N, int n,
+                  uint64_t seed) {
+  SimConfig config;
+  config.F = F;
+  config.t = t;
+  config.N = N;
+  config.n = n;
+  config.seed = seed;
+  MemoryTrace trace;
+  Simulation sim(config, std::move(factory),
+                 std::make_unique<RandomSubsetAdversary>(t),
+                 std::make_unique<SimultaneousActivation>(n), &trace);
+  const auto result = sim.run_until_synced(50000000);
+  WeightProfile profile;
+  profile.rounds = result.rounds;
+  profile.max_weight = trace.max_broadcast_weight();
+  profile.stride = std::max<RoundId>(1, result.rounds / 16);
+  for (size_t i = 0; i < trace.rounds().size();
+       i += static_cast<size_t>(profile.stride)) {
+    profile.trajectory.push_back(trace.rounds()[i].broadcast_weight);
+  }
+  return profile;
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  bench::section(
+      "Lemma 9 / Lemma 13 — broadcast weight W(r) self-regulation under "
+      "mass activation");
+
+  Table table({"protocol", "F", "t", "F'", "n", "max W(r)", "bound 6F'",
+               "rounds to liveness"});
+  struct Case {
+    int F;
+    int t;
+    int n;
+  };
+  for (const Case c : {Case{8, 4, 64}, Case{16, 8, 64}, Case{16, 8, 256},
+                       Case{8, 2, 256}}) {
+    const int64_t N = 2 * c.n;
+    const WeightProfile p =
+        run(TrapdoorProtocol::factory(), c.F, c.t, N, c.n, 0xABCD);
+    const int f_prime = std::min(c.F, std::max(2 * c.t, 1));
+    table.row()
+        .cell("trapdoor")
+        .cell(static_cast<int64_t>(c.F))
+        .cell(static_cast<int64_t>(c.t))
+        .cell(static_cast<int64_t>(f_prime))
+        .cell(static_cast<int64_t>(c.n))
+        .cell(p.max_weight, 2)
+        .cell(static_cast<int64_t>(6 * f_prime))
+        .cell(p.rounds);
+  }
+  {
+    const WeightProfile p =
+        run(GoodSamaritanProtocol::factory(), 8, 4, 64, 32, 0xABCD);
+    table.row()
+        .cell("good_samaritan")
+        .cell(int64_t{8})
+        .cell(int64_t{4})
+        .cell(int64_t{8})
+        .cell(int64_t{32})
+        .cell(p.max_weight, 2)
+        .cell(int64_t{9 * 8})  // Lemma 13's W1 + W2 < 9cF shape
+        .cell(p.rounds);
+  }
+  std::printf("%s", table.markdown().c_str());
+
+  // One detailed trajectory, to show the rise-and-regulate shape.
+  const WeightProfile detail =
+      run(TrapdoorProtocol::factory(), 16, 8, 512, 256, 0x1234);
+  std::printf("\nW(r) trajectory (Trapdoor, F = 16, t = 8, n = 256; one "
+              "sample per %lld rounds):\n\n  ",
+              static_cast<long long>(detail.stride));
+  for (double w : detail.trajectory) std::printf("%.2f ", w);
+  std::printf("\n");
+  bench::note(
+      "\nShape check: W(r) climbs as contender probabilities double, then "
+      "the knockout\nfeedback caps it near Theta(F') and it decays to the "
+      "lone leader's 1/2 — max\nW(r) never approaches the n/2 it would "
+      "reach without knockouts.");
+  return 0;
+}

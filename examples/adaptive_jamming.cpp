@@ -1,0 +1,110 @@
+// Adaptive synchronization under realistic interference.
+//
+// A kitchen full of noise: a microwave-oven-style duty-cycle jammer on the
+// low channels plus a bursty (Gilbert-Elliott) wideband interferer. The
+// Good Samaritan protocol adapts to the ACTUAL interference level; the
+// Trapdoor protocol is provisioned for the worst case. This example prints
+// a side-by-side comparison across interference intensities.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+#include "src/adversary/basic.h"
+#include "src/adversary/bursty.h"
+#include "src/radio/engine.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+enum class Interferer { kNone, kContinuous, kDutyCycle };
+
+/// kContinuous: an analog video sender / cordless phone parked on the low
+/// channels, transmitting all the time. kDutyCycle: a microwave oven —
+/// same footprint, but only ~60% duty (magnetrons follow the mains cycle).
+std::unique_ptr<Adversary> make_interferer(Interferer kind, int width) {
+  if (kind == Interferer::kNone || width == 0) {
+    return std::make_unique<NoneAdversary>();
+  }
+  std::vector<Frequency> channels;
+  for (int f = 0; f < width; ++f) channels.push_back(f);
+  if (kind == Interferer::kContinuous) {
+    return std::make_unique<FixedSubsetAdversary>(std::move(channels));
+  }
+  return std::make_unique<DutyCycleAdversary>(std::move(channels),
+                                              /*period=*/10, /*on=*/6);
+}
+
+int64_t run_once(ProtocolFactory factory, std::unique_ptr<Adversary> jammer,
+                 int F, int t, int n, uint64_t seed) {
+  SimConfig config;
+  config.F = F;
+  config.t = t;
+  config.N = 2 * n;
+  config.n = n;
+  config.seed = seed;
+  Simulation sim(config, std::move(factory), std::move(jammer),
+                 std::make_unique<SimultaneousActivation>(n));
+  const auto result = sim.run_until_synced(100000000);
+  return result.synced ? result.rounds : -1;
+}
+
+int64_t median_rounds(const char* which, Interferer kind, int width, int F,
+                      int t, int n) {
+  std::vector<int64_t> rounds;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ProtocolFactory factory = which[0] == 'g'
+                                  ? GoodSamaritanProtocol::factory()
+                                  : TrapdoorProtocol::factory();
+    rounds.push_back(run_once(std::move(factory),
+                              make_interferer(kind, width), F, t, n,
+                              seed * 31337));
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds[rounds.size() / 2];
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  const int F = 256;
+  const int t = 128;  // worst-case provisioning for both protocols
+  const int n = 5;
+
+  std::printf("wide band (F = %d), protocols provisioned for t = %d, "
+              "n = %d devices waking together\n\n", F, t, n);
+  std::printf("%-36s %-22s %-22s\n", "interference",
+              "GoodSamaritan (median)", "Trapdoor (median)");
+  struct Scenario {
+    const char* name;
+    Interferer kind;
+    int width;
+  };
+  for (const Scenario s :
+       {Scenario{"silent kitchen", Interferer::kNone, 0},
+        Scenario{"video sender (2 ch, continuous)", Interferer::kContinuous,
+                 2},
+        Scenario{"+ baby monitor (8 ch, continuous)",
+                 Interferer::kContinuous, 8},
+        Scenario{"microwave (8 ch, 60% duty)", Interferer::kDutyCycle, 8},
+        Scenario{"full party (32 ch, continuous)", Interferer::kContinuous,
+                 32}}) {
+    const int64_t gs = median_rounds("gs", s.kind, s.width, F, t, n);
+    const int64_t td = median_rounds("td", s.kind, s.width, F, t, n);
+    std::printf("%-36s %-22lld %-22lld\n", s.name,
+                static_cast<long long>(gs), static_cast<long long>(td));
+  }
+  std::printf(
+      "\nthe Good Samaritan's synchronization time tracks the interference "
+      "actually\npresent — both its footprint (compare the continuous "
+      "rows) and its duty cycle\n(the microwave row beats the continuous "
+      "8-channel row because GS exploits the\noff-periods) — while the "
+      "Trapdoor pays its worst-case price everywhere. In\nquiet-to-moderate "
+      "kitchens the optimist wins; at full blast the pessimist's\nlower "
+      "log-power takes over — Theorem 18 in the wild.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Device census on top of wireless synchronization.
+//
+// From the paper's introduction: "these protocols might count the currently
+// participating devices, assign unique names, allocate a TDMA schedule..."
+// — all of which need the shared round numbering first.
+//
+// After synchronizing, rounds alternate by the SHARED number:
+//   even rounds ("registration"): unregistered devices broadcast a JOIN
+//     with their uid (slotted ALOHA, p = 1/4) on a random in-band channel;
+//     the leader listens;
+//   odd rounds ("census"): the leader broadcasts the current census — the
+//     number of distinct devices it has heard (plus itself) and the uid it
+//     most recently admitted, which tells that device it is registered.
+//
+// The run ends when the leader's census covers all n devices and every
+// device has heard the final census. A device census, a name service, and
+// a TDMA allocator are all the same loop — this is the simplest instance.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+constexpr uint64_t kJoinTag = 0x5E75;
+constexpr uint64_t kCensusTag = 0x5E76;
+
+class CensusNode final : public Protocol {
+ public:
+  CensusNode(const ProtocolEnv& env, const bool* census_phase)
+      : env_(env), inner_(env), census_phase_(census_phase) {}
+
+  void on_activate(Rng& rng) override { inner_.on_activate(rng); }
+
+  RoundAction act(Rng& rng) override {
+    const SyncOutput out = inner_.output();
+    if (!*census_phase_ || !out.has_number()) return inner_.act(rng);
+
+    const int64_t this_round = out.value + 1;
+    const auto f = static_cast<Frequency>(rng.next_below(
+        static_cast<uint64_t>(inner_.schedule().f_prime())));
+
+    if (inner_.role() == Role::kLeader) {
+      if (this_round % 2 == 0) return RoundAction::listen(f);  // collect
+      DataMsg census;
+      census.tag = kCensusTag;
+      census.a = static_cast<int64_t>(roster_.size()) + 1;  // + the leader
+      census.b = static_cast<int64_t>(last_admitted_);
+      return RoundAction::send(f, census);
+    }
+    if (this_round % 2 == 0 && !registered_ && rng.bernoulli(0.25)) {
+      DataMsg join;
+      join.tag = kJoinTag;
+      join.a = static_cast<int64_t>(env_.uid);
+      return RoundAction::send(f, join);
+    }
+    return RoundAction::listen(f);
+  }
+
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override {
+    const bool is_data =
+        received.has_value() &&
+        std::holds_alternative<DataMsg>(received->payload);
+    inner_.on_round_end(is_data ? std::nullopt : received, rng);
+    if (!is_data) return;
+    const auto& data = std::get<DataMsg>(received->payload);
+    if (data.tag == kJoinTag && inner_.role() == Role::kLeader) {
+      const auto uid = static_cast<uint64_t>(data.a);
+      roster_.insert(uid);
+      last_admitted_ = uid;
+    } else if (data.tag == kCensusTag) {
+      known_census_ = data.a;
+      if (static_cast<uint64_t>(data.b) == env_.uid) registered_ = true;
+    }
+  }
+
+  SyncOutput output() const override { return inner_.output(); }
+  Role role() const override { return inner_.role(); }
+
+  bool registered() const {
+    return registered_ || inner_.role() == Role::kLeader;
+  }
+  int64_t known_census() const {
+    return inner_.role() == Role::kLeader
+               ? static_cast<int64_t>(roster_.size()) + 1
+               : known_census_;
+  }
+
+ private:
+  ProtocolEnv env_;
+  TrapdoorProtocol inner_;
+  const bool* census_phase_;
+  std::set<uint64_t> roster_;       // leader: distinct joiners heard
+  uint64_t last_admitted_ = 0;      // leader: most recent admission
+  bool registered_ = false;         // non-leader: leader has counted me
+  int64_t known_census_ = 0;        // last census value heard
+};
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 32;
+  config.n = 7;
+  config.seed = 1609;
+
+  static bool census_phase = false;
+  auto factory = [](const ProtocolEnv& env) {
+    return std::make_unique<CensusNode>(env, &census_phase);
+  };
+  Simulation sim(config, factory,
+                 std::make_unique<RandomSubsetAdversary>(config.t),
+                 std::make_unique<StaggeredUniformActivation>(config.n, 16));
+
+  const auto result = sim.run_until_synced(500000);
+  if (!result.synced) {
+    std::printf("synchronization failed\n");
+    return 1;
+  }
+  std::printf("synchronized after %lld rounds; census begins\n",
+              static_cast<long long>(result.rounds));
+  census_phase = true;
+
+  auto node = [&sim](NodeId id) -> const CensusNode& {
+    return dynamic_cast<const CensusNode&>(sim.protocol(id));
+  };
+
+  RoundId census_done = -1;
+  const RoundId budget = sim.round() + 200000;
+  while (sim.round() < budget) {
+    sim.step();
+    bool complete = true;
+    for (NodeId id = 0; id < config.n; ++id) {
+      if (!node(id).registered() ||
+          node(id).known_census() != config.n) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      census_done = sim.round();
+      break;
+    }
+  }
+  if (census_done < 0) {
+    std::printf("census did not complete within the budget\n");
+    return 1;
+  }
+
+  std::printf("census complete at round %lld: every device registered and "
+              "knows the count\n\n", static_cast<long long>(census_done));
+  std::printf("%-8s %-10s %-12s %-12s\n", "device", "role", "registered",
+              "knows count");
+  for (NodeId id = 0; id < config.n; ++id) {
+    std::printf("%-8d %-10s %-12s %-12lld\n", id, to_string(sim.role(id)),
+                node(id).registered() ? "yes" : "no",
+                static_cast<long long>(node(id).known_census()));
+  }
+  std::printf(
+      "\nan ad-hoc group on a jammed band now knows exactly how many "
+      "devices are\npresent — the precondition for naming, TDMA slot "
+      "assignment, or quorum logic.\nThe even/odd round split is only "
+      "possible because rounds are numbered.\n");
+  return 0;
+}

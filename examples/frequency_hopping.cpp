@@ -1,0 +1,146 @@
+// Frequency hopping on top of wireless synchronization.
+//
+// The paper's motivating application: "Bluetooth-style protocols that use
+// pseudorandom frequency hopping to avoid interference; a common round
+// numbering is needed to coordinate the choice of frequency in each round."
+//
+// This example builds exactly that: a HoppingNode runs the Trapdoor
+// protocol until synchronized, then all nodes derive the hop channel for
+// round r from the SHARED round number, so the whole group lands on the
+// same (pseudorandom) frequency every round while a sweeping jammer chases
+// them. We measure data delivery rates before and after synchronization.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "src/adversary/basic.h"
+#include "src/common/rng.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+/// Derives the hop frequency for a given shared round number (any good
+/// integer hash works; all nodes must agree on it).
+Frequency hop_channel(int64_t round_number, int F) {
+  uint64_t x = static_cast<uint64_t>(round_number) * 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  return static_cast<Frequency>(x % static_cast<uint64_t>(F));
+}
+
+/// Trapdoor until the whole group is synchronized (the application flips
+/// `data_phase` once Simulation::all_synced() holds), then synchronized
+/// pseudorandom hopping: the leader transmits a data frame each round;
+/// everyone else listens on the hop channel derived from the SHARED number.
+class HoppingNode final : public Protocol {
+ public:
+  HoppingNode(const ProtocolEnv& env, const bool* data_phase, int* delivered,
+              int* sent)
+      : env_(env), inner_(env), data_phase_(data_phase),
+        delivered_(delivered), sent_(sent) {}
+
+  void on_activate(Rng& rng) override { inner_.on_activate(rng); }
+
+  RoundAction act(Rng& rng) override {
+    const SyncOutput out = inner_.output();
+    if (!*data_phase_ || !out.has_number()) return inner_.act(rng);
+    // Synchronized: hop by the shared round number (+1: the number for the
+    // round being played now).
+    const Frequency f = hop_channel(out.value + 1, env_.F);
+    if (inner_.role() == Role::kLeader) {
+      ++*sent_;
+      DataMsg frame;
+      frame.tag = 0xDA7A;
+      frame.a = out.value + 1;
+      return RoundAction::send(f, frame);
+    }
+    return RoundAction::listen(f);
+  }
+
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override {
+    if (received.has_value()) {
+      if (const auto* data = std::get_if<DataMsg>(&received->payload)) {
+        if (data->tag == 0xDA7A) ++*delivered_;
+        // Data frames are not part of the sync protocol; do not forward.
+        inner_.on_round_end(std::nullopt, rng);
+        return;
+      }
+    }
+    inner_.on_round_end(received, rng);
+  }
+
+  SyncOutput output() const override { return inner_.output(); }
+  Role role() const override { return inner_.role(); }
+  double broadcast_probability() const override {
+    return inner_.output().has_number() && inner_.role() == Role::kLeader
+               ? 1.0
+               : inner_.broadcast_probability();
+  }
+
+ private:
+  ProtocolEnv env_;
+  TrapdoorProtocol inner_;
+  const bool* data_phase_;
+  int* delivered_;
+  int* sent_;
+};
+
+}  // namespace
+}  // namespace wsync
+
+int main() {
+  using namespace wsync;
+
+  SimConfig config;
+  config.F = 16;
+  config.t = 4;
+  config.N = 16;
+  config.n = 6;
+  config.seed = 77;
+
+  int delivered = 0;
+  int sent = 0;
+  static bool data_phase = false;
+  auto factory = [&delivered, &sent](const ProtocolEnv& env) {
+    return std::make_unique<HoppingNode>(env, &data_phase, &delivered,
+                                         &sent);
+  };
+
+  // A sweeping jammer: 4 adjacent channels, advancing every 8 rounds —
+  // fatal for a static channel, harmless for synchronized hopping.
+  Simulation sim(config, factory,
+                 std::make_unique<SweepAdversary>(4, 1, 8),
+                 std::make_unique<SimultaneousActivation>(config.n));
+
+  const auto result = sim.run_until_synced(200000);
+  if (!result.synced) {
+    std::printf("synchronization failed\n");
+    return 1;
+  }
+  std::printf("group synchronized after %lld rounds; hopping begins\n",
+              static_cast<long long>(result.rounds));
+  data_phase = true;
+
+  const int data_rounds = 2000;
+  delivered = 0;
+  sent = 0;
+  for (int i = 0; i < data_rounds; ++i) sim.step();
+
+  const int listeners = config.n - 1;
+  std::printf("\nover %d hopping rounds:\n", data_rounds);
+  std::printf("  leader frames sent:        %d\n", sent);
+  std::printf("  frames delivered (total):  %d (of %d possible)\n",
+              delivered, sent * listeners);
+  std::printf("  per-listener delivery:     %.1f%%\n",
+              100.0 * delivered / (sent > 0 ? sent * listeners : 1));
+  std::printf(
+      "\nthe sweeping jammer kills 4/16 channels per round, so ~75%% of "
+      "frames get\nthrough — and because every node derives the hop from "
+      "the shared round\nnumber, they never desynchronize. Without the "
+      "shared numbering the group\ncould not hop together at all.\n");
+  return 0;
+}

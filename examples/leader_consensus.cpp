@@ -1,0 +1,80 @@
+// Consensus on top of wireless synchronization (paper Section 8, "Broader
+// implications"): the devices agree on a configuration value — say, which
+// channel map to use next — despite jamming and with no infrastructure.
+//
+// Each device proposes a value derived from its own identity; the elected
+// leader adopts the first proposal it hears (or its own, after a grace
+// period) and the decision spreads epidemically.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "src/adversary/basic.h"
+#include "src/consensus/consensus.h"
+#include "src/radio/engine.h"
+
+int main() {
+  using namespace wsync;
+
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 16;
+  config.n = 6;
+  config.seed = 31415;
+
+  // Every device proposes a "channel map id" derived from its uid.
+  auto proposal_of = [](const ProtocolEnv& env) { return env.uid % 1000; };
+
+  Simulation sim(config, ConsensusNode::factory(proposal_of),
+                 std::make_unique<RandomSubsetAdversary>(config.t),
+                 std::make_unique<SimultaneousActivation>(config.n));
+
+  auto node = [&sim](NodeId id) -> const ConsensusNode& {
+    return dynamic_cast<const ConsensusNode&>(sim.protocol(id));
+  };
+
+  RoundId synced_at = -1;
+  RoundId decided_at = -1;
+  while (sim.round() < 1000000) {
+    sim.step();
+    if (synced_at < 0 && sim.all_synced()) synced_at = sim.round();
+    bool all_decided = true;
+    for (NodeId id = 0; id < config.n; ++id) {
+      if (!sim.is_active(id) || !node(id).decided()) all_decided = false;
+    }
+    if (synced_at >= 0 && all_decided) {
+      decided_at = sim.round();
+      break;
+    }
+  }
+  if (decided_at < 0) {
+    std::printf("consensus did not complete within the budget\n");
+    return 1;
+  }
+
+  std::printf("synchronized at round %lld, consensus reached at round "
+              "%lld\n\n", static_cast<long long>(synced_at),
+              static_cast<long long>(decided_at));
+  std::printf("%-8s %-12s %-12s %-10s\n", "device", "proposal", "decision",
+              "role");
+  std::set<uint64_t> decisions;
+  std::set<uint64_t> proposals;
+  for (NodeId id = 0; id < config.n; ++id) {
+    proposals.insert(node(id).proposal());
+    decisions.insert(node(id).decision());
+    std::printf("%-8d %-12llu %-12llu %-10s\n", id,
+                static_cast<unsigned long long>(node(id).proposal()),
+                static_cast<unsigned long long>(node(id).decision()),
+                to_string(sim.role(id)));
+  }
+  std::printf("\ndistinct decisions: %zu (agreement)\n", decisions.size());
+  std::printf("decision was proposed by a participant: %s (validity)\n",
+              proposals.count(*decisions.begin()) ? "yes" : "NO");
+  std::printf(
+      "\nno infrastructure, a jammed band, ad-hoc arrivals — and the group "
+      "still agrees\non a value. As the paper puts it: a leader plus a "
+      "common round view simplifies\nconsensus, replicated state, and "
+      "message collection/distribution.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: synchronize eight ad-hoc devices on a jammed 8-frequency
+// band with the Trapdoor protocol.
+//
+//   $ ./quickstart
+//
+// Devices wake at staggered times, an oblivious jammer disrupts two
+// frequencies per round, and every device ends up outputting the same
+// incrementing round number.
+#include <cstdio>
+#include <memory>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/trapdoor.h"
+
+int main() {
+  using namespace wsync;
+
+  // The network: F = 8 frequencies, the adversary may disrupt up to t = 2
+  // per round, at most N = 32 devices, n = 8 actually show up.
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 32;
+  config.n = 8;
+  config.seed = 2009;  // PODC 2009
+
+  Simulation sim(config,
+                 TrapdoorProtocol::factory(),                   // protocol
+                 std::make_unique<RandomSubsetAdversary>(2),    // jammer
+                 std::make_unique<StaggeredUniformActivation>(  // wakeups
+                     config.n, /*window=*/24));
+
+  const Simulation::RunResult result = sim.run_until_synced(100000);
+  if (!result.synced) {
+    std::printf("synchronization did not complete within the budget\n");
+    return 1;
+  }
+
+  std::printf("all %d devices synchronized after %lld rounds\n\n", config.n,
+              static_cast<long long>(result.rounds));
+  std::printf("%-8s %-12s %-12s %-14s %-10s\n", "device", "woke at",
+              "synced at", "sync latency", "role");
+  for (NodeId id = 0; id < config.n; ++id) {
+    std::printf("%-8d %-12lld %-12lld %-14lld %-10s\n", id,
+                static_cast<long long>(sim.activation_round(id)),
+                static_cast<long long>(sim.sync_round(id)),
+                static_cast<long long>(sim.sync_round(id) -
+                                       sim.activation_round(id)),
+                to_string(sim.role(id)));
+  }
+
+  // Everyone now shares a round numbering; watch it increment in step.
+  std::printf("\nshared round numbers for the next 5 rounds:\n");
+  for (int i = 0; i < 5; ++i) {
+    sim.step();
+    std::printf("  round %lld:", static_cast<long long>(sim.round()));
+    for (NodeId id = 0; id < config.n; ++id) {
+      std::printf(" %lld", static_cast<long long>(sim.output(id).value));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nevery column is identical: agreement in action.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/adversary/adaptive.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+namespace {
+
+/// Indices of the `count` largest scores (ties -> smaller index first).
+std::vector<Frequency> top_k(const std::vector<double>& score, int count) {
+  std::vector<Frequency> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](Frequency a, Frequency b) {
+                     return score[static_cast<size_t>(a)] >
+                            score[static_cast<size_t>(b)];
+                   });
+  order.resize(static_cast<size_t>(count));
+  return order;
+}
+
+}  // namespace
+
+GreedyDeliveryAdversary::GreedyDeliveryAdversary(int count, double decay)
+    : count_(count), decay_(decay) {
+  WSYNC_REQUIRE(count >= 0, "count must be non-negative");
+  WSYNC_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+}
+
+std::vector<Frequency> GreedyDeliveryAdversary::disrupt(const EngineView& view,
+                                                        Rng& /*rng*/) {
+  WSYNC_REQUIRE(count_ <= view.t(), "count exceeds the adversary budget t");
+  const auto F = static_cast<size_t>(view.F());
+  if (score_.size() != F) {
+    score_.assign(F, 0.0);
+    prev_deliveries_.assign(F, 0);
+  }
+  // Fold in deliveries from the last completed round.
+  const std::vector<int64_t>& cumulative = view.deliveries_per_freq();
+  for (size_t f = 0; f < F; ++f) {
+    const auto delta =
+        static_cast<double>(cumulative[f] - prev_deliveries_[f]);
+    score_[f] = score_[f] * decay_ + delta;
+    prev_deliveries_[f] = cumulative[f];
+  }
+  return top_k(score_, count_);
+}
+
+GreedyListenerAdversary::GreedyListenerAdversary(int count) : count_(count) {
+  WSYNC_REQUIRE(count >= 0, "count must be non-negative");
+}
+
+std::vector<Frequency> GreedyListenerAdversary::disrupt(const EngineView& view,
+                                                        Rng& /*rng*/) {
+  WSYNC_REQUIRE(count_ <= view.t(), "count exceeds the adversary budget t");
+  std::vector<double> score(static_cast<size_t>(view.F()), 0.0);
+  if (view.has_last_round()) {
+    const RoundStats& last = view.last_round();
+    for (size_t f = 0; f < last.per_freq.size(); ++f) {
+      score[f] = static_cast<double>(last.per_freq[f].listeners);
+    }
+  }
+  return top_k(score, count_);
+}
+
+}  // namespace wsync

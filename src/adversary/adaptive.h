@@ -1,0 +1,47 @@
+// History-adaptive adversaries.
+//
+// The model allows the adversary to use the completed execution through
+// round r-1 (but never the current round's coin flips). These adversaries
+// exercise that power: they aim at the frequencies where communication has
+// been succeeding.
+#ifndef WSYNC_ADVERSARY_ADAPTIVE_H_
+#define WSYNC_ADVERSARY_ADAPTIVE_H_
+
+#include "src/adversary/adversary.h"
+
+namespace wsync {
+
+/// Jams the `count` frequencies with the highest score, where the score is
+/// an exponentially-decayed count of past deliveries (successful receptions)
+/// on that frequency. Ties broken by frequency index; decays with factor
+/// `decay` per round so the jammer tracks shifting traffic.
+class GreedyDeliveryAdversary final : public Adversary {
+ public:
+  GreedyDeliveryAdversary(int count, double decay = 0.9);
+
+  std::vector<Frequency> disrupt(const EngineView& view, Rng& rng) override;
+  bool is_oblivious() const override { return false; }
+
+ private:
+  int count_;
+  double decay_;
+  std::vector<double> score_;
+  std::vector<int64_t> prev_deliveries_;
+};
+
+/// Jams the `count` frequencies that had the most *listeners* in the last
+/// completed round — a proxy for where the protocol concentrates attention.
+class GreedyListenerAdversary final : public Adversary {
+ public:
+  explicit GreedyListenerAdversary(int count);
+
+  std::vector<Frequency> disrupt(const EngineView& view, Rng& rng) override;
+  bool is_oblivious() const override { return false; }
+
+ private:
+  int count_;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_ADVERSARY_ADAPTIVE_H_

@@ -1,0 +1,44 @@
+// The interference adversary interface.
+//
+// Section 2: an adversary disrupts up to t < F frequencies per round,
+// preventing any reception on them. It incarnates every unpredictable
+// interference source on a crowded unlicensed band — cross traffic,
+// appliances, or an actual jammer. Implementations live in src/adversary/
+// (basic, bursty, adaptive); the interface lives here so the radio engine
+// can hold one without depending on any concrete strategy.
+#ifndef WSYNC_ADVERSARY_ADVERSARY_H_
+#define WSYNC_ADVERSARY_ADVERSARY_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/radio/engine_view.h"
+
+namespace wsync {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+
+  /// Chooses the set of frequencies to disrupt for the round about to
+  /// execute. Must return at most view.t() distinct frequencies in
+  /// [0, view.F()). The engine validates both constraints.
+  virtual std::vector<Frequency> disrupt(const EngineView& view,
+                                         Rng& rng) = 0;
+
+  /// True if the adversary's choices are a fixed (possibly random) sequence
+  /// independent of the execution — the paper's "oblivious" adversary class
+  /// assumed by the Good Samaritan analysis (Section 7).
+  virtual bool is_oblivious() const = 0;
+
+ protected:
+  Adversary() = default;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_ADVERSARY_ADVERSARY_H_

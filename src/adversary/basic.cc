@@ -1,0 +1,109 @@
+#include "src/adversary/basic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+std::vector<Frequency> NoneAdversary::disrupt(const EngineView& /*view*/,
+                                              Rng& /*rng*/) {
+  return {};
+}
+
+FixedSubsetAdversary::FixedSubsetAdversary(std::vector<Frequency> frequencies)
+    : frequencies_(std::move(frequencies)) {
+  std::sort(frequencies_.begin(), frequencies_.end());
+  WSYNC_REQUIRE(std::adjacent_find(frequencies_.begin(), frequencies_.end()) ==
+                    frequencies_.end(),
+                "duplicate frequencies in fixed subset");
+  for (Frequency f : frequencies_) {
+    WSYNC_REQUIRE(f >= 0, "negative frequency in fixed subset");
+  }
+}
+
+namespace {
+
+std::vector<Frequency> first_frequencies(int count) {
+  WSYNC_REQUIRE(count >= 0, "count must be non-negative");
+  std::vector<Frequency> freqs(static_cast<size_t>(count));
+  std::iota(freqs.begin(), freqs.end(), 0);
+  return freqs;
+}
+
+}  // namespace
+
+FixedSubsetAdversary::FixedSubsetAdversary(int first_count)
+    : FixedSubsetAdversary(first_frequencies(first_count)) {}
+
+std::vector<Frequency> FixedSubsetAdversary::disrupt(const EngineView& view,
+                                                     Rng& /*rng*/) {
+  WSYNC_REQUIRE(static_cast<int>(frequencies_.size()) <= view.t(),
+                "fixed subset larger than the adversary budget t");
+  return frequencies_;
+}
+
+RandomSubsetAdversary::RandomSubsetAdversary(int count) : count_(count) {
+  WSYNC_REQUIRE(count >= 0, "count must be non-negative");
+}
+
+std::vector<Frequency> RandomSubsetAdversary::disrupt(const EngineView& view,
+                                                      Rng& rng) {
+  WSYNC_REQUIRE(count_ <= view.t(), "count exceeds the adversary budget t");
+  // Partial Fisher-Yates over [0, F): first count_ entries of a shuffle.
+  std::vector<Frequency> pool(static_cast<size_t>(view.F()));
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<Frequency> chosen;
+  chosen.reserve(static_cast<size_t>(count_));
+  for (int i = 0; i < count_; ++i) {
+    const auto j = static_cast<size_t>(
+        rng.uniform_int(i, static_cast<int64_t>(view.F()) - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    chosen.push_back(pool[static_cast<size_t>(i)]);
+  }
+  return chosen;
+}
+
+SweepAdversary::SweepAdversary(int width, int step, int dwell)
+    : width_(width), step_(step), dwell_(dwell) {
+  WSYNC_REQUIRE(width >= 0, "width must be non-negative");
+  WSYNC_REQUIRE(step >= 1, "step must be positive");
+  WSYNC_REQUIRE(dwell >= 1, "dwell must be positive");
+}
+
+std::vector<Frequency> SweepAdversary::disrupt(const EngineView& view,
+                                               Rng& /*rng*/) {
+  WSYNC_REQUIRE(width_ <= view.t(), "width exceeds the adversary budget t");
+  const auto base = static_cast<Frequency>(
+      ((view.round() / dwell_) * step_) % view.F());
+  std::vector<Frequency> out;
+  out.reserve(static_cast<size_t>(width_));
+  for (int i = 0; i < width_; ++i) {
+    out.push_back(static_cast<Frequency>((base + i) % view.F()));
+  }
+  // Wrap-around can alias for width close to F; dedupe defensively.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+DutyCycleAdversary::DutyCycleAdversary(std::vector<Frequency> frequencies,
+                                       RoundId period, RoundId on_rounds)
+    : frequencies_(std::move(frequencies)),
+      period_(period),
+      on_rounds_(on_rounds) {
+  WSYNC_REQUIRE(period >= 1, "period must be positive");
+  WSYNC_REQUIRE(on_rounds >= 0 && on_rounds <= period,
+                "on_rounds must be within the period");
+}
+
+std::vector<Frequency> DutyCycleAdversary::disrupt(const EngineView& view,
+                                                   Rng& /*rng*/) {
+  WSYNC_REQUIRE(static_cast<int>(frequencies_.size()) <= view.t(),
+                "duty-cycle set larger than the adversary budget t");
+  if (view.round() % period_ < on_rounds_) return frequencies_;
+  return {};
+}
+
+}  // namespace wsync

@@ -1,0 +1,45 @@
+#include "src/adversary/bursty.h"
+
+#include <numeric>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+GilbertElliottAdversary::GilbertElliottAdversary(const Params& params)
+    : params_(params) {
+  WSYNC_REQUIRE(params.p_good_to_bad >= 0.0 && params.p_good_to_bad <= 1.0,
+                "p_good_to_bad must be a probability");
+  WSYNC_REQUIRE(params.p_bad_to_good >= 0.0 && params.p_bad_to_good <= 1.0,
+                "p_bad_to_good must be a probability");
+  WSYNC_REQUIRE(params.good_count >= 0 && params.bad_count >= 0,
+                "jam counts must be non-negative");
+}
+
+std::vector<Frequency> GilbertElliottAdversary::disrupt(const EngineView& view,
+                                                        Rng& rng) {
+  // Advance the hidden state first so the sojourn distribution is geometric
+  // from round 0.
+  if (bad_) {
+    if (rng.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  const int count = bad_ ? params_.bad_count : params_.good_count;
+  WSYNC_REQUIRE(count <= view.t(), "jam count exceeds the adversary budget t");
+
+  // Sample `count` distinct frequencies via partial Fisher-Yates.
+  std::vector<Frequency> pool(static_cast<size_t>(view.F()));
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<Frequency> chosen;
+  chosen.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<size_t>(
+        rng.uniform_int(i, static_cast<int64_t>(view.F()) - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    chosen.push_back(pool[static_cast<size_t>(i)]);
+  }
+  return chosen;
+}
+
+}  // namespace wsync

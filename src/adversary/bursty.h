@@ -1,0 +1,41 @@
+// Bursty interference: a two-state Gilbert-Elliott Markov jammer.
+//
+// Real unlicensed-band interference is bursty (the paper cites Gummadi et
+// al. [20] on prevalent, harmful RF interference). The Gilbert-Elliott model
+// is the standard abstraction: a hidden good/bad state with geometric
+// sojourn times; in the bad state many frequencies are jammed, in the good
+// state few or none.
+#ifndef WSYNC_ADVERSARY_BURSTY_H_
+#define WSYNC_ADVERSARY_BURSTY_H_
+
+#include "src/adversary/adversary.h"
+
+namespace wsync {
+
+class GilbertElliottAdversary final : public Adversary {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.05;  ///< per-round transition probability
+    double p_bad_to_good = 0.20;
+    int good_count = 0;  ///< frequencies jammed per round in the good state
+    int bad_count = 0;   ///< frequencies jammed per round in the bad state
+  };
+
+  explicit GilbertElliottAdversary(const Params& params);
+
+  std::vector<Frequency> disrupt(const EngineView& view, Rng& rng) override;
+
+  /// The chain evolves independently of the execution, so this adversary is
+  /// oblivious in the paper's sense.
+  bool is_oblivious() const override { return true; }
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  Params params_;
+  bool bad_ = false;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_ADVERSARY_BURSTY_H_

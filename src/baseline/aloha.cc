@@ -1,0 +1,104 @@
+#include "src/baseline/aloha.h"
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+AlohaSync::AlohaSync(const ProtocolEnv& env, const AlohaConfig& config)
+    : env_(env), config_(config) {
+  WSYNC_REQUIRE(env.F >= 1, "invalid env for AlohaSync");
+  WSYNC_REQUIRE(config.broadcast_prob > 0.0 && config.broadcast_prob <= 1.0,
+                "broadcast_prob must be in (0, 1]");
+  WSYNC_REQUIRE(config.promote_after >= 1, "promote_after must be positive");
+}
+
+void AlohaSync::on_activate(Rng& /*rng*/) {
+  role_ = Role::kContender;
+  age_ = 0;
+  quiet_rounds_ = 0;
+}
+
+RoundAction AlohaSync::act(Rng& rng) {
+  WSYNC_CHECK(role_ != Role::kInactive, "act() before activation");
+  const auto f = static_cast<Frequency>(
+      rng.next_below(static_cast<uint64_t>(env_.F)));
+  switch (role_) {
+    case Role::kContender: {
+      if (rng.bernoulli(config_.broadcast_prob)) {
+        ContenderMsg msg;
+        msg.ts = Timestamp{age_, env_.uid};
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    case Role::kLeader: {
+      if (rng.bernoulli(config_.leader_broadcast_prob)) {
+        LeaderMsg msg;
+        msg.leader_uid = env_.uid;
+        msg.round_number = sync_value_ + 1;
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    default:
+      return RoundAction::listen(f);
+  }
+}
+
+void AlohaSync::on_round_end(const std::optional<Message>& received,
+                             Rng& /*rng*/) {
+  WSYNC_CHECK(role_ != Role::kInactive, "on_round_end() before activation");
+  const bool was_synced = has_sync_;
+  bool adopted = false;
+  bool heard_contender = false;
+
+  if (received.has_value()) {
+    if (const auto* leader = std::get_if<LeaderMsg>(&received->payload)) {
+      if (role_ != Role::kLeader) {
+        has_sync_ = true;
+        sync_value_ = leader->round_number;
+        role_ = Role::kSynced;
+        adopted = true;
+      }
+    } else if (std::holds_alternative<ContenderMsg>(received->payload)) {
+      heard_contender = true;
+    }
+  }
+
+  ++age_;
+
+  if (role_ == Role::kContender) {
+    quiet_rounds_ = heard_contender ? 0 : quiet_rounds_ + 1;
+    if (quiet_rounds_ >= config_.promote_after) {
+      role_ = Role::kLeader;
+      has_sync_ = true;
+      sync_value_ = age_;
+      return;
+    }
+  }
+  if (was_synced && !adopted) ++sync_value_;
+}
+
+SyncOutput AlohaSync::output() const {
+  if (!has_sync_) return SyncOutput{};
+  return SyncOutput{sync_value_};
+}
+
+double AlohaSync::broadcast_probability() const {
+  switch (role_) {
+    case Role::kContender:
+      return config_.broadcast_prob;
+    case Role::kLeader:
+      return config_.leader_broadcast_prob;
+    default:
+      return 0.0;
+  }
+}
+
+ProtocolFactory AlohaSync::factory(const AlohaConfig& config) {
+  return [config](const ProtocolEnv& env) {
+    return std::make_unique<AlohaSync>(env, config);
+  };
+}
+
+}  // namespace wsync

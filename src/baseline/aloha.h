@@ -1,0 +1,52 @@
+// ALOHA-style baseline: fixed broadcast probability, no timestamps.
+//
+// The simplest thing a practitioner might try: broadcast with a fixed
+// probability p on a uniformly random frequency; listen otherwise. A node
+// that goes `promote_after` consecutive rounds without hearing any
+// contender message declares itself leader. No competition ordering at all.
+// Works only in small, clean, simultaneous-start deployments; used by the
+// benchmarks as the "no protocol" strawman.
+#ifndef WSYNC_BASELINE_ALOHA_H_
+#define WSYNC_BASELINE_ALOHA_H_
+
+#include <optional>
+
+#include "src/protocol/protocol.h"
+
+namespace wsync {
+
+struct AlohaConfig {
+  double broadcast_prob = 0.1;
+  /// Self-promote after this many rounds without hearing a contender.
+  int64_t promote_after = 64;
+  double leader_broadcast_prob = 0.5;
+};
+
+class AlohaSync final : public Protocol {
+ public:
+  AlohaSync(const ProtocolEnv& env, const AlohaConfig& config = {});
+
+  void on_activate(Rng& rng) override;
+  RoundAction act(Rng& rng) override;
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override;
+  SyncOutput output() const override;
+  Role role() const override { return role_; }
+  double broadcast_probability() const override;
+
+  static ProtocolFactory factory(const AlohaConfig& config = {});
+
+ private:
+  ProtocolEnv env_;
+  AlohaConfig config_;
+
+  Role role_ = Role::kInactive;
+  int64_t age_ = 0;
+  int64_t quiet_rounds_ = 0;
+  bool has_sync_ = false;
+  int64_t sync_value_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_BASELINE_ALOHA_H_

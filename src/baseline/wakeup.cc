@@ -1,0 +1,118 @@
+#include "src/baseline/wakeup.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+WakeupBaseline::WakeupBaseline(const ProtocolEnv& env,
+                               const WakeupBaselineConfig& config)
+    : env_(env), config_(config) {
+  WSYNC_REQUIRE(env.F >= 1 && env.N >= 1, "invalid env for WakeupBaseline");
+  WSYNC_REQUIRE(config.epoch_constant > 0.0, "epoch constant must be positive");
+  lg_n_ = std::max(1, lg_ceil(env.N));
+  n_pow2_ = pow2(lg_n_);
+  epoch_len_ = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(config.epoch_constant * lg_n_)));
+  cycle_len_ = epoch_len_ * lg_n_;
+}
+
+void WakeupBaseline::on_activate(Rng& /*rng*/) {
+  role_ = Role::kContender;
+  age_ = 0;
+}
+
+double WakeupBaseline::current_prob() const {
+  // 1-based epoch within the cycle; probability 2^e / (2 * Npow2).
+  const int epoch = static_cast<int>((age_ % cycle_len_) / epoch_len_) + 1;
+  const double p =
+      std::ldexp(1.0, epoch) / (2.0 * static_cast<double>(n_pow2_));
+  return std::min(0.5, p);
+}
+
+RoundAction WakeupBaseline::act(Rng& rng) {
+  WSYNC_CHECK(role_ != Role::kInactive, "act() before activation");
+  const auto f = static_cast<Frequency>(
+      rng.next_below(static_cast<uint64_t>(env_.F)));
+  switch (role_) {
+    case Role::kContender: {
+      if (rng.bernoulli(current_prob())) {
+        ContenderMsg msg;
+        msg.ts = timestamp();
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    case Role::kLeader: {
+      if (rng.bernoulli(config_.leader_broadcast_prob)) {
+        LeaderMsg msg;
+        msg.leader_uid = env_.uid;
+        msg.round_number = sync_value_ + 1;
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    default:
+      return RoundAction::listen(f);
+  }
+}
+
+void WakeupBaseline::on_round_end(const std::optional<Message>& received,
+                                  Rng& /*rng*/) {
+  WSYNC_CHECK(role_ != Role::kInactive, "on_round_end() before activation");
+  const bool was_synced = has_sync_;
+  bool adopted = false;
+
+  if (received.has_value()) {
+    if (const auto* leader = std::get_if<LeaderMsg>(&received->payload)) {
+      if (role_ != Role::kLeader) {
+        has_sync_ = true;
+        sync_value_ = leader->round_number;
+        role_ = Role::kSynced;
+        adopted = true;
+      }
+    } else if (role_ == Role::kContender) {
+      if (const auto* c = std::get_if<ContenderMsg>(&received->payload)) {
+        if (c->ts > timestamp()) role_ = Role::kKnockedOut;
+      }
+    }
+  }
+
+  ++age_;
+
+  if (role_ == Role::kContender && age_ >= cycle_len_) {
+    // Survived a full cycle without being knocked out: self-promote.
+    // (This is the unsafe step the Trapdoor final epoch exists to protect.)
+    role_ = Role::kLeader;
+    has_sync_ = true;
+    sync_value_ = age_;
+  } else if (was_synced && !adopted) {
+    ++sync_value_;
+  }
+}
+
+SyncOutput WakeupBaseline::output() const {
+  if (!has_sync_) return SyncOutput{};
+  return SyncOutput{sync_value_};
+}
+
+double WakeupBaseline::broadcast_probability() const {
+  switch (role_) {
+    case Role::kContender:
+      return current_prob();
+    case Role::kLeader:
+      return config_.leader_broadcast_prob;
+    default:
+      return 0.0;
+  }
+}
+
+ProtocolFactory WakeupBaseline::factory(const WakeupBaselineConfig& config) {
+  return [config](const ProtocolEnv& env) {
+    return std::make_unique<WakeupBaseline>(env, config);
+  };
+}
+
+}  // namespace wsync

@@ -1,0 +1,67 @@
+// Wakeup-style baseline.
+//
+// A natural protocol adapted from the single-channel wake-up literature the
+// paper builds on (Jurdzinski–Stachowiak [22]): cycle through doubling
+// broadcast probabilities 2^e/(2N) on a uniformly random frequency of the
+// FULL band, knock out on larger timestamps exactly like the Trapdoor
+// protocol, and self-promote to leader after surviving one full cycle of
+// lgN equal-length epochs.
+//
+// Compared to the Trapdoor protocol it lacks (a) the F' = min(F, 2t) band
+// restriction and (b) the long final epoch. It synchronizes fine when the
+// spectrum is clean, but under heavy disruption (t close to F) its
+// per-round meeting probability collapses and late contenders can survive
+// their whole cycle without ever hearing the earlier leader — electing
+// multiple leaders and violating agreement. The benchmarks quantify both
+// failure modes (bench/baseline_comparison, bench/agreement_montecarlo).
+#ifndef WSYNC_BASELINE_WAKEUP_H_
+#define WSYNC_BASELINE_WAKEUP_H_
+
+#include <optional>
+
+#include "src/protocol/protocol.h"
+
+namespace wsync {
+
+struct WakeupBaselineConfig {
+  /// Epoch length multiplier: every epoch has ceil(c * lgN) rounds.
+  double epoch_constant = 4.0;
+  double leader_broadcast_prob = 0.5;
+};
+
+class WakeupBaseline final : public Protocol {
+ public:
+  WakeupBaseline(const ProtocolEnv& env,
+                 const WakeupBaselineConfig& config = {});
+
+  void on_activate(Rng& rng) override;
+  RoundAction act(Rng& rng) override;
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override;
+  SyncOutput output() const override;
+  Role role() const override { return role_; }
+  double broadcast_probability() const override;
+
+  static ProtocolFactory factory(const WakeupBaselineConfig& config = {});
+
+  Timestamp timestamp() const { return Timestamp{age_, env_.uid}; }
+
+ private:
+  double current_prob() const;
+
+  ProtocolEnv env_;
+  WakeupBaselineConfig config_;
+  int lg_n_ = 1;
+  int64_t n_pow2_ = 2;
+  int64_t epoch_len_ = 1;
+  int64_t cycle_len_ = 1;
+
+  Role role_ = Role::kInactive;
+  int64_t age_ = 0;
+  bool has_sync_ = false;
+  int64_t sync_value_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_BASELINE_WAKEUP_H_

@@ -1,0 +1,69 @@
+#include "src/common/math_util.h"
+
+#include <cmath>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+int lg_ceil(int64_t x) {
+  WSYNC_REQUIRE(x >= 1, "lg_ceil requires x >= 1");
+  int e = 0;
+  int64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++e;
+  }
+  return e;
+}
+
+int lg_floor(int64_t x) {
+  WSYNC_REQUIRE(x >= 1, "lg_floor requires x >= 1");
+  int e = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++e;
+  }
+  return e;
+}
+
+int64_t pow2(int e) {
+  WSYNC_REQUIRE(e >= 0 && e <= 62, "pow2 exponent out of range");
+  return int64_t{1} << e;
+}
+
+int64_t next_pow2(int64_t x) {
+  WSYNC_REQUIRE(x >= 1, "next_pow2 requires x >= 1");
+  return pow2(lg_ceil(x));
+}
+
+bool is_pow2(int64_t x) {
+  WSYNC_REQUIRE(x >= 1, "is_pow2 requires x >= 1");
+  return (x & (x - 1)) == 0;
+}
+
+int64_t ceil_div(int64_t a, int64_t b) {
+  WSYNC_REQUIRE(a >= 0 && b > 0, "ceil_div requires a >= 0, b > 0");
+  return (a + b - 1) / b;
+}
+
+double success_probability(int64_t n, double p) {
+  WSYNC_REQUIRE(n >= 1, "success_probability requires n >= 1");
+  WSYNC_REQUIRE(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return n == 1 ? 1.0 : 0.0;
+  // n * p * (1-p)^(n-1), via log1p to stay accurate for tiny p / huge n.
+  const double log_term =
+      std::log(static_cast<double>(n)) + std::log(p) +
+      static_cast<double>(n - 1) * std::log1p(-p);
+  return std::exp(log_term);
+}
+
+double log_binomial(int64_t n, int64_t k) {
+  WSYNC_REQUIRE(n >= 0 && k >= 0 && k <= n, "log_binomial domain error");
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+}  // namespace wsync

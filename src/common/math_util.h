@@ -1,0 +1,42 @@
+// Small integer/probability helpers used throughout the protocol schedules.
+//
+// The paper works with lg N = log2 of the *known upper bound* N on the number
+// of participants, assuming N and F are powers of two "for simplicity of
+// notation". We round up to the next power of two where the schedules need
+// it, via lg_ceil / pow2.
+#ifndef WSYNC_COMMON_MATH_UTIL_H_
+#define WSYNC_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace wsync {
+
+/// ⌈log2(x)⌉ for x >= 1; lg_ceil(1) == 0. Requires x >= 1.
+int lg_ceil(int64_t x);
+
+/// ⌊log2(x)⌋ for x >= 1. Requires x >= 1.
+int lg_floor(int64_t x);
+
+/// 2^e for e in [0, 62]. Requires e in range.
+int64_t pow2(int e);
+
+/// Smallest power of two >= x (x >= 1).
+int64_t next_pow2(int64_t x);
+
+/// True iff x is a power of two (x >= 1).
+bool is_pow2(int64_t x);
+
+/// ⌈a / b⌉ for a >= 0, b > 0.
+int64_t ceil_div(int64_t a, int64_t b);
+
+/// n * p * (1-p)^(n-1): the probability that exactly one of n independent
+/// broadcasters with per-node probability p transmits (the paper's "success
+/// probability", Section 5). Computed in log-space for large n.
+double success_probability(int64_t n, double p);
+
+/// Natural-log binomial coefficient ln C(n, k).
+double log_binomial(int64_t n, int64_t k);
+
+}  // namespace wsync
+
+#endif  // WSYNC_COMMON_MATH_UTIL_H_

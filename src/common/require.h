@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// Following the Core Guidelines (I.5/I.6, P.7): interfaces state their
+// preconditions and catch violations early. WSYNC_REQUIRE throws
+// std::invalid_argument for caller errors; WSYNC_CHECK throws
+// std::logic_error for internal invariant violations (bugs). Both are always
+// on: simulation workloads are not hot enough for checking to matter, and a
+// silent model violation would invalidate every experiment built on top.
+#ifndef WSYNC_COMMON_REQUIRE_H_
+#define WSYNC_COMMON_REQUIRE_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wsync::detail {
+
+[[noreturn]] inline void throw_requirement(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  if (kind[0] == 'r') throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace wsync::detail
+
+/// Precondition on caller-supplied values; throws std::invalid_argument.
+#define WSYNC_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::wsync::detail::throw_requirement("requirement", #cond,         \
+                                         __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant; throws std::logic_error (indicates a wsync bug).
+#define WSYNC_CHECK(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::wsync::detail::throw_requirement("invariant", #cond,           \
+                                         __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)
+
+#endif  // WSYNC_COMMON_REQUIRE_H_

@@ -1,0 +1,111 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace wsync {
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::array<uint64_t, 4> seed_state(uint64_t seed) {
+  // splitmix64 expansion, as recommended by the xoshiro authors. Guard
+  // against the (astronomically unlikely) all-zero state.
+  uint64_t s = seed;
+  std::array<uint64_t, 4> st{};
+  for (auto& w : st) w = splitmix64(s);
+  if ((st[0] | st[1] | st[2] | st[3]) == 0) st[0] = 0x1ULL;
+  return st;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : state_(seed_state(seed)), fork_base_(seed) {}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  WSYNC_REQUIRE(bound > 0, "next_below requires a positive bound");
+  // Lemire's nearly-divisionless method.
+  uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  WSYNC_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1ULL;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const uint64_t draw = (span == 0) ? next_u64() : next_below(span);
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + draw);
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+size_t Rng::discrete(std::span<const double> weights) {
+  WSYNC_REQUIRE(!weights.empty(), "discrete requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    WSYNC_REQUIRE(w >= 0.0 && std::isfinite(w),
+                  "discrete weights must be finite and non-negative");
+    total += w;
+  }
+  WSYNC_REQUIRE(total > 0.0, "discrete weights must not all be zero");
+  double x = uniform01() * total;
+  for (size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (x < weights[i]) return i;
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(uint64_t tag) const {
+  // Derive child seed material from (fork_base_, tag) via splitmix64 so that
+  // children are independent of each other and of the parent's stream.
+  uint64_t s = fork_base_ ^ (0xA0761D6478BD642FULL * (tag + 1));
+  const uint64_t child_base = splitmix64(s);
+  uint64_t s2 = child_base;
+  std::array<uint64_t, 4> st{};
+  for (auto& w : st) w = splitmix64(s2);
+  if ((st[0] | st[1] | st[2] | st[3]) == 0) st[0] = 0x1ULL;
+  return Rng(st, child_base);
+}
+
+}  // namespace wsync

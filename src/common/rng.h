@@ -1,0 +1,82 @@
+// Deterministic, portable random number generation.
+//
+// Everything stochastic in wsync — node coin flips, frequency choices,
+// adversary behaviour, activation schedules — draws from Rng streams derived
+// from a single experiment seed. We implement xoshiro256** (Blackman/Vigna)
+// seeded via splitmix64 and provide our own integer/real/Bernoulli draws so
+// results are bit-identical across standard libraries and platforms
+// (std::uniform_int_distribution is not portable).
+//
+// Stream derivation: Rng::fork(tag) produces an independent child stream by
+// hashing (parent seed material, tag). The engine gives every node, the
+// adversary, and the activation schedule their own stream, so protocol
+// randomness never interleaves with adversary randomness — required by the
+// model, where the round-r adversary must be independent of round-r node
+// coins.
+#ifndef WSYNC_COMMON_RNG_H_
+#define WSYNC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+/// splitmix64 step; used for seeding and stream derivation.
+uint64_t splitmix64(uint64_t& state);
+
+/// xoshiro256** PRNG with portable distribution helpers.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double uniform01();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Samples an index from a discrete distribution given by `weights`
+  /// (non-negative, not all zero).
+  size_t discrete(std::span<const double> weights);
+
+  /// Returns an independent child stream identified by `tag`.
+  /// fork(a) and fork(b) are independent for a != b, and both are
+  /// independent of subsequent draws from *this.
+  Rng fork(uint64_t tag) const;
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  Rng(std::array<uint64_t, 4> state, uint64_t fork_base)
+      : state_(state), fork_base_(fork_base) {}
+
+  std::array<uint64_t, 4> state_;
+  uint64_t fork_base_;  // seed material remembered for fork()
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_COMMON_RNG_H_

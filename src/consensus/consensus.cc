@@ -1,0 +1,129 @@
+#include "src/consensus/consensus.h"
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+ConsensusNode::ConsensusNode(const ProtocolEnv& env, uint64_t proposal,
+                             const ConsensusConfig& config)
+    : env_(env), config_(config), inner_(env, config.trapdoor),
+      proposal_(proposal) {
+  WSYNC_REQUIRE(config.propose_prob > 0.0 && config.propose_prob <= 1.0,
+                "propose_prob must be in (0, 1]");
+  WSYNC_REQUIRE(config.decide_prob > 0.0 && config.decide_prob <= 1.0,
+                "decide_prob must be in (0, 1]");
+  WSYNC_REQUIRE(config.leader_grace >= 1, "leader_grace must be positive");
+}
+
+void ConsensusNode::on_activate(Rng& rng) { inner_.on_activate(rng); }
+
+Frequency ConsensusNode::band_frequency(Rng& rng) const {
+  return static_cast<Frequency>(rng.next_below(
+      static_cast<uint64_t>(inner_.schedule().f_prime())));
+}
+
+RoundAction ConsensusNode::act(Rng& rng) {
+  // Phase 1: synchronize. The inner Trapdoor runs untouched until this node
+  // outputs round numbers.
+  if (!inner_.output().has_number()) return inner_.act(rng);
+
+  if (inner_.role() == Role::kLeader) {
+    // The leader must keep the synchronization layer alive — without its
+    // numbering beacons, knocked-out nodes can never adopt the scheme (and
+    // surviving contenders would eventually self-promote). Half its rounds
+    // go to leader duties, half to consensus.
+    if (rng.bernoulli(0.5)) return inner_.act(rng);
+    const Frequency f = band_frequency(rng);
+    if (decided_ && rng.bernoulli(config_.decide_prob)) {
+      DataMsg msg;
+      msg.tag = kDecideTag;
+      msg.a = static_cast<int64_t>(decision_);
+      return RoundAction::send(f, msg);
+    }
+    // Undecided: collect proposals (the decision logic and the grace
+    // counter live in on_round_end).
+    return RoundAction::listen(f);
+  }
+
+  const Frequency f = band_frequency(rng);
+  if (decided_) {
+    // Phase 3: epidemic dissemination of the decision.
+    if (rng.bernoulli(config_.decide_prob)) {
+      DataMsg msg;
+      msg.tag = kDecideTag;
+      msg.a = static_cast<int64_t>(decision_);
+      return RoundAction::send(f, msg);
+    }
+    return RoundAction::listen(f);
+  }
+  // Phase 2, non-leader: advertise the proposal, listen otherwise.
+  if (rng.bernoulli(config_.propose_prob)) {
+    DataMsg msg;
+    msg.tag = kProposeTag;
+    msg.a = static_cast<int64_t>(proposal_);
+    return RoundAction::send(f, msg);
+  }
+  return RoundAction::listen(f);
+}
+
+void ConsensusNode::on_round_end(const std::optional<Message>& received,
+                                 Rng& rng) {
+  // Consensus traffic is invisible to the synchronization layer.
+  const bool is_data =
+      received.has_value() &&
+      std::holds_alternative<DataMsg>(received->payload);
+  inner_.on_round_end(is_data ? std::nullopt : received, rng);
+
+  if (!inner_.output().has_number()) return;
+
+  if (is_data && !decided_) {
+    const auto& data = std::get<DataMsg>(received->payload);
+    if (data.tag == kDecideTag) {
+      decided_ = true;
+      decision_ = static_cast<uint64_t>(data.a);
+      return;
+    }
+    if (data.tag == kProposeTag && inner_.role() == Role::kLeader) {
+      // The leader decides the first proposal it hears.
+      decided_ = true;
+      decision_ = static_cast<uint64_t>(data.a);
+      return;
+    }
+  }
+  if (!decided_ && inner_.role() == Role::kLeader) {
+    ++leader_quiet_rounds_;
+    if (leader_quiet_rounds_ >= config_.leader_grace) {
+      // Nobody else is proposing: decide our own value (validity holds —
+      // the leader is a participant too).
+      decided_ = true;
+      decision_ = proposal_;
+    }
+  }
+}
+
+uint64_t ConsensusNode::decision() const {
+  WSYNC_REQUIRE(decided_, "decision() before the node decided");
+  return decision_;
+}
+
+double ConsensusNode::broadcast_probability() const {
+  if (!inner_.output().has_number()) return inner_.broadcast_probability();
+  if (inner_.role() == Role::kLeader) {
+    return 0.5 * inner_.broadcast_probability() +
+           0.5 * (decided_ ? config_.decide_prob : 0.0);
+  }
+  if (decided_) return config_.decide_prob;
+  return config_.propose_prob;
+}
+
+ProtocolFactory ConsensusNode::factory(
+    std::function<uint64_t(const ProtocolEnv&)> proposal_of,
+    const ConsensusConfig& config) {
+  WSYNC_REQUIRE(proposal_of != nullptr, "proposal function is required");
+  return [proposal_of = std::move(proposal_of),
+          config](const ProtocolEnv& env) {
+    return std::make_unique<ConsensusNode>(env, proposal_of(env), config);
+  };
+}
+
+}  // namespace wsync

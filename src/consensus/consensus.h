@@ -1,0 +1,86 @@
+// One-shot consensus on top of wireless synchronization (paper Section 8,
+// "Broader implications": "our protocols elect a unique leader as a
+// sub-problem, and a leader combined with a common round view simplifies
+// consensus, maintaining replicated state, and the collection and
+// distribution of messages").
+//
+// Every node proposes a 64-bit value at activation. The node runs the
+// Trapdoor protocol; once the network is synchronized:
+//   * non-leaders that have not yet learned a decision broadcast
+//     PROPOSE(value) with a small probability on a random in-band
+//     frequency, listening otherwise;
+//   * the leader listens; it decides the FIRST proposal it receives, or its
+//     own value after a grace period with no proposals;
+//   * the leader (and, epidemically, every decided node) broadcasts
+//     DECIDE(value) with probability 1/2; hearing a DECIDE decides you.
+//
+// Guarantees (inherited from the synchronization layer, whp): Agreement —
+// one leader means one decision; Validity — the decided value is some
+// node's proposal; Termination — every node decides, since decided nodes
+// keep gossiping DECIDE.
+#ifndef WSYNC_CONSENSUS_CONSENSUS_H_
+#define WSYNC_CONSENSUS_CONSENSUS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/protocol/protocol.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+
+struct ConsensusConfig {
+  TrapdoorConfig trapdoor;
+  /// Probability an undecided non-leader broadcasts its proposal per round.
+  double propose_prob = 0.25;
+  /// Probability a decided node gossips the decision per round.
+  double decide_prob = 0.5;
+  /// Leader decides its own value after this many synchronized rounds
+  /// without hearing a proposal.
+  int64_t leader_grace = 64;
+};
+
+/// Message tags carried in DataMsg::tag.
+inline constexpr uint64_t kProposeTag = 0x9909'0001;
+inline constexpr uint64_t kDecideTag = 0x9909'0002;
+
+class ConsensusNode final : public Protocol {
+ public:
+  ConsensusNode(const ProtocolEnv& env, uint64_t proposal,
+                const ConsensusConfig& config = {});
+
+  void on_activate(Rng& rng) override;
+  RoundAction act(Rng& rng) override;
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override;
+  SyncOutput output() const override { return inner_.output(); }
+  Role role() const override { return inner_.role(); }
+  double broadcast_probability() const override;
+
+  uint64_t proposal() const { return proposal_; }
+  bool decided() const { return decided_; }
+  /// Requires decided().
+  uint64_t decision() const;
+
+  /// Factory where each node's proposal is produced from its uid (or any
+  /// deterministic function the caller supplies).
+  static ProtocolFactory factory(
+      std::function<uint64_t(const ProtocolEnv&)> proposal_of,
+      const ConsensusConfig& config = {});
+
+ private:
+  Frequency band_frequency(Rng& rng) const;
+
+  ProtocolEnv env_;
+  ConsensusConfig config_;
+  TrapdoorProtocol inner_;
+  uint64_t proposal_ = 0;
+  bool decided_ = false;
+  uint64_t decision_ = 0;
+  int64_t leader_quiet_rounds_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_CONSENSUS_CONSENSUS_H_

@@ -1,0 +1,71 @@
+// Declarative experiment descriptions: a benchmark names a grid of
+// ExperimentPoints; the sweep harness turns each into a RunSpec, replicates
+// it across seeds, and aggregates the outcomes.
+#ifndef WSYNC_EXPERIMENT_SPEC_H_
+#define WSYNC_EXPERIMENT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace wsync {
+
+enum class ProtocolKind {
+  kTrapdoor,
+  kTrapdoorFullBand,  ///< ablation: restrict_to_fprime = false
+  kGoodSamaritan,
+  kWakeupBaseline,
+  kAloha,
+  kFaultTolerantTrapdoor,
+};
+
+enum class AdversaryKind {
+  kNone,
+  kFixedFirst,       ///< always jams {0..jam_count-1} (Theorem 1 adversary)
+  kRandomSubset,     ///< jam_count random frequencies per round (oblivious)
+  kSweep,            ///< sweeping window of width jam_count
+  kGilbertElliott,   ///< bursty: 0 in good state, jam_count in bad state
+  kGreedyDelivery,   ///< adaptive: top jam_count by decayed deliveries
+  kGreedyListener,   ///< adaptive: top jam_count by last-round listeners
+};
+
+enum class ActivationKind {
+  kSimultaneous,
+  kStaggeredUniform,  ///< uniform wake rounds over [0, window)
+  kSequential,        ///< one node per round
+  kTwoBatch,          ///< half at round 0, half at `window`
+};
+
+const char* to_string(ProtocolKind kind);
+const char* to_string(AdversaryKind kind);
+const char* to_string(ActivationKind kind);
+
+struct ExperimentPoint {
+  int F = 2;
+  int t = 0;
+  int64_t N = 2;
+  int n = 1;
+
+  ProtocolKind protocol = ProtocolKind::kTrapdoor;
+  AdversaryKind adversary = AdversaryKind::kNone;
+  ActivationKind activation = ActivationKind::kSimultaneous;
+
+  /// Frequencies actually jammed per round (the paper's t'); defaults to t
+  /// when negative.
+  int jam_count = -1;
+
+  /// Activation window for staggered/two-batch schedules.
+  RoundId activation_window = 0;
+
+  /// Round budget for liveness; 0 = auto (a generous multiple of the
+  /// protocol's schedule length).
+  RoundId max_rounds = 0;
+
+  /// Keep verifying this many rounds after liveness.
+  RoundId extra_rounds = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_EXPERIMENT_SPEC_H_

@@ -1,0 +1,255 @@
+#include "src/experiment/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/basic.h"
+#include "src/adversary/bursty.h"
+#include "src/baseline/aloha.h"
+#include "src/baseline/wakeup.h"
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/trapdoor/fault_tolerant.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kTrapdoor: return "trapdoor";
+    case ProtocolKind::kTrapdoorFullBand: return "trapdoor_fullband";
+    case ProtocolKind::kGoodSamaritan: return "good_samaritan";
+    case ProtocolKind::kWakeupBaseline: return "wakeup_baseline";
+    case ProtocolKind::kAloha: return "aloha";
+    case ProtocolKind::kFaultTolerantTrapdoor: return "ft_trapdoor";
+  }
+  return "unknown";
+}
+
+const char* to_string(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kFixedFirst: return "fixed_first";
+    case AdversaryKind::kRandomSubset: return "random_subset";
+    case AdversaryKind::kSweep: return "sweep";
+    case AdversaryKind::kGilbertElliott: return "gilbert_elliott";
+    case AdversaryKind::kGreedyDelivery: return "greedy_delivery";
+    case AdversaryKind::kGreedyListener: return "greedy_listener";
+  }
+  return "unknown";
+}
+
+const char* to_string(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kSimultaneous: return "simultaneous";
+    case ActivationKind::kStaggeredUniform: return "staggered";
+    case ActivationKind::kSequential: return "sequential";
+    case ActivationKind::kTwoBatch: return "two_batch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ProtocolFactory make_factory(const ExperimentPoint& point) {
+  switch (point.protocol) {
+    case ProtocolKind::kTrapdoor:
+      return TrapdoorProtocol::factory();
+    case ProtocolKind::kTrapdoorFullBand: {
+      TrapdoorConfig config;
+      config.restrict_to_fprime = false;
+      return TrapdoorProtocol::factory(config);
+    }
+    case ProtocolKind::kGoodSamaritan:
+      return GoodSamaritanProtocol::factory();
+    case ProtocolKind::kWakeupBaseline:
+      return WakeupBaseline::factory();
+    case ProtocolKind::kAloha:
+      return AlohaSync::factory();
+    case ProtocolKind::kFaultTolerantTrapdoor:
+      return FaultTolerantTrapdoor::factory();
+  }
+  WSYNC_CHECK(false, "unknown protocol kind");
+  return {};
+}
+
+int effective_jam_count(const ExperimentPoint& point) {
+  const int jam = point.jam_count < 0 ? point.t : point.jam_count;
+  WSYNC_REQUIRE(jam <= point.t, "jam_count must not exceed t");
+  return jam;
+}
+
+std::function<std::unique_ptr<Adversary>()> make_adversary_producer(
+    const ExperimentPoint& point) {
+  const int jam = effective_jam_count(point);
+  switch (point.adversary) {
+    case AdversaryKind::kNone:
+      return [] { return std::make_unique<NoneAdversary>(); };
+    case AdversaryKind::kFixedFirst:
+      return [jam] { return std::make_unique<FixedSubsetAdversary>(jam); };
+    case AdversaryKind::kRandomSubset:
+      return [jam] { return std::make_unique<RandomSubsetAdversary>(jam); };
+    case AdversaryKind::kSweep:
+      return [jam] { return std::make_unique<SweepAdversary>(jam); };
+    case AdversaryKind::kGilbertElliott:
+      return [jam] {
+        GilbertElliottAdversary::Params params;
+        params.good_count = 0;
+        params.bad_count = jam;
+        return std::make_unique<GilbertElliottAdversary>(params);
+      };
+    case AdversaryKind::kGreedyDelivery:
+      return [jam] { return std::make_unique<GreedyDeliveryAdversary>(jam); };
+    case AdversaryKind::kGreedyListener:
+      return [jam] { return std::make_unique<GreedyListenerAdversary>(jam); };
+  }
+  WSYNC_CHECK(false, "unknown adversary kind");
+  return {};
+}
+
+std::function<std::unique_ptr<ActivationSchedule>()> make_activation_producer(
+    const ExperimentPoint& point) {
+  const int n = point.n;
+  const RoundId window = std::max<RoundId>(1, point.activation_window);
+  switch (point.activation) {
+    case ActivationKind::kSimultaneous:
+      return [n] { return std::make_unique<SimultaneousActivation>(n); };
+    case ActivationKind::kStaggeredUniform:
+      return [n, window] {
+        return std::make_unique<StaggeredUniformActivation>(n, window);
+      };
+    case ActivationKind::kSequential:
+      return [n] { return std::make_unique<SequentialActivation>(n); };
+    case ActivationKind::kTwoBatch:
+      return [n, window] {
+        return std::make_unique<TwoBatchActivation>(
+            n, std::max(1, n / 2), 0, window);
+      };
+  }
+  WSYNC_CHECK(false, "unknown activation kind");
+  return {};
+}
+
+/// A generous liveness budget when the point does not specify one: a
+/// multiple of the protocol's own schedule length plus the activation span.
+RoundId auto_round_budget(const ExperimentPoint& point) {
+  const ProtocolEnv env{point.F, point.t, point.N, 0, kNoNode};
+  RoundId schedule_total = 0;
+  switch (point.protocol) {
+    case ProtocolKind::kTrapdoor:
+    case ProtocolKind::kFaultTolerantTrapdoor: {
+      schedule_total =
+          TrapdoorSchedule::standard(env.F, env.t, env.N).total_rounds();
+      break;
+    }
+    case ProtocolKind::kTrapdoorFullBand: {
+      TrapdoorConfig config;
+      config.restrict_to_fprime = false;
+      schedule_total =
+          TrapdoorSchedule::standard(env.F, env.t, env.N, config)
+              .total_rounds();
+      break;
+    }
+    case ProtocolKind::kGoodSamaritan: {
+      const SamaritanSchedule schedule(env.F, env.t, env.N);
+      // Optimistic portion + a full fallback competition (each fallback
+      // round advances with probability 1/2, hence the factor 2) + slack.
+      schedule_total = schedule.total_optimistic_rounds() +
+                       2 * schedule.fallback_epoch_length() *
+                           (schedule.lg_n() + 1);
+      break;
+    }
+    case ProtocolKind::kWakeupBaseline: {
+      const int lg_n = std::max(1, lg_ceil(point.N));
+      schedule_total = static_cast<RoundId>(4 * lg_n) * lg_n;
+      break;
+    }
+    case ProtocolKind::kAloha:
+      schedule_total = 256;
+      break;
+  }
+  return 16 * schedule_total + 8 * std::max<RoundId>(1, point.activation_window) +
+         1024;
+}
+
+}  // namespace
+
+RunSpec make_run_spec(const ExperimentPoint& point) {
+  WSYNC_REQUIRE(point.n >= 1 && point.N >= point.n, "need 1 <= n <= N");
+  RunSpec spec;
+  spec.sim.F = point.F;
+  spec.sim.t = point.t;
+  spec.sim.N = point.N;
+  spec.sim.n = point.n;
+  spec.factory = make_factory(point);
+  spec.make_adversary = make_adversary_producer(point);
+  spec.make_activation = make_activation_producer(point);
+  spec.max_rounds =
+      point.max_rounds > 0 ? point.max_rounds : auto_round_budget(point);
+  spec.extra_rounds = point.extra_rounds;
+  spec.verifier.allow_resync =
+      point.protocol == ProtocolKind::kFaultTolerantTrapdoor;
+  return spec;
+}
+
+std::vector<uint64_t> make_seeds(int count, uint64_t base) {
+  WSYNC_REQUIRE(count >= 1, "need at least one seed");
+  std::vector<uint64_t> seeds(static_cast<size_t>(count));
+  uint64_t state = base;
+  for (auto& s : seeds) s = splitmix64(state);
+  return seeds;
+}
+
+PointResult run_point(const ExperimentPoint& point,
+                      const std::vector<uint64_t>& seeds) {
+  const RunSpec spec = make_run_spec(point);
+  PointResult result;
+  result.point = point;
+  result.runs = static_cast<int>(seeds.size());
+
+  std::vector<double> rounds;
+  std::vector<double> latencies;
+  for (const RunOutcome& outcome : run_sync_experiments(spec, seeds)) {
+    if (outcome.synced) {
+      ++result.synced_runs;
+      rounds.push_back(static_cast<double>(outcome.rounds));
+      RoundId worst = 0;
+      for (RoundId latency : outcome.sync_latency) {
+        worst = std::max(worst, latency);
+      }
+      latencies.push_back(static_cast<double>(worst));
+    }
+    result.agreement_violations += outcome.properties.agreement_violations;
+    result.commit_violations += outcome.properties.synch_commit_violations;
+    result.correctness_violations +=
+        outcome.properties.correctness_violations;
+    result.max_leaders = std::max(
+        result.max_leaders, outcome.properties.max_simultaneous_leaders);
+    if (outcome.properties.max_simultaneous_leaders >= 2) {
+      ++result.multi_leader_runs;
+    }
+    result.max_broadcast_weight =
+        std::max(result.max_broadcast_weight, outcome.max_broadcast_weight);
+  }
+  result.rounds_to_live = summarize(rounds);
+  result.max_node_latency = summarize(latencies);
+  return result;
+}
+
+double trapdoor_predicted_rounds(int F, int t, int64_t N) {
+  WSYNC_REQUIRE(F >= 1 && t >= 0 && t < F, "need 0 <= t < F");
+  const double lg = std::max(1.0, std::log2(static_cast<double>(N)));
+  const double ratio = static_cast<double>(F) / static_cast<double>(F - t);
+  return ratio * lg * lg +
+         ratio * static_cast<double>(std::max(1, t)) * lg;
+}
+
+double samaritan_predicted_rounds(int t_prime, int64_t N) {
+  WSYNC_REQUIRE(t_prime >= 0, "t' must be non-negative");
+  const double lg = std::max(1.0, std::log2(static_cast<double>(N)));
+  return static_cast<double>(std::max(1, t_prime)) * lg * lg * lg;
+}
+
+}  // namespace wsync

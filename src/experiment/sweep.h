@@ -1,0 +1,49 @@
+// Turns ExperimentPoints into runnable specs, replicates across seeds, and
+// aggregates the measurements every bench table needs.
+#ifndef WSYNC_EXPERIMENT_SWEEP_H_
+#define WSYNC_EXPERIMENT_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/experiment/spec.h"
+#include "src/stats/summary.h"
+#include "src/sync/runner.h"
+
+namespace wsync {
+
+/// Builds the RunSpec for a point (factories resolved from the enums).
+RunSpec make_run_spec(const ExperimentPoint& point);
+
+/// Evenly spaced deterministic seeds for replication.
+std::vector<uint64_t> make_seeds(int count, uint64_t base = 0x5EED);
+
+/// Aggregate over seeds of one experiment point.
+struct PointResult {
+  ExperimentPoint point;
+  int runs = 0;
+  int synced_runs = 0;          ///< runs that reached liveness in budget
+  Summary rounds_to_live;       ///< engine rounds until liveness (synced runs)
+  Summary max_node_latency;     ///< per-run max per-node sync latency
+  int64_t agreement_violations = 0;  ///< summed over runs
+  int64_t commit_violations = 0;
+  int64_t correctness_violations = 0;
+  int max_leaders = 0;          ///< max simultaneous leaders over all runs
+  int multi_leader_runs = 0;    ///< runs where >= 2 leaders coexisted
+  double max_broadcast_weight = 0.0;
+};
+
+/// Runs the point once per seed and aggregates.
+PointResult run_point(const ExperimentPoint& point,
+                      const std::vector<uint64_t>& seeds);
+
+/// The paper's Theorem 10 prediction F/(F-t) lg^2 N + F t/(F-t) lg N
+/// (used by benches to compare curve shapes).
+double trapdoor_predicted_rounds(int F, int t, int64_t N);
+
+/// The paper's Theorem 18 optimistic prediction t' lg^3 N (t' >= 1).
+double samaritan_predicted_rounds(int t_prime, int64_t N);
+
+}  // namespace wsync
+
+#endif  // WSYNC_EXPERIMENT_SWEEP_H_

@@ -1,0 +1,127 @@
+#include "src/lowerbound/balls_bins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+namespace {
+
+void check_distribution(std::span<const double> probs) {
+  WSYNC_REQUIRE(!probs.empty(), "need at least one bin");
+  double sum = 0.0;
+  for (double p : probs) {
+    WSYNC_REQUIRE(p >= 0.0 && p <= 1.0, "bin probability out of range");
+    sum += p;
+  }
+  WSYNC_REQUIRE(std::abs(sum - 1.0) < 1e-9, "bin probabilities must sum to 1");
+}
+
+}  // namespace
+
+namespace {
+
+size_t resolve_constrained(std::span<const double> probs,
+                           int64_t constrained) {
+  if (constrained < 0) return probs.empty() ? 0 : probs.size() - 1;
+  WSYNC_REQUIRE(static_cast<size_t>(constrained) <= probs.size(),
+                "constrained bin count exceeds bin count");
+  return static_cast<size_t>(constrained);
+}
+
+}  // namespace
+
+double no_singleton_probability_exact(int64_t m, std::span<const double> probs,
+                                      int64_t constrained) {
+  WSYNC_REQUIRE(m >= 0, "m must be non-negative");
+  check_distribution(probs);
+  const size_t n_constrained = resolve_constrained(probs, constrained);
+
+  // dp[j] = summed probability mass of assignments of j balls to the bins
+  // processed so far such that no constrained processed bin holds exactly
+  // one ball, where mass includes the multinomial coefficient contribution
+  // C(m, c_1, c_2, ...) restricted to the processed prefix. Processing bin
+  // i with count c multiplies by C(m - j, c) * p_i^c.
+  std::vector<double> dp(static_cast<size_t>(m) + 1, 0.0);
+  dp[0] = 1.0;
+  for (size_t bin = 0; bin < probs.size(); ++bin) {
+    const double p = probs[bin];
+    const bool is_constrained = bin < n_constrained;
+    std::vector<double> next(static_cast<size_t>(m) + 1, 0.0);
+    for (int64_t j = 0; j <= m; ++j) {
+      if (dp[static_cast<size_t>(j)] == 0.0) continue;
+      const double base = dp[static_cast<size_t>(j)];
+      for (int64_t c = 0; j + c <= m; ++c) {
+        if (c == 1 && is_constrained) continue;  // "exactly one" forbidden
+        double weight;
+        if (c == 0) {
+          weight = 1.0;
+        } else if (p == 0.0) {
+          continue;
+        } else {
+          weight = std::exp(log_binomial(m - j, c) +
+                            static_cast<double>(c) * std::log(p));
+        }
+        next[static_cast<size_t>(j + c)] += base * weight;
+      }
+    }
+    dp = std::move(next);
+  }
+  return dp[static_cast<size_t>(m)];
+}
+
+double no_singleton_probability_mc(int64_t m, std::span<const double> probs,
+                                   int64_t trials, Rng& rng,
+                                   int64_t constrained) {
+  WSYNC_REQUIRE(m >= 0, "m must be non-negative");
+  WSYNC_REQUIRE(trials >= 1, "need at least one trial");
+  check_distribution(probs);
+  const size_t n_constrained = resolve_constrained(probs, constrained);
+
+  std::vector<int64_t> counts(probs.size());
+  int64_t hits = 0;
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t b = 0; b < m; ++b) {
+      ++counts[rng.discrete(probs)];
+    }
+    bool any_singleton = false;
+    for (size_t bin = 0; bin < n_constrained; ++bin) {
+      if (counts[bin] == 1) {
+        any_singleton = true;
+        break;
+      }
+    }
+    if (!any_singleton) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double lemma2_bound(int s) {
+  WSYNC_REQUIRE(s >= 0, "s must be non-negative");
+  return std::ldexp(1.0, -s);
+}
+
+std::vector<double> random_lemma2_distribution(int s, Rng& rng) {
+  WSYNC_REQUIRE(s >= 0, "s must be non-negative");
+  if (s == 0) return {1.0};  // the single (exempt) bin takes everything
+  // Draw the heavy bin mass in [1/2, 1), split the rest randomly, sort
+  // ascending, heavy bin last.
+  const double heavy = 0.5 + rng.uniform01() * 0.49;
+  std::vector<double> rest(static_cast<size_t>(s));
+  double total = 0.0;
+  for (auto& x : rest) {
+    x = rng.uniform01() + 1e-12;
+    total += x;
+  }
+  const double scale = (1.0 - heavy) / total;
+  for (auto& x : rest) x *= scale;
+  std::sort(rest.begin(), rest.end());
+  rest.push_back(heavy);
+  return rest;
+}
+
+}  // namespace wsync

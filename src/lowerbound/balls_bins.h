@@ -1,0 +1,49 @@
+// Lemma 2 (paper Section 5): balls into bins.
+//
+//   "Assume m >= 0 balls and s+1 >= 1 bins and a probability distribution
+//    p_1 <= ... <= p_{s+1} over the bins such that every ball independently
+//    lands in a bin according to the given distribution, and p_{s+1} >= 1/2.
+//    Then the probability that no bin receives exactly one ball is at least
+//    2^{-s}."
+//
+// In the lemma's application (the Theorem 1 proof) the first s bins are the
+// good frequencies and bin s+1 is "does not broadcast on any of them" —
+// only the first s bins are constrained to avoid a count of exactly one.
+// (The literal all-bins reading is false: m = 3, p = {1/2, 1/2} gives
+// probability 1/4 < 2^{-1}.) This module therefore computes
+// P[no bin among the first `constrained` receives exactly one ball],
+// exactly (a DP in O(bins * m^2)) and by Monte Carlo, so tests and the
+// Theorem 1 bench can validate the lemma numerically across distributions.
+#ifndef WSYNC_LOWERBOUND_BALLS_BINS_H_
+#define WSYNC_LOWERBOUND_BALLS_BINS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace wsync {
+
+/// Exact P[no bin among the first `constrained` receives exactly one ball]
+/// for m balls thrown i.i.d. into bins with the given probabilities (must
+/// sum to ~1). `constrained = -1` (default) constrains all but the last bin,
+/// matching Lemma 2; `constrained = probs.size()` constrains every bin.
+double no_singleton_probability_exact(int64_t m, std::span<const double> probs,
+                                      int64_t constrained = -1);
+
+/// Monte-Carlo estimate of the same probability with `trials` samples.
+double no_singleton_probability_mc(int64_t m, std::span<const double> probs,
+                                   int64_t trials, Rng& rng,
+                                   int64_t constrained = -1);
+
+/// The lemma's lower bound 2^{-s} for s+1 bins.
+double lemma2_bound(int s);
+
+/// Generates a random distribution p_1 <= ... <= p_{s+1} with
+/// p_{s+1} >= 1/2, as required by Lemma 2's hypothesis.
+std::vector<double> random_lemma2_distribution(int s, Rng& rng);
+
+}  // namespace wsync
+
+#endif  // WSYNC_LOWERBOUND_BALLS_BINS_H_

@@ -1,0 +1,83 @@
+#include "src/lowerbound/claim3.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+int claim3_x(int lg_n) {
+  WSYNC_REQUIRE(lg_n >= 2, "claim 3 needs lg_n >= 2");
+  WSYNC_REQUIRE(lg_n <= 1024,
+                "claim 3 numerics support lg_n <= 1024 (double precision)");
+  const double loglog = std::log2(static_cast<double>(lg_n));
+  return std::max(1, static_cast<int>(std::ceil(4.0 * loglog)));
+}
+
+std::vector<int> claim3_exponents(int lg_n) {
+  const int x = claim3_x(lg_n);
+  std::vector<int> out;
+  const int columns = lg_n / x - 1;
+  for (int i = 1; i <= columns; ++i) {
+    out.push_back(x / 2 + (i - 1) * x);
+  }
+  return out;
+}
+
+double good_threshold(int lg_n) {
+  WSYNC_REQUIRE(lg_n >= 1, "need lg_n >= 1");
+  return 1.0 / (static_cast<double>(lg_n) * static_cast<double>(lg_n));
+}
+
+double success_probability_exp2(int m, double p) {
+  WSYNC_REQUIRE(m >= 0 && m <= 1000, "exponent out of range");
+  WSYNC_REQUIRE(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return m == 0 ? 1.0 : 0.0;
+  const double n = std::exp2(static_cast<double>(m));
+  // log of n p (1-p)^{n-1}; -inf (-> 0) is fine when n p is huge.
+  const double log_value = static_cast<double>(m) * std::log(2.0) +
+                           std::log(p) + (n - 1.0) * std::log1p(-p);
+  return std::exp(log_value);
+}
+
+bool is_good(int m, double p, int lg_n) {
+  return success_probability_exp2(m, p) >= good_threshold(lg_n);
+}
+
+int count_good_columns(double p, int lg_n) {
+  int good = 0;
+  for (int m : claim3_exponents(lg_n)) {
+    if (is_good(m, p, lg_n)) ++good;
+  }
+  return good;
+}
+
+Claim3Scan scan_claim3(int lg_n, int points_per_decade) {
+  WSYNC_REQUIRE(points_per_decade >= 1, "need a positive grid density");
+  Claim3Scan scan;
+  // Scan p from 2^{-(lg_n + 8)} to 1/2 on a dense log grid. The success
+  // probability of column m is unimodal in p with peak at p = 2^{-m} and
+  // every m is below lg_n, so the grid covers every column's good window.
+  // All grid arithmetic happens in log2 space: the ratio hi/lo overflows a
+  // double already for lg_n around 1000.
+  const double log2_lo = -(static_cast<double>(lg_n) + 8.0);
+  const double log2_hi = -1.0;  // p = 0.5
+  const double decades = (log2_hi - log2_lo) * std::log10(2.0);
+  const int points =
+      static_cast<int>(std::ceil(decades * points_per_decade)) + 1;
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    const double p = std::exp2(log2_lo + frac * (log2_hi - log2_lo));
+    const int good = count_good_columns(p, lg_n);
+    if (good > scan.max_good_columns) {
+      scan.max_good_columns = good;
+      scan.worst_p = p;
+    }
+  }
+  scan.grid_points = points;
+  return scan;
+}
+
+}  // namespace wsync

@@ -1,0 +1,60 @@
+// Claim 3 (paper Section 5, after Jurdzinski–Stachowiak [22]).
+//
+//   "Let x = ceil(4 log log N), m_i = floor(x/2) + (i-1) x for
+//    i = 1, ..., floor(lgN / x) - 1. There exists no probability p such
+//    that both 2^{m_i} p (1-p)^{2^{m_i}-1} and 2^{m_j} p (1-p)^{2^{m_j}-1}
+//    are good for i != j."
+//
+// where a success probability is "good" iff it is at least 1/log^2 N.
+//
+// The grid is asymptotic: it only has two or more columns once
+// lgN >= ~3 * 4 * lglgN, i.e. for N far beyond any machine integer
+// (lgN ~ several hundred). The module is therefore parameterized by the
+// EXPONENT lg_n (N = 2^{lg_n} conceptually) and evaluates the success
+// probabilities in log space, so tests and the Theorem 1 bench can verify
+// the claim at lg_n = 256, 1024 where it has real content.
+//
+// Domain limit: lg_n <= 1024. Beyond that the peak probabilities p = 2^-m
+// of the top grid columns underflow even subnormal doubles (p < 2^-1074),
+// so a double-valued p cannot represent the interesting regime; scan and
+// the is_good helpers enforce the limit explicitly.
+#ifndef WSYNC_LOWERBOUND_CLAIM3_H_
+#define WSYNC_LOWERBOUND_CLAIM3_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsync {
+
+/// x = ceil(4 * log2(lg_n)); requires lg_n >= 2. At least 1.
+int claim3_x(int lg_n);
+
+/// The exponent grid m_1, m_2, ... for N = 2^{lg_n} (possibly empty).
+std::vector<int> claim3_exponents(int lg_n);
+
+/// The "good" threshold 1 / lg_n^2.
+double good_threshold(int lg_n);
+
+/// The success probability n p (1-p)^{n-1} for n = 2^m, computed in log
+/// space (m may be in the hundreds).
+double success_probability_exp2(int m, double p);
+
+/// True iff success_probability_exp2(m, p) >= good_threshold(lg_n).
+bool is_good(int m, double p, int lg_n);
+
+/// Number of grid columns whose success probability is good at p.
+int count_good_columns(double p, int lg_n);
+
+/// Scans a dense logarithmic grid of broadcast probabilities and returns the
+/// maximum number of simultaneously-good columns observed (Claim 3 says
+/// this is at most 1) together with the worst p.
+struct Claim3Scan {
+  int max_good_columns = 0;
+  double worst_p = 0.0;
+  int grid_points = 0;
+};
+Claim3Scan scan_claim3(int lg_n, int points_per_decade = 256);
+
+}  // namespace wsync
+
+#endif  // WSYNC_LOWERBOUND_CLAIM3_H_

@@ -1,0 +1,210 @@
+#include "src/lowerbound/rendezvous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+UniformStrategy::UniformStrategy(int F, int band, double broadcast_prob)
+    : F_(F), band_(band), broadcast_prob_(broadcast_prob) {
+  WSYNC_REQUIRE(F >= 1, "F must be positive");
+  WSYNC_REQUIRE(band >= 1 && band <= F, "band must be in [1, F]");
+  WSYNC_REQUIRE(broadcast_prob >= 0.0 && broadcast_prob <= 1.0,
+                "broadcast probability out of range");
+}
+
+std::vector<double> UniformStrategy::frequency_distribution(
+    int64_t /*local_round*/) const {
+  std::vector<double> dist(static_cast<size_t>(F_), 0.0);
+  for (int f = 0; f < band_; ++f) {
+    dist[static_cast<size_t>(f)] = 1.0 / static_cast<double>(band_);
+  }
+  return dist;
+}
+
+double UniformStrategy::broadcast_probability(int64_t /*local_round*/) const {
+  return broadcast_prob_;
+}
+
+std::string UniformStrategy::name() const {
+  std::ostringstream os;
+  os << "uniform[band=" << band_ << "]";
+  return os.str();
+}
+
+DoublingStrategy::DoublingStrategy(int F, int t, int64_t N, int64_t epoch_len)
+    : F_(F), epoch_len_(epoch_len) {
+  WSYNC_REQUIRE(F >= 1 && t >= 0 && t < F, "need 0 <= t < F");
+  WSYNC_REQUIRE(N >= 1, "N must be positive");
+  WSYNC_REQUIRE(epoch_len >= 1, "epoch length must be positive");
+  band_ = static_cast<int>(
+      std::min<int64_t>(F, std::max<int64_t>(2L * t, 1)));
+  lg_n_ = std::max(1, lg_ceil(N));
+  N_pow2_ = pow2(lg_n_);
+}
+
+std::vector<double> DoublingStrategy::frequency_distribution(
+    int64_t /*local_round*/) const {
+  std::vector<double> dist(static_cast<size_t>(F_), 0.0);
+  for (int f = 0; f < band_; ++f) {
+    dist[static_cast<size_t>(f)] = 1.0 / static_cast<double>(band_);
+  }
+  return dist;
+}
+
+double DoublingStrategy::broadcast_probability(int64_t local_round) const {
+  WSYNC_REQUIRE(local_round >= 0, "local round must be non-negative");
+  const int64_t epoch_index = std::min<int64_t>(
+      local_round / epoch_len_, static_cast<int64_t>(lg_n_) - 1);
+  const double p = std::ldexp(1.0, static_cast<int>(epoch_index) + 1) /
+                   (2.0 * static_cast<double>(N_pow2_));
+  return std::min(0.5, p);
+}
+
+std::string DoublingStrategy::name() const {
+  std::ostringstream os;
+  os << "doubling[band=" << band_ << "]";
+  return os.str();
+}
+
+const char* to_string(RendezvousAdversaryKind kind) {
+  switch (kind) {
+    case RendezvousAdversaryKind::kNone: return "none";
+    case RendezvousAdversaryKind::kFixed: return "fixed";
+    case RendezvousAdversaryKind::kRandom: return "random";
+    case RendezvousAdversaryKind::kProduct: return "product";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Frequency> choose_disruption(const RendezvousConfig& config,
+                                         const std::vector<double>& pu,
+                                         const std::vector<double>& pv,
+                                         Rng& rng) {
+  const int F = config.F;
+  const int t = config.t;
+  std::vector<Frequency> out;
+  if (t == 0) return out;
+  switch (config.adversary) {
+    case RendezvousAdversaryKind::kNone:
+      return out;
+    case RendezvousAdversaryKind::kFixed: {
+      out.resize(static_cast<size_t>(t));
+      std::iota(out.begin(), out.end(), 0);
+      return out;
+    }
+    case RendezvousAdversaryKind::kRandom: {
+      std::vector<Frequency> pool(static_cast<size_t>(F));
+      std::iota(pool.begin(), pool.end(), 0);
+      rng.shuffle(pool);
+      pool.resize(static_cast<size_t>(t));
+      return pool;
+    }
+    case RendezvousAdversaryKind::kProduct: {
+      // The paper's adversary: jam the t largest p_j * q_j products.
+      std::vector<Frequency> order(static_cast<size_t>(F));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&pu, &pv](Frequency a, Frequency b) {
+                         return pu[static_cast<size_t>(a)] *
+                                    pv[static_cast<size_t>(a)] >
+                                pu[static_cast<size_t>(b)] *
+                                    pv[static_cast<size_t>(b)];
+                       });
+      order.resize(static_cast<size_t>(t));
+      return order;
+    }
+  }
+  return out;
+}
+
+Frequency sample(const std::vector<double>& dist, Rng& rng) {
+  return static_cast<Frequency>(rng.discrete(dist));
+}
+
+}  // namespace
+
+RendezvousResult run_rendezvous(const RendezvousConfig& config,
+                                const RendezvousStrategy& u,
+                                const RendezvousStrategy& v, Rng& rng) {
+  WSYNC_REQUIRE(config.F >= 1 && config.t >= 0 && config.t < config.F,
+                "need 0 <= t < F");
+  WSYNC_REQUIRE(config.wake_gap >= 0, "wake gap must be non-negative");
+  WSYNC_REQUIRE(config.max_rounds >= 1, "max_rounds must be positive");
+
+  RendezvousResult result;
+  std::vector<char> disrupted_flag(static_cast<size_t>(config.F), 0);
+
+  for (int64_t i = 0; i < config.max_rounds; ++i) {
+    // Round i counts from the moment both nodes are awake: u's local round
+    // is i + wake_gap, v's is i. (Rounds before v wakes cannot produce a
+    // meeting and are skipped.)
+    const int64_t lu = i + config.wake_gap;
+    const int64_t lv = i;
+
+    const std::vector<double> pu = u.frequency_distribution(lu);
+    const std::vector<double> pv = v.frequency_distribution(lv);
+    WSYNC_REQUIRE(static_cast<int>(pu.size()) == config.F &&
+                      static_cast<int>(pv.size()) == config.F,
+                  "strategy distribution has wrong arity");
+
+    const std::vector<Frequency> disrupted =
+        choose_disruption(config, pu, pv, rng);
+    std::fill(disrupted_flag.begin(), disrupted_flag.end(), 0);
+    for (Frequency f : disrupted) disrupted_flag[static_cast<size_t>(f)] = 1;
+
+    const Frequency fu = sample(pu, rng);
+    const Frequency fv = sample(pv, rng);
+    if (fu == fv && disrupted_flag[static_cast<size_t>(fu)] == 0) {
+      if (result.meet_round < 0) result.meet_round = i;
+      const bool bu = rng.bernoulli(u.broadcast_probability(lu));
+      const bool bv = rng.bernoulli(v.broadcast_probability(lv));
+      if (bu != bv && result.delivery_round < 0) {
+        result.delivery_round = i;
+      }
+    }
+    if (result.meet_round >= 0 && result.delivery_round >= 0) break;
+  }
+  return result;
+}
+
+double meeting_probability(std::span<const double> pu,
+                           std::span<const double> pv,
+                           std::span<const Frequency> disrupted) {
+  WSYNC_REQUIRE(pu.size() == pv.size(), "distribution arity mismatch");
+  std::vector<char> flag(pu.size(), 0);
+  for (Frequency f : disrupted) {
+    WSYNC_REQUIRE(f >= 0 && static_cast<size_t>(f) < pu.size(),
+                  "disrupted frequency out of range");
+    flag[static_cast<size_t>(f)] = 1;
+  }
+  double total = 0.0;
+  for (size_t j = 0; j < pu.size(); ++j) {
+    if (flag[j] == 0) total += pu[j] * pv[j];
+  }
+  return total;
+}
+
+double per_round_meeting_upper_bound(int F, int t) {
+  WSYNC_REQUIRE(F >= 1 && t >= 0 && t < F, "need 0 <= t < F");
+  if (t == 0) return 1.0 / static_cast<double>(F);
+  const int k = std::min(F, 2 * t);
+  return static_cast<double>(k - t) /
+         (static_cast<double>(k) * static_cast<double>(k));
+}
+
+int64_t rounds_to_confidence(double q, double eps) {
+  WSYNC_REQUIRE(q > 0.0 && q < 1.0, "q must be in (0, 1)");
+  WSYNC_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  return static_cast<int64_t>(
+      std::ceil(std::log(eps) / std::log1p(-q)));
+}
+
+}  // namespace wsync

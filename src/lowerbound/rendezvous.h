@@ -1,0 +1,135 @@
+// Theorem 4 (paper Section 5): the two-node rendezvous game.
+//
+// Two nodes u and v, woken at different times, cannot both output round
+// numbers before some round in which they pick the SAME UNDISRUPTED
+// frequency. The adversary, knowing the protocol (and hence the per-round
+// frequency distributions p_j of u and q_j of v), disrupts the t
+// frequencies with the largest products p_j * q_j. The paper shows the
+// per-round meeting probability is then at most (k - t) / k^2 with
+// k = min(F, 2t), giving the Omega(F t / (F - t) * log(1/eps)) bound.
+//
+// This module implements the game: pluggable node strategies that expose
+// their exact per-round distributions, the product adversary (and weaker
+// ones for comparison), and helpers computing the paper's predicted bounds.
+#ifndef WSYNC_LOWERBOUND_RENDEZVOUS_H_
+#define WSYNC_LOWERBOUND_RENDEZVOUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace wsync {
+
+/// A regular protocol's pre-communication behaviour: a fixed sequence of
+/// (frequency distribution, broadcast probability) pairs indexed by local
+/// round. This is exactly the paper's definition of a regular protocol.
+class RendezvousStrategy {
+ public:
+  virtual ~RendezvousStrategy() = default;
+
+  /// Distribution over frequencies [0, F) at local round r (rounds since
+  /// this node woke). Must sum to 1.
+  virtual std::vector<double> frequency_distribution(int64_t local_round)
+      const = 0;
+
+  /// Probability of broadcasting (vs listening) at local round r.
+  virtual double broadcast_probability(int64_t local_round) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform over the first `band` frequencies, fixed broadcast probability.
+/// band = F models a protocol ignoring the adversary; band = min(F, 2t)
+/// is the optimal horizon the paper identifies.
+class UniformStrategy final : public RendezvousStrategy {
+ public:
+  UniformStrategy(int F, int band, double broadcast_prob = 0.5);
+
+  std::vector<double> frequency_distribution(int64_t local_round)
+      const override;
+  double broadcast_probability(int64_t local_round) const override;
+  std::string name() const override;
+
+ private:
+  int F_;
+  int band_;
+  double broadcast_prob_;
+};
+
+/// Trapdoor-like: uniform over min(F, 2t) with exponentially doubling
+/// broadcast probabilities 2^e/(2N) over epochs of length `epoch_len`
+/// (capped at 1/2) — the pre-communication behaviour of the Trapdoor
+/// protocol viewed as a regular protocol.
+class DoublingStrategy final : public RendezvousStrategy {
+ public:
+  DoublingStrategy(int F, int t, int64_t N, int64_t epoch_len);
+
+  std::vector<double> frequency_distribution(int64_t local_round)
+      const override;
+  double broadcast_probability(int64_t local_round) const override;
+  std::string name() const override;
+
+ private:
+  int F_;
+  int band_;
+  int64_t N_pow2_;
+  int lg_n_;
+  int64_t epoch_len_;
+};
+
+/// Which adversary plays against the pair.
+enum class RendezvousAdversaryKind {
+  kNone,     ///< no disruption (t effectively 0)
+  kFixed,    ///< always disrupts frequencies {0, ..., t-1}
+  kRandom,   ///< t uniformly random frequencies each round
+  kProduct,  ///< the paper's strategy: the t largest p_j * q_j products
+};
+
+const char* to_string(RendezvousAdversaryKind kind);
+
+struct RendezvousConfig {
+  int F = 2;
+  int t = 0;
+  int64_t wake_gap = 0;    ///< v wakes this many rounds after u
+  int64_t max_rounds = 0;  ///< cap on rounds after both are awake
+  RendezvousAdversaryKind adversary = RendezvousAdversaryKind::kProduct;
+};
+
+struct RendezvousResult {
+  /// Rounds after both nodes are awake until they first choose the same
+  /// undisrupted frequency (the paper's necessary event); -1 if never
+  /// within max_rounds.
+  int64_t meet_round = -1;
+  /// Rounds until a directed delivery additionally happened (same
+  /// undisrupted frequency, exactly one of the two broadcasting); -1 if
+  /// never within max_rounds.
+  int64_t delivery_round = -1;
+};
+
+/// Plays one seeded game.
+RendezvousResult run_rendezvous(const RendezvousConfig& config,
+                                const RendezvousStrategy& u,
+                                const RendezvousStrategy& v, Rng& rng);
+
+/// Per-round meeting probability of the given distributions when the
+/// adversary disrupts `disrupted` (sum over undisrupted j of p_j * q_j).
+double meeting_probability(std::span<const double> pu,
+                           std::span<const double> pv,
+                           std::span<const Frequency> disrupted);
+
+/// The paper's per-round upper bound (k - t)/k^2 with k = min(F, 2t)
+/// (1/F when t = 0: a single uniform choice must coincide).
+double per_round_meeting_upper_bound(int F, int t);
+
+/// Rounds needed so that a per-round meeting probability q makes the
+/// failure probability drop below eps: ceil(ln(eps) / ln(1 - q)).
+int64_t rounds_to_confidence(double q, double eps);
+
+}  // namespace wsync
+
+#endif  // WSYNC_LOWERBOUND_RENDEZVOUS_H_

@@ -1,0 +1,78 @@
+// The contract between the radio engine and a per-node protocol instance.
+//
+// One Protocol object embodies one node's state machine. The engine drives
+// it: on_activate() once when the adversary wakes the node, then every round
+// act() (choose frequency, broadcast or listen) followed by on_round_end()
+// (reception result, if any). output() implements the paper's Section 3
+// interface: ⊥ until synchronized, then an incrementing round number.
+#ifndef WSYNC_PROTOCOL_PROTOCOL_H_
+#define WSYNC_PROTOCOL_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/protocol/round_action.h"
+#include "src/radio/message.h"
+
+namespace wsync {
+
+/// Immutable environment handed to a protocol at construction. Matches the
+/// paper's knowledge model: nodes know F, t and the upper bound N, but not
+/// n, not the global round number, and not the identities of other nodes.
+struct ProtocolEnv {
+  int F = 1;         ///< number of frequencies
+  int t = 0;         ///< max frequencies disrupted per round
+  int64_t N = 1;     ///< known upper bound on the number of nodes
+  uint64_t uid = 0;  ///< this node's unique identifier (random, collision-free whp)
+  NodeId node_id = kNoNode;  ///< engine-level id; for tracing only, protocols
+                             ///< must not base behaviour on it
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Called once, in the round the adversary activates this node, before the
+  /// first act().
+  virtual void on_activate(Rng& rng) = 0;
+
+  /// Called once per round while active: the node's frequency/broadcast
+  /// decision for this round.
+  virtual RoundAction act(Rng& rng) = 0;
+
+  /// Called at the end of every round. `received` holds a message iff the
+  /// node listened and exactly one undisrupted broadcaster used its
+  /// frequency. Broadcasters always get nullopt.
+  virtual void on_round_end(const std::optional<Message>& received,
+                            Rng& rng) = 0;
+
+  /// The node's current output (⊥ or round number), read after
+  /// on_round_end() each round.
+  virtual SyncOutput output() const = 0;
+
+  /// Introspection for the verifier and the broadcast-weight experiments.
+  virtual Role role() const = 0;
+
+  /// The probability with which the *next* act() will broadcast, given the
+  /// node's current state. Used to trace the paper's broadcast weight
+  /// W(r) = sum_u p_u^r (Lemma 9 / Lemma 13); never used by the engine for
+  /// resolution.
+  virtual double broadcast_probability() const { return 0.0; }
+
+ protected:
+  Protocol() = default;
+};
+
+/// Creates one protocol instance per node.
+using ProtocolFactory =
+    std::function<std::unique_ptr<Protocol>(const ProtocolEnv&)>;
+
+}  // namespace wsync
+
+#endif  // WSYNC_PROTOCOL_PROTOCOL_H_

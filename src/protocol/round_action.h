@@ -1,0 +1,31 @@
+// The per-round decision every active node hands to the engine.
+#ifndef WSYNC_PROTOCOL_ROUND_ACTION_H_
+#define WSYNC_PROTOCOL_ROUND_ACTION_H_
+
+#include <optional>
+
+#include "src/common/types.h"
+#include "src/radio/message.h"
+
+namespace wsync {
+
+/// In each round an active node selects exactly one frequency and either
+/// broadcasts a payload on it or listens on it (Section 2 of the paper: a
+/// node receives no information from other frequencies).
+struct RoundAction {
+  Frequency frequency = 0;
+  bool broadcast = false;
+  /// Must be set iff `broadcast` is true.
+  std::optional<Payload> payload;
+
+  static RoundAction listen(Frequency f) {
+    return RoundAction{f, false, std::nullopt};
+  }
+  static RoundAction send(Frequency f, Payload p) {
+    return RoundAction{f, true, std::move(p)};
+  }
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_PROTOCOL_ROUND_ACTION_H_

@@ -1,0 +1,116 @@
+#include "src/radio/activation.h"
+
+#include <algorithm>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+SimultaneousActivation::SimultaneousActivation(int n, RoundId at_round)
+    : n_(n), at_round_(at_round) {
+  WSYNC_REQUIRE(n >= 1, "need at least one node");
+  WSYNC_REQUIRE(at_round >= 0, "activation round must be non-negative");
+}
+
+std::vector<NodeId> SimultaneousActivation::activations(RoundId r,
+                                                        Rng& /*rng*/) {
+  std::vector<NodeId> out;
+  if (r == at_round_) {
+    out.resize(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) out[static_cast<size_t>(i)] = i;
+  }
+  return out;
+}
+
+StaggeredUniformActivation::StaggeredUniformActivation(int n, RoundId window)
+    : n_(n), window_(window) {
+  WSYNC_REQUIRE(n >= 1, "need at least one node");
+  WSYNC_REQUIRE(window >= 1, "window must be at least one round");
+}
+
+void StaggeredUniformActivation::materialize(Rng& rng) {
+  wake_round_.resize(static_cast<size_t>(n_));
+  for (auto& w : wake_round_) w = rng.uniform_int(0, window_ - 1);
+  materialized_ = true;
+}
+
+std::vector<NodeId> StaggeredUniformActivation::activations(RoundId r,
+                                                            Rng& rng) {
+  if (!materialized_) materialize(rng);
+  std::vector<NodeId> out;
+  for (int i = 0; i < n_; ++i) {
+    if (wake_round_[static_cast<size_t>(i)] == r) out.push_back(i);
+  }
+  return out;
+}
+
+SequentialActivation::SequentialActivation(int n, RoundId gap)
+    : n_(n), gap_(gap) {
+  WSYNC_REQUIRE(n >= 1, "need at least one node");
+  WSYNC_REQUIRE(gap >= 1, "gap must be at least one round");
+}
+
+std::vector<NodeId> SequentialActivation::activations(RoundId r,
+                                                      Rng& /*rng*/) {
+  std::vector<NodeId> out;
+  if (r % gap_ == 0) {
+    const RoundId index = r / gap_;
+    if (index < n_) out.push_back(static_cast<NodeId>(index));
+  }
+  return out;
+}
+
+TwoBatchActivation::TwoBatchActivation(int n, int first_batch, RoundId r1,
+                                       RoundId r2)
+    : n_(n), first_batch_(first_batch), r1_(r1), r2_(r2) {
+  WSYNC_REQUIRE(n >= 1, "need at least one node");
+  WSYNC_REQUIRE(first_batch >= 0 && first_batch <= n,
+                "first batch size out of range");
+  WSYNC_REQUIRE(r1 >= 0 && r2 >= r1, "batch rounds must satisfy 0 <= r1 <= r2");
+}
+
+std::vector<NodeId> TwoBatchActivation::activations(RoundId r, Rng& /*rng*/) {
+  std::vector<NodeId> out;
+  if (r == r1_) {
+    for (int i = 0; i < first_batch_; ++i) out.push_back(i);
+  }
+  if (r == r2_) {
+    for (int i = first_batch_; i < n_; ++i) out.push_back(i);
+  }
+  return out;
+}
+
+PoissonActivation::PoissonActivation(int n, double rate) : n_(n), rate_(rate) {
+  WSYNC_REQUIRE(n >= 1, "need at least one node");
+  WSYNC_REQUIRE(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+}
+
+void PoissonActivation::materialize(Rng& rng) {
+  wake_round_.resize(static_cast<size_t>(n_));
+  RoundId current = 0;
+  for (int i = 0; i < n_; ++i) {
+    // Geometric inter-arrival with success probability `rate`.
+    RoundId gap = 0;
+    while (!rng.bernoulli(rate_)) ++gap;
+    current += gap;
+    wake_round_[static_cast<size_t>(i)] = current;
+  }
+  materialized_ = true;
+}
+
+std::vector<NodeId> PoissonActivation::activations(RoundId r, Rng& rng) {
+  if (!materialized_) materialize(rng);
+  std::vector<NodeId> out;
+  for (int i = 0; i < n_; ++i) {
+    if (wake_round_[static_cast<size_t>(i)] == r) out.push_back(i);
+  }
+  return out;
+}
+
+RoundId PoissonActivation::last_activation_round() const {
+  WSYNC_REQUIRE(materialized_,
+                "PoissonActivation schedule not materialized yet");
+  return wake_round_.back();
+}
+
+}  // namespace wsync

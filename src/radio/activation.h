@@ -1,0 +1,116 @@
+// Activation schedules: when the adversary wakes each node.
+//
+// Section 2: nodes begin inactive; at the beginning of each round the
+// adversary chooses which inactive nodes to activate. A node considers its
+// activation round to be round 1 and never learns the global round number.
+#ifndef WSYNC_RADIO_ACTIVATION_H_
+#define WSYNC_RADIO_ACTIVATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace wsync {
+
+/// Decides which of the n nodes wake in each round. Every node id in [0, n)
+/// must be activated exactly once over the run; the engine enforces this.
+class ActivationSchedule {
+ public:
+  virtual ~ActivationSchedule() = default;
+
+  ActivationSchedule(const ActivationSchedule&) = delete;
+  ActivationSchedule& operator=(const ActivationSchedule&) = delete;
+
+  /// Node ids to activate at the start of round r. Called with strictly
+  /// increasing r starting at 0; `rng` is the schedule's private stream.
+  virtual std::vector<NodeId> activations(RoundId r, Rng& rng) = 0;
+
+  /// Largest round at which this schedule may still activate someone
+  /// (used by tests to bound warm-up).
+  virtual RoundId last_activation_round() const = 0;
+
+ protected:
+  ActivationSchedule() = default;
+};
+
+/// All n nodes wake in the same round (the paper's "good execution"
+/// precondition for the Good Samaritan optimistic bound).
+class SimultaneousActivation final : public ActivationSchedule {
+ public:
+  explicit SimultaneousActivation(int n, RoundId at_round = 0);
+  std::vector<NodeId> activations(RoundId r, Rng& rng) override;
+  RoundId last_activation_round() const override { return at_round_; }
+
+ private:
+  int n_;
+  RoundId at_round_;
+};
+
+/// Each node wakes at an independent uniformly random round in [0, window).
+class StaggeredUniformActivation final : public ActivationSchedule {
+ public:
+  StaggeredUniformActivation(int n, RoundId window);
+  std::vector<NodeId> activations(RoundId r, Rng& rng) override;
+  RoundId last_activation_round() const override { return window_ - 1; }
+
+ private:
+  void materialize(Rng& rng);
+
+  int n_;
+  RoundId window_;
+  bool materialized_ = false;
+  std::vector<RoundId> wake_round_;  // per node
+};
+
+/// One node per `gap` rounds, in id order: node i wakes at round i * gap.
+class SequentialActivation final : public ActivationSchedule {
+ public:
+  explicit SequentialActivation(int n, RoundId gap = 1);
+  std::vector<NodeId> activations(RoundId r, Rng& rng) override;
+  RoundId last_activation_round() const override {
+    return static_cast<RoundId>(n_ - 1) * gap_;
+  }
+
+ private:
+  int n_;
+  RoundId gap_;
+};
+
+/// Two batches far apart: nodes [0, n1) at round r1, the rest at round r2.
+/// An adversarial pattern: a late swarm arrives after an early group has
+/// nearly finished its competition.
+class TwoBatchActivation final : public ActivationSchedule {
+ public:
+  TwoBatchActivation(int n, int first_batch, RoundId r1, RoundId r2);
+  std::vector<NodeId> activations(RoundId r, Rng& rng) override;
+  RoundId last_activation_round() const override { return r2_; }
+
+ private:
+  int n_;
+  int first_batch_;
+  RoundId r1_;
+  RoundId r2_;
+};
+
+/// Geometric inter-arrival times with mean 1/rate (a discrete Poisson-like
+/// ad-hoc arrival process), node ids in arrival order.
+class PoissonActivation final : public ActivationSchedule {
+ public:
+  PoissonActivation(int n, double rate);
+  std::vector<NodeId> activations(RoundId r, Rng& rng) override;
+  RoundId last_activation_round() const override;
+
+ private:
+  void materialize(Rng& rng);
+
+  int n_;
+  double rate_;
+  bool materialized_ = false;
+  std::vector<RoundId> wake_round_;  // per node, non-decreasing
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_RADIO_ACTIVATION_H_

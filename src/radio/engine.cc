@@ -1,0 +1,301 @@
+#include "src/radio/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+namespace {
+
+// Stream-derivation tags; distinct constants so node/adversary/activation
+// randomness never collides.
+constexpr uint64_t kAdversaryStream = 0xADF0'0001;
+constexpr uint64_t kActivationStream = 0xADF0'0002;
+constexpr uint64_t kUidStream = 0xADF0'0003;
+constexpr uint64_t kNodeStreamBase = 0x4E0D'0000;
+
+}  // namespace
+
+Simulation::Simulation(const SimConfig& config, ProtocolFactory factory,
+                       std::unique_ptr<Adversary> adversary,
+                       std::unique_ptr<ActivationSchedule> activation,
+                       TraceSink* trace)
+    : config_(config),
+      factory_(std::move(factory)),
+      adversary_(std::move(adversary)),
+      activation_(std::move(activation)),
+      trace_(trace) {
+  WSYNC_REQUIRE(config_.F >= 1, "need at least one frequency");
+  WSYNC_REQUIRE(config_.t >= 0 && config_.t < config_.F,
+                "adversary budget must satisfy 0 <= t < F");
+  WSYNC_REQUIRE(config_.n >= 1, "need at least one node");
+  WSYNC_REQUIRE(config_.N >= config_.n, "N must upper-bound n");
+  WSYNC_REQUIRE(factory_ != nullptr, "protocol factory is required");
+  WSYNC_REQUIRE(adversary_ != nullptr, "adversary is required (use None)");
+  WSYNC_REQUIRE(activation_ != nullptr, "activation schedule is required");
+
+  const Rng master(config_.seed);
+  adversary_rng_ = master.fork(kAdversaryStream);
+  activation_rng_ = master.fork(kActivationStream);
+  uid_rng_ = master.fork(kUidStream);
+
+  nodes_.resize(static_cast<size_t>(config_.n));
+  for (int i = 0; i < config_.n; ++i) {
+    nodes_[static_cast<size_t>(i)].rng =
+        master.fork(kNodeStreamBase + static_cast<uint64_t>(i));
+  }
+
+  view_.F_ = config_.F;
+  view_.t_ = config_.t;
+  view_.N_ = config_.N;
+  view_.deliveries_per_freq_.assign(static_cast<size_t>(config_.F), 0);
+  view_.listens_per_freq_.assign(static_cast<size_t>(config_.F), 0);
+
+  broadcaster_count_.assign(static_cast<size_t>(config_.F), 0);
+  sole_broadcaster_.assign(static_cast<size_t>(config_.F), kNoNode);
+  disrupted_flag_.assign(static_cast<size_t>(config_.F), 0);
+  pending_payload_.resize(static_cast<size_t>(config_.F));
+}
+
+void Simulation::activate_pending(RoundId r) {
+  const std::vector<NodeId> wake = activation_->activations(r, activation_rng_);
+  for (NodeId id : wake) {
+    WSYNC_REQUIRE(id >= 0 && id < config_.n, "activation id out of range");
+    NodeSlot& slot = nodes_[static_cast<size_t>(id)];
+    WSYNC_REQUIRE(!slot.active && slot.activation_round < 0,
+                  "node activated twice");
+    ProtocolEnv env;
+    env.F = config_.F;
+    env.t = config_.t;
+    env.N = config_.N;
+    env.uid = uid_rng_.next_u64();
+    env.node_id = id;
+    slot.protocol = factory_(env);
+    WSYNC_CHECK(slot.protocol != nullptr, "factory returned null protocol");
+    slot.active = true;
+    slot.activation_round = r;
+    slot.protocol->on_activate(slot.rng);
+    ++active_count_;
+    ++activated_total_;
+    if (trace_ != nullptr) trace_->on_activation(r, id);
+  }
+  view_.last_round_.activations = static_cast<int>(wake.size());
+}
+
+std::vector<Frequency> Simulation::validated_disruption() {
+  std::vector<Frequency> disrupted = adversary_->disrupt(view_, adversary_rng_);
+  std::sort(disrupted.begin(), disrupted.end());
+  disrupted.erase(std::unique(disrupted.begin(), disrupted.end()),
+                  disrupted.end());
+  WSYNC_REQUIRE(static_cast<int>(disrupted.size()) <= config_.t,
+                "adversary exceeded its disruption budget t");
+  for (Frequency f : disrupted) {
+    WSYNC_REQUIRE(f >= 0 && f < config_.F,
+                  "adversary disrupted a frequency outside [0, F)");
+  }
+  return disrupted;
+}
+
+RoundReport Simulation::step() {
+  const RoundId r = view_.round_;
+
+  // (1) Adversary commits its disruption before seeing round-r choices.
+  std::vector<Frequency> disrupted = validated_disruption();
+
+  // (2) Adversary activates nodes for this round.
+  activate_pending(r);
+  const int activations_this_round = view_.last_round_.activations;
+
+  // (3) Collect node actions.
+  std::fill(broadcaster_count_.begin(), broadcaster_count_.end(), 0);
+  std::fill(sole_broadcaster_.begin(), sole_broadcaster_.end(), kNoNode);
+  std::fill(disrupted_flag_.begin(), disrupted_flag_.end(), 0);
+  for (Frequency f : disrupted) disrupted_flag_[static_cast<size_t>(f)] = 1;
+
+  RoundStats stats;
+  stats.round = r;
+  stats.per_freq.assign(static_cast<size_t>(config_.F), FreqRoundStats{});
+  for (int f = 0; f < config_.F; ++f) {
+    stats.per_freq[static_cast<size_t>(f)].disrupted =
+        disrupted_flag_[static_cast<size_t>(f)] != 0;
+  }
+  stats.activations = activations_this_round;
+
+  double weight = 0.0;
+  int broadcasters_total = 0;
+  for (int i = 0; i < config_.n; ++i) {
+    NodeSlot& slot = nodes_[static_cast<size_t>(i)];
+    slot.freq = kNoFrequency;
+    slot.broadcast = false;
+    if (!slot.active || slot.crashed) continue;
+
+    weight += slot.protocol->broadcast_probability();
+    RoundAction action = slot.protocol->act(slot.rng);
+    WSYNC_REQUIRE(action.frequency >= 0 && action.frequency < config_.F,
+                  "protocol chose a frequency outside [0, F)");
+    WSYNC_REQUIRE(action.broadcast == action.payload.has_value(),
+                  "broadcast implies payload and listen implies none");
+    slot.freq = action.frequency;
+    slot.broadcast = action.broadcast;
+
+    const auto fi = static_cast<size_t>(action.frequency);
+    FreqRoundStats& fs = stats.per_freq[fi];
+    if (action.broadcast) {
+      ++broadcasters_total;
+      ++fs.broadcasters;
+      ++broadcaster_count_[fi];
+      if (broadcaster_count_[fi] == 1) {
+        sole_broadcaster_[fi] = i;
+        pending_payload_[fi] = std::move(*action.payload);
+      } else {
+        sole_broadcaster_[fi] = kNoNode;  // collision
+      }
+    } else {
+      ++fs.listeners;
+      ++view_.listens_per_freq_[fi];
+    }
+  }
+
+  // (4) Per-frequency resolution: exactly one broadcaster, not disrupted.
+  for (int f = 0; f < config_.F; ++f) {
+    const auto fi = static_cast<size_t>(f);
+    FreqRoundStats& fs = stats.per_freq[fi];
+    fs.delivered = fs.broadcasters == 1 && !fs.disrupted;
+  }
+
+  // (5) Deliver and close the round for every active node.
+  int deliveries = 0;
+  for (int i = 0; i < config_.n; ++i) {
+    NodeSlot& slot = nodes_[static_cast<size_t>(i)];
+    if (!slot.active || slot.crashed) continue;
+
+    std::optional<Message> received;
+    if (!slot.broadcast) {
+      const auto fi = static_cast<size_t>(slot.freq);
+      if (stats.per_freq[fi].delivered) {
+        Message m;
+        m.sender = sole_broadcaster_[fi];
+        m.frequency = slot.freq;
+        m.payload = pending_payload_[fi];
+        received = std::move(m);
+        ++deliveries;
+        ++view_.deliveries_per_freq_[fi];
+        if (trace_ != nullptr) {
+          trace_->on_delivery(DeliveryTraceEvent{r, slot.freq,
+                                                 sole_broadcaster_[fi], i});
+        }
+      }
+    }
+    slot.protocol->on_round_end(received, slot.rng);
+
+    const SyncOutput out = slot.protocol->output();
+    if (out.has_number() && slot.sync_round < 0) {
+      slot.sync_round = r;
+      if (trace_ != nullptr) trace_->on_synchronized(r, i, out.value);
+    }
+    slot.last_output = out;
+  }
+  stats.deliveries = deliveries;
+
+  // (6) Publish history for the adversary and the trace.
+  view_.last_round_ = stats;
+  view_.round_ = r + 1;
+  view_.active_count_ = active_count_ - crashed_count_;
+
+  if (trace_ != nullptr) {
+    RoundTraceEvent event;
+    event.round = r;
+    event.disrupted = std::move(disrupted);
+    event.stats = stats;
+    event.broadcast_weight = weight;
+    event.active_nodes = active_count_ - crashed_count_;
+    trace_->on_round(event);
+  }
+
+  RoundReport report;
+  report.round = r;
+  report.activations = activations_this_round;
+  report.deliveries = deliveries;
+  report.broadcasters = broadcasters_total;
+  report.broadcast_weight = weight;
+  return report;
+}
+
+Simulation::RunResult Simulation::run_until_synced(RoundId max_rounds) {
+  WSYNC_REQUIRE(max_rounds >= 0, "max_rounds must be non-negative");
+  while (view_.round_ < max_rounds) {
+    step();
+    if (all_synced()) return RunResult{true, view_.round_};
+  }
+  return RunResult{all_synced(), view_.round_};
+}
+
+bool Simulation::is_active(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  return nodes_[static_cast<size_t>(id)].active;
+}
+
+bool Simulation::is_crashed(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  return nodes_[static_cast<size_t>(id)].crashed;
+}
+
+RoundId Simulation::activation_round(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  return nodes_[static_cast<size_t>(id)].activation_round;
+}
+
+RoundId Simulation::sync_round(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  return nodes_[static_cast<size_t>(id)].sync_round;
+}
+
+SyncOutput Simulation::output(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  return nodes_[static_cast<size_t>(id)].last_output;
+}
+
+Role Simulation::role(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  const NodeSlot& slot = nodes_[static_cast<size_t>(id)];
+  if (slot.crashed) return Role::kCrashed;
+  if (!slot.active) return Role::kInactive;
+  return slot.protocol->role();
+}
+
+Protocol& Simulation::protocol(NodeId id) {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  NodeSlot& slot = nodes_[static_cast<size_t>(id)];
+  WSYNC_REQUIRE(slot.active, "node has no protocol before activation");
+  return *slot.protocol;
+}
+
+const Protocol& Simulation::protocol(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  const NodeSlot& slot = nodes_[static_cast<size_t>(id)];
+  WSYNC_REQUIRE(slot.active, "node has no protocol before activation");
+  return *slot.protocol;
+}
+
+bool Simulation::all_synced() const {
+  if (activated_total_ < config_.n) return false;
+  for (const NodeSlot& slot : nodes_) {
+    if (!slot.active || slot.crashed) continue;
+    if (!slot.last_output.has_number()) return false;
+  }
+  return true;
+}
+
+void Simulation::crash(NodeId id) {
+  WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
+  NodeSlot& slot = nodes_[static_cast<size_t>(id)];
+  WSYNC_REQUIRE(slot.active, "cannot crash a node before activation");
+  if (slot.crashed) return;
+  slot.crashed = true;
+  ++crashed_count_;
+  if (trace_ != nullptr) trace_->on_crash(view_.round_, id);
+}
+
+}  // namespace wsync

@@ -1,0 +1,151 @@
+// The disrupted radio network simulation engine.
+//
+// Implements the model of Section 2 exactly:
+//   * time divided into synchronized rounds;
+//   * F disjoint narrowband frequencies;
+//   * each active node picks one frequency per round and broadcasts or
+//     listens on it;
+//   * a listener on frequency f receives a message iff exactly one node
+//     broadcast on f AND the adversary did not disrupt f;
+//   * the adversary disrupts up to t < F frequencies per round, choosing on
+//     knowledge of the completed execution through round r−1 only;
+//   * the adversary activates nodes at arbitrary rounds (via an
+//     ActivationSchedule); nodes do not know the global round number.
+//
+// Determinism: all randomness is derived from SimConfig::seed. Each node,
+// the adversary, and the activation schedule get independent forked streams,
+// so the same seed reproduces the same execution bit-for-bit.
+#ifndef WSYNC_RADIO_ENGINE_H_
+#define WSYNC_RADIO_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/protocol/protocol.h"
+#include "src/radio/activation.h"
+#include "src/radio/engine_view.h"
+#include "src/radio/message.h"
+#include "src/radio/trace.h"
+
+namespace wsync {
+
+struct SimConfig {
+  int F = 1;         ///< number of frequencies, F >= 1
+  int t = 0;         ///< adversary budget, 0 <= t < F
+  int64_t N = 1;     ///< known upper bound on participants, N >= n
+  int n = 1;         ///< actual number of nodes that will be activated
+  uint64_t seed = 1; ///< master seed for the whole execution
+};
+
+/// What one engine round produced; returned by step().
+struct RoundReport {
+  RoundId round = 0;            ///< index of the round just executed
+  int activations = 0;          ///< nodes woken this round
+  int deliveries = 0;           ///< listener receptions this round
+  int broadcasters = 0;         ///< nodes that chose to broadcast
+  double broadcast_weight = 0;  ///< W(r): sum of planned broadcast probs
+};
+
+class Simulation {
+ public:
+  /// `factory` builds one Protocol per node at activation time.
+  /// `trace` may be nullptr. Throws std::invalid_argument on bad config.
+  Simulation(const SimConfig& config, ProtocolFactory factory,
+             std::unique_ptr<Adversary> adversary,
+             std::unique_ptr<ActivationSchedule> activation,
+             TraceSink* trace = nullptr);
+
+  /// Executes one round.
+  RoundReport step();
+
+  /// Runs until every node has been activated and every non-crashed active
+  /// node outputs a round number, or until `max_rounds` total rounds have
+  /// been executed. Safe to call after step().
+  struct RunResult {
+    bool synced = false;   ///< liveness reached within the budget
+    RoundId rounds = 0;    ///< total rounds executed so far
+  };
+  RunResult run_until_synced(RoundId max_rounds);
+
+  // --- observers -----------------------------------------------------------
+
+  const SimConfig& config() const { return config_; }
+  /// Number of completed rounds (== index of the next round to execute).
+  RoundId round() const { return view_.round(); }
+  int active_count() const { return active_count_; }
+  int activated_total() const { return activated_total_; }
+
+  bool is_active(NodeId id) const;
+  bool is_crashed(NodeId id) const;
+  /// Round the node was activated, or -1.
+  RoundId activation_round(NodeId id) const;
+  /// First round the node output a number, or -1.
+  RoundId sync_round(NodeId id) const;
+  /// Latest output of the node (⊥ before activation).
+  SyncOutput output(NodeId id) const;
+  Role role(NodeId id) const;
+
+  /// Direct access to a node's protocol (must be active). Non-const so tests
+  /// and applications can downcast to the concrete protocol type.
+  Protocol& protocol(NodeId id);
+  const Protocol& protocol(NodeId id) const;
+
+  /// True iff all n nodes have been activated and every active, non-crashed
+  /// node currently outputs a round number (the liveness condition).
+  bool all_synced() const;
+
+  /// Crash-fault injection (Section 8 experiments): the node stops
+  /// participating from the next round on. No-op if already crashed;
+  /// must be active.
+  void crash(NodeId id);
+
+  const EngineView& view() const { return view_; }
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<Protocol> protocol;
+    Rng rng{0};
+    bool active = false;
+    bool crashed = false;
+    RoundId activation_round = -1;
+    RoundId sync_round = -1;
+    SyncOutput last_output;
+    // scratch, valid within one step():
+    Frequency freq = kNoFrequency;
+    bool broadcast = false;
+  };
+
+  void activate_pending(RoundId r);
+  std::vector<Frequency> validated_disruption();
+
+  SimConfig config_;
+  ProtocolFactory factory_;
+  std::unique_ptr<Adversary> adversary_;
+  std::unique_ptr<ActivationSchedule> activation_;
+  TraceSink* trace_;  // not owned; may be null
+
+  Rng adversary_rng_{0};
+  Rng activation_rng_{0};
+  Rng uid_rng_{0};
+
+  std::vector<NodeSlot> nodes_;
+  int active_count_ = 0;
+  int activated_total_ = 0;
+  int crashed_count_ = 0;
+
+  EngineView view_;
+
+  // per-round scratch buffers, reused across rounds
+  std::vector<int> broadcaster_count_;      // per frequency
+  std::vector<NodeId> sole_broadcaster_;    // per frequency
+  std::vector<char> disrupted_flag_;        // per frequency
+  std::vector<Payload> pending_payload_;    // per frequency
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_RADIO_ENGINE_H_

@@ -1,0 +1,86 @@
+// Message payloads exchanged on the radio network.
+//
+// The engine is payload-agnostic: it moves a `Payload` (a closed variant of
+// the message kinds used by the protocols in this repository plus a generic
+// DataMsg for applications) from the single successful broadcaster on a
+// frequency to every listener on that frequency.
+#ifndef WSYNC_RADIO_MESSAGE_H_
+#define WSYNC_RADIO_MESSAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <variant>
+
+#include "src/common/types.h"
+
+namespace wsync {
+
+/// Broadcast by a contender in the Trapdoor protocol and in the optimistic /
+/// fallback portions of the Good Samaritan protocol. Carries the sender's
+/// timestamp (age = rounds active at send time, plus uid tie-break).
+struct ContenderMsg {
+  Timestamp ts;
+  /// Good Samaritan: the sender designated this round as "special"
+  /// (condition (b) of the success-recording rule).
+  bool special = false;
+  /// Good Samaritan: the sender is executing the modified-Trapdoor fallback.
+  bool fallback = false;
+};
+
+/// Broadcast by a good samaritan outside the reporting epoch. Receiving one
+/// knocks another samaritan out (it becomes passive).
+struct SamaritanMsg {
+  Timestamp ts;
+  bool special = false;
+};
+
+/// One (contender uid -> success count) record inside a SamaritanReport.
+struct SuccessEntry {
+  uint64_t contender_uid = 0;
+  int32_t count = 0;
+};
+
+/// Broadcast by a good samaritan during the reporting epoch (lgN+2) of a
+/// super-epoch: tells contenders how many successful rounds the samaritan
+/// recorded for them during the critical epoch (lgN+1). Also knocks out
+/// other samaritans, like SamaritanMsg.
+struct SamaritanReport {
+  Timestamp ts;
+  int32_t super_epoch = 0;  ///< counts are valid for this super-epoch only
+  bool special = false;
+  std::array<SuccessEntry, 4> entries{};
+  int32_t n_entries = 0;
+};
+
+/// Broadcast by a leader: carries the numbering scheme. `round_number` is
+/// the leader's output for the round of transmission; a node hearing the
+/// message adopts that number for the same round and increments thereafter.
+struct LeaderMsg {
+  uint64_t leader_uid = 0;
+  int64_t round_number = 0;
+};
+
+/// Generic application payload for examples built on top of synchronized
+/// rounds (TDMA slots, hopping-sequence data traffic, ...).
+struct DataMsg {
+  uint64_t tag = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+using Payload =
+    std::variant<ContenderMsg, SamaritanMsg, SamaritanReport, LeaderMsg,
+                 DataMsg>;
+
+/// A delivered message. `sender` is filled in by the engine for tracing and
+/// verification; protocols must identify peers by the uid inside the payload
+/// (a real radio would not reveal engine-level identities).
+struct Message {
+  NodeId sender = kNoNode;
+  Frequency frequency = kNoFrequency;
+  Payload payload;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_RADIO_MESSAGE_H_

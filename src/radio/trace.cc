@@ -1,0 +1,44 @@
+#include "src/radio/trace.h"
+
+#include <algorithm>
+
+namespace wsync {
+
+void MemoryTrace::on_round(const RoundTraceEvent& event) {
+  rounds_.push_back(event);
+}
+
+void MemoryTrace::on_activation(RoundId round, NodeId node) {
+  activations_.push_back(Activation{round, node});
+}
+
+void MemoryTrace::on_delivery(const DeliveryTraceEvent& event) {
+  deliveries_.push_back(event);
+}
+
+void MemoryTrace::on_synchronized(RoundId round, NodeId node, int64_t number) {
+  sync_events_.push_back(SyncEvent{round, node, number});
+}
+
+void MemoryTrace::on_crash(RoundId round, NodeId node) {
+  crashes_.push_back(Activation{round, node});
+}
+
+double MemoryTrace::max_broadcast_weight() const {
+  double max_weight = 0.0;
+  for (const RoundTraceEvent& e : rounds_) {
+    max_weight = std::max(max_weight, e.broadcast_weight);
+  }
+  return max_weight;
+}
+
+void CountingTrace::on_round(const RoundTraceEvent& event) {
+  ++rounds_;
+  max_weight_ = std::max(max_weight_, event.broadcast_weight);
+}
+
+void CountingTrace::on_delivery(const DeliveryTraceEvent& /*event*/) {
+  ++deliveries_;
+}
+
+}  // namespace wsync

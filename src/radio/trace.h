@@ -1,0 +1,104 @@
+// Execution tracing.
+//
+// The engine reports one RoundTraceEvent per round plus fine-grained
+// activation/delivery/output-transition callbacks. Sinks are optional and
+// must be cheap when unused (the default no-op sink costs one virtual call
+// per round).
+#ifndef WSYNC_RADIO_TRACE_H_
+#define WSYNC_RADIO_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/radio/engine_view.h"
+
+namespace wsync {
+
+/// Everything that happened in one engine round.
+struct RoundTraceEvent {
+  RoundId round = 0;
+  std::vector<Frequency> disrupted;  // sorted
+  RoundStats stats;                  // per-frequency outcomes
+  double broadcast_weight = 0.0;     // W(r) = sum of planned broadcast probs
+  int active_nodes = 0;
+};
+
+/// A single successful delivery (one broadcaster, >=1 listeners; one event
+/// per listener).
+struct DeliveryTraceEvent {
+  RoundId round = 0;
+  Frequency frequency = 0;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_round(const RoundTraceEvent& /*event*/) {}
+  virtual void on_activation(RoundId /*round*/, NodeId /*node*/) {}
+  virtual void on_delivery(const DeliveryTraceEvent& /*event*/) {}
+  /// Fired when a node's output transitions from ⊥ to a number.
+  virtual void on_synchronized(RoundId /*round*/, NodeId /*node*/,
+                               int64_t /*number*/) {}
+  virtual void on_crash(RoundId /*round*/, NodeId /*node*/) {}
+};
+
+/// Records everything in memory; for tests and small diagnostic runs.
+class MemoryTrace final : public TraceSink {
+ public:
+  void on_round(const RoundTraceEvent& event) override;
+  void on_activation(RoundId round, NodeId node) override;
+  void on_delivery(const DeliveryTraceEvent& event) override;
+  void on_synchronized(RoundId round, NodeId node, int64_t number) override;
+  void on_crash(RoundId round, NodeId node) override;
+
+  struct Activation {
+    RoundId round;
+    NodeId node;
+  };
+  struct SyncEvent {
+    RoundId round;
+    NodeId node;
+    int64_t number;
+  };
+
+  const std::vector<RoundTraceEvent>& rounds() const { return rounds_; }
+  const std::vector<Activation>& activations() const { return activations_; }
+  const std::vector<DeliveryTraceEvent>& deliveries() const {
+    return deliveries_;
+  }
+  const std::vector<SyncEvent>& sync_events() const { return sync_events_; }
+  const std::vector<Activation>& crashes() const { return crashes_; }
+
+  /// Max broadcast weight observed over all rounds so far.
+  double max_broadcast_weight() const;
+
+ private:
+  std::vector<RoundTraceEvent> rounds_;
+  std::vector<Activation> activations_;
+  std::vector<DeliveryTraceEvent> deliveries_;
+  std::vector<SyncEvent> sync_events_;
+  std::vector<Activation> crashes_;
+};
+
+/// O(1)-memory aggregate counters; for long benchmark runs.
+class CountingTrace final : public TraceSink {
+ public:
+  void on_round(const RoundTraceEvent& event) override;
+  void on_delivery(const DeliveryTraceEvent& event) override;
+
+  int64_t rounds() const { return rounds_; }
+  int64_t deliveries() const { return deliveries_; }
+  double max_broadcast_weight() const { return max_weight_; }
+
+ private:
+  int64_t rounds_ = 0;
+  int64_t deliveries_ = 0;
+  double max_weight_ = 0.0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_RADIO_TRACE_H_

@@ -1,0 +1,36 @@
+// Tunable constants for the Good Samaritan protocol.
+#ifndef WSYNC_SAMARITAN_CONFIG_H_
+#define WSYNC_SAMARITAN_CONFIG_H_
+
+namespace wsync {
+
+struct SamaritanConfig {
+  /// c in the epoch length s(k) = ceil(c * 2^k * lgN^3)
+  /// (paper: Theta(2^k log^3 N), Figure 2).
+  double epoch_constant = 2.0;
+
+  /// The leader-promotion threshold is s(k) / 2^{k + success_shift}
+  /// successful recorded rounds in the critical epoch (paper: shift = 6).
+  int success_shift = 6;
+
+  /// c_fb in the fallback (modified Trapdoor) epoch length
+  /// max(ceil(c_fb * F * lgN^3), 4 * s(lgF)) — the paper requires it to be
+  /// at least four times the longest optimistic epoch.
+  double fallback_epoch_constant = 4.0;
+
+  /// Leader broadcast probability per round (paper: 1/2).
+  double leader_broadcast_prob = 0.5;
+
+  /// Probability of designating a round "special" in the last two epochs of
+  /// each super-epoch, and of playing a special round in the fallback
+  /// (paper: 1/2).
+  double special_round_prob = 0.5;
+
+  /// Disable the fallback (testing/ablation only: a node that exits the
+  /// optimistic portion just keeps listening).
+  bool enable_fallback = true;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_SAMARITAN_CONFIG_H_

@@ -1,0 +1,351 @@
+#include "src/samaritan/good_samaritan.h"
+
+#include <algorithm>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+GoodSamaritanProtocol::GoodSamaritanProtocol(const ProtocolEnv& env,
+                                             const SamaritanConfig& config)
+    : env_(env),
+      config_(config),
+      schedule_(env.F, env.t, env.N, config),
+      fallback_schedule_(env.F, env.N, schedule_.fallback_epoch_length(),
+                         schedule_.fallback_epoch_length()) {
+  WSYNC_REQUIRE(env.F >= 1 && env.t >= 0 && env.t < env.F,
+                "invalid (F, t) for GoodSamaritanProtocol");
+  WSYNC_REQUIRE(env.N >= 1, "invalid N for GoodSamaritanProtocol");
+}
+
+void GoodSamaritanProtocol::on_activate(Rng& /*rng*/) {
+  role_ = Role::kContender;
+  age_ = 0;
+  fallback_age_ = 0;
+}
+
+Frequency GoodSamaritanProtocol::uniform_frequency(int band, Rng& rng) const {
+  WSYNC_CHECK(band >= 1 && band <= env_.F, "bad band");
+  return static_cast<Frequency>(rng.next_below(static_cast<uint64_t>(band)));
+}
+
+Frequency GoodSamaritanProtocol::special_frequency(Rng& rng) const {
+  const int d = static_cast<int>(
+      rng.uniform_int(1, schedule_.lg_f()));
+  return uniform_frequency(schedule_.special_band(d), rng);
+}
+
+Payload GoodSamaritanProtocol::make_optimistic_payload(int super_epoch,
+                                                       int epoch,
+                                                       bool special) const {
+  if (role_ == Role::kContender) {
+    ContenderMsg msg;
+    msg.ts = timestamp();
+    msg.special = special;
+    msg.fallback = false;
+    return msg;
+  }
+  WSYNC_CHECK(role_ == Role::kSamaritan, "optimistic payload for bad role");
+  if (schedule_.is_reporting_epoch(epoch)) {
+    SamaritanReport report;
+    report.ts = timestamp();
+    report.super_epoch = super_epoch;
+    report.special = special;
+    // Report the top-scoring contenders (at most 4; whp only one contender
+    // is left by the reporting epoch anyway — Lemma 17).
+    std::vector<SuccessEntry> sorted = successes_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SuccessEntry& a, const SuccessEntry& b) {
+                return a.count > b.count;
+              });
+    report.n_entries = static_cast<int32_t>(
+        std::min<size_t>(sorted.size(), report.entries.size()));
+    for (int32_t i = 0; i < report.n_entries; ++i) {
+      report.entries[static_cast<size_t>(i)] = sorted[static_cast<size_t>(i)];
+    }
+    return report;
+  }
+  SamaritanMsg msg;
+  msg.ts = timestamp();
+  msg.special = special;
+  return msg;
+}
+
+RoundAction GoodSamaritanProtocol::act_optimistic(Rng& rng) {
+  const SamaritanSchedule::Position pos = schedule_.position(age_);
+  WSYNC_CHECK(!pos.finished, "optimistic act past the optimistic portion");
+  const int k = pos.super_epoch;
+  const int e = pos.epoch;
+  round_special_ = false;
+
+  if (!schedule_.has_special_rounds(e)) {
+    // Competition epochs: 1/2 narrow band, 1/2 whole band; broadcast with
+    // the epoch's doubling probability.
+    const Frequency f = rng.bernoulli(0.5)
+                            ? uniform_frequency(schedule_.band(k), rng)
+                            : uniform_frequency(env_.F, rng);
+    if (rng.bernoulli(schedule_.broadcast_prob(e))) {
+      return RoundAction::send(f, make_optimistic_payload(k, e, false));
+    }
+    return RoundAction::listen(f);
+  }
+
+  // Critical/reporting epochs.
+  if (rng.bernoulli(config_.special_round_prob)) {
+    round_special_ = true;
+    const Frequency f = special_frequency(rng);
+    if (rng.bernoulli(0.5)) {
+      return RoundAction::send(f, make_optimistic_payload(k, e, true));
+    }
+    return RoundAction::listen(f);
+  }
+  const Frequency f = uniform_frequency(schedule_.band(k), rng);
+  if (rng.bernoulli(schedule_.broadcast_prob(e))) {
+    return RoundAction::send(f, make_optimistic_payload(k, e, false));
+  }
+  return RoundAction::listen(f);
+}
+
+RoundAction GoodSamaritanProtocol::act_fallback(Rng& rng) {
+  round_special_ = false;
+  fallback_round_pending_ = false;
+  if (rng.bernoulli(0.5)) {
+    // Trapdoor round: the fallback competition advances only on these.
+    fallback_round_pending_ = true;
+    const Frequency f = uniform_frequency(env_.F, rng);
+    if (rng.bernoulli(fallback_schedule_.broadcast_prob_at(fallback_age_))) {
+      ContenderMsg msg;
+      msg.ts = timestamp();
+      msg.special = false;
+      msg.fallback = true;
+      return RoundAction::send(f, msg);
+    }
+    return RoundAction::listen(f);
+  }
+  // Special Good Samaritan round.
+  round_special_ = true;
+  const Frequency f = special_frequency(rng);
+  if (rng.bernoulli(0.5)) {
+    ContenderMsg msg;
+    msg.ts = timestamp();
+    msg.special = true;
+    msg.fallback = true;
+    return RoundAction::send(f, msg);
+  }
+  return RoundAction::listen(f);
+}
+
+RoundAction GoodSamaritanProtocol::act_leader(Rng& rng) {
+  // Leader: special-shaped distribution every round (paper Section 7.1,
+  // "Afterward"), broadcasting the numbering with probability 1/2.
+  const Frequency f = special_frequency(rng);
+  if (rng.bernoulli(config_.leader_broadcast_prob)) {
+    LeaderMsg msg;
+    msg.leader_uid = env_.uid;
+    msg.round_number = sync_value_ + 1;
+    return RoundAction::send(f, msg);
+  }
+  return RoundAction::listen(f);
+}
+
+RoundAction GoodSamaritanProtocol::act_passive_listen(Rng& rng) {
+  // Passive / knocked-out / synced nodes listen with a leader-matched
+  // mixture: 1/2 uniform over the band, 1/2 special-shaped (DESIGN.md #4).
+  const Frequency f = rng.bernoulli(0.5) ? uniform_frequency(env_.F, rng)
+                                         : special_frequency(rng);
+  return RoundAction::listen(f);
+}
+
+RoundAction GoodSamaritanProtocol::act(Rng& rng) {
+  WSYNC_CHECK(role_ != Role::kInactive, "act() before activation");
+  round_special_ = false;
+  fallback_round_pending_ = false;
+  switch (role_) {
+    case Role::kContender:
+    case Role::kSamaritan:
+      return act_optimistic(rng);
+    case Role::kFallback:
+      return act_fallback(rng);
+    case Role::kLeader:
+      return act_leader(rng);
+    default:
+      return act_passive_listen(rng);
+  }
+}
+
+void GoodSamaritanProtocol::reset_records_if_new_super_epoch(int super_epoch) {
+  if (record_super_epoch_ != super_epoch) {
+    record_super_epoch_ = super_epoch;
+    successes_.clear();
+  }
+}
+
+void GoodSamaritanProtocol::record_success(const ContenderMsg& msg) {
+  for (SuccessEntry& entry : successes_) {
+    if (entry.contender_uid == msg.ts.uid) {
+      ++entry.count;
+      return;
+    }
+  }
+  successes_.push_back(SuccessEntry{msg.ts.uid, 1});
+}
+
+void GoodSamaritanProtocol::handle_as_contender(const Message& message) {
+  if (std::holds_alternative<ContenderMsg>(message.payload)) {
+    // Downgrade, regardless of timestamps (paper Section 7.1) and
+    // regardless of whether the sender is optimistic or fallback.
+    role_ = Role::kSamaritan;
+    return;
+  }
+  if (const auto* report = std::get_if<SamaritanReport>(&message.payload)) {
+    const SamaritanSchedule::Position pos = schedule_.position(age_);
+    if (pos.finished) return;
+    if (report->super_epoch != pos.super_epoch) return;
+    const int64_t threshold = schedule_.success_threshold(pos.super_epoch);
+    for (int32_t i = 0; i < report->n_entries; ++i) {
+      const SuccessEntry& entry = report->entries[static_cast<size_t>(i)];
+      if (entry.contender_uid == env_.uid && entry.count >= threshold) {
+        promote_to_leader_ = true;
+        return;
+      }
+    }
+  }
+  // Plain samaritan beacons are ignored by contenders.
+}
+
+void GoodSamaritanProtocol::handle_as_samaritan(const Message& message) {
+  if (std::holds_alternative<SamaritanMsg>(message.payload) ||
+      std::holds_alternative<SamaritanReport>(message.payload)) {
+    // A samaritan hearing another samaritan is knocked out.
+    role_ = Role::kPassive;
+    successes_.clear();
+    return;
+  }
+  if (const auto* contender = std::get_if<ContenderMsg>(&message.payload)) {
+    // Success recording, conditions (a)-(c) of Section 7.1:
+    //  (a) we are in the critical epoch (epoch lgN+1);
+    //  (b) the round is special for neither the contender nor us;
+    //  (c) contender and samaritan woke in the same round (equal ages).
+    if (contender->fallback) return;
+    const SamaritanSchedule::Position pos = schedule_.position(age_);
+    if (pos.finished || !schedule_.is_critical_epoch(pos.epoch)) return;
+    if (contender->special || round_special_) return;
+    if (contender->ts.age != age_) return;
+    reset_records_if_new_super_epoch(pos.super_epoch);
+    record_success(*contender);
+  }
+}
+
+void GoodSamaritanProtocol::handle_as_fallback(const Message& message) {
+  if (const auto* contender = std::get_if<ContenderMsg>(&message.payload)) {
+    // Timestamps are again used: a larger timestamp knocks us out.
+    if (contender->ts > timestamp()) {
+      role_ = Role::kKnockedOut;
+    }
+  }
+}
+
+bool GoodSamaritanProtocol::handle_message(const Message& message) {
+  if (const auto* leader = std::get_if<LeaderMsg>(&message.payload)) {
+    if (role_ != Role::kLeader) {
+      has_sync_ = true;
+      sync_value_ = leader->round_number;
+      adopted_leader_uid_ = leader->leader_uid;
+      role_ = Role::kSynced;
+      return true;
+    }
+    return false;
+  }
+  switch (role_) {
+    case Role::kContender:
+      handle_as_contender(message);
+      break;
+    case Role::kSamaritan:
+      handle_as_samaritan(message);
+      break;
+    case Role::kFallback:
+      handle_as_fallback(message);
+      break;
+    default:
+      break;  // passive / knocked-out / synced ignore non-leader traffic
+  }
+  return false;
+}
+
+void GoodSamaritanProtocol::become_leader_at(int64_t age_now) {
+  role_ = Role::kLeader;
+  has_sync_ = true;
+  sync_value_ = age_now;
+}
+
+void GoodSamaritanProtocol::on_round_end(
+    const std::optional<Message>& received, Rng& /*rng*/) {
+  WSYNC_CHECK(role_ != Role::kInactive, "on_round_end() before activation");
+  const bool was_synced = has_sync_;
+  promote_to_leader_ = false;
+
+  bool adopted = false;
+  if (received.has_value()) adopted = handle_message(*received);
+
+  ++age_;
+  if (fallback_round_pending_) ++fallback_age_;
+  fallback_round_pending_ = false;
+
+  bool became_leader = false;
+  if (promote_to_leader_ && role_ == Role::kContender) {
+    become_leader_at(age_);
+    became_leader = true;
+  } else if (role_ == Role::kFallback &&
+             fallback_age_ >= fallback_schedule_.total_rounds()) {
+    // Survived the whole fallback competition.
+    become_leader_at(age_);
+    became_leader = true;
+  } else if ((role_ == Role::kContender || role_ == Role::kSamaritan) &&
+             age_ >= schedule_.total_optimistic_rounds()) {
+    // Exited the last super-epoch unsynchronized: fall back (contenders and
+    // samaritans alike re-compete with timestamps).
+    if (config_.enable_fallback) {
+      role_ = Role::kFallback;
+      fallback_age_ = 0;
+      successes_.clear();
+    } else {
+      role_ = Role::kPassive;
+    }
+  }
+
+  if (was_synced && !adopted && !became_leader) ++sync_value_;
+  promote_to_leader_ = false;
+}
+
+SyncOutput GoodSamaritanProtocol::output() const {
+  if (!has_sync_) return SyncOutput{};
+  return SyncOutput{sync_value_};
+}
+
+double GoodSamaritanProtocol::broadcast_probability() const {
+  switch (role_) {
+    case Role::kContender:
+    case Role::kSamaritan: {
+      const SamaritanSchedule::Position pos = schedule_.position(age_);
+      if (pos.finished) return 0.0;
+      // In the last two epochs both branches broadcast with probability
+      // 1/2, so the overall probability is 1/2 as well.
+      return schedule_.broadcast_prob(pos.epoch);
+    }
+    case Role::kFallback:
+      return 0.5 * fallback_schedule_.broadcast_prob_at(fallback_age_) +
+             0.5 * 0.5;
+    case Role::kLeader:
+      return config_.leader_broadcast_prob;
+    default:
+      return 0.0;
+  }
+}
+
+ProtocolFactory GoodSamaritanProtocol::factory(const SamaritanConfig& config) {
+  return [config](const ProtocolEnv& env) {
+    return std::make_unique<GoodSamaritanProtocol>(env, config);
+  };
+}
+
+}  // namespace wsync

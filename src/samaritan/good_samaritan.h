@@ -1,0 +1,121 @@
+// The Good Samaritan Protocol (paper Section 7).
+//
+// Optimistic, adaptive synchronization. Nodes start as contenders; a
+// contender hearing another contender is DOWNGRADED to a good samaritan
+// (timestamps are ignored in the optimistic portion); a samaritan hearing
+// another samaritan is knocked out and becomes passive. Samaritans exist to
+// tell contenders whether their broadcasts are getting through: during the
+// critical epoch (lgN+1) of each super-epoch a samaritan records successful
+// receptions per contender (only in rounds that neither party designated
+// special, and only if both woke in the same round); during the reporting
+// epoch (lgN+2) it broadcasts those counts. A contender that learns of at
+// least s(k)/2^{k+6} successes becomes leader.
+//
+// A node that exits the last super-epoch unsynchronized falls back to a
+// modified Trapdoor protocol: each round it flips a coin and either plays a
+// Trapdoor round (timestamps again decide knockouts; epochs of length at
+// least 4x the longest optimistic epoch on the full band) or a special Good
+// Samaritan round.
+//
+// Theorem 18: under an oblivious adversary the protocol synchronizes within
+// O(F log^3 N) rounds in every execution; if all n >= 2 nodes wake together
+// and at most t' <= t frequencies are ever disrupted, within
+// O(t' log^3 N) rounds.
+#ifndef WSYNC_SAMARITAN_GOOD_SAMARITAN_H_
+#define WSYNC_SAMARITAN_GOOD_SAMARITAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/protocol/protocol.h"
+#include "src/samaritan/config.h"
+#include "src/samaritan/schedule.h"
+#include "src/trapdoor/schedule.h"
+
+namespace wsync {
+
+class GoodSamaritanProtocol final : public Protocol {
+ public:
+  GoodSamaritanProtocol(const ProtocolEnv& env,
+                        const SamaritanConfig& config = {});
+
+  void on_activate(Rng& rng) override;
+  RoundAction act(Rng& rng) override;
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override;
+  SyncOutput output() const override;
+  Role role() const override { return role_; }
+  double broadcast_probability() const override;
+
+  static ProtocolFactory factory(const SamaritanConfig& config = {});
+
+  // Introspection for tests and experiments.
+  const SamaritanSchedule& schedule() const { return schedule_; }
+  const TrapdoorSchedule& fallback_schedule() const {
+    return fallback_schedule_;
+  }
+  Timestamp timestamp() const { return Timestamp{age_, env_.uid}; }
+  int64_t age() const { return age_; }
+  bool in_fallback() const { return role_ == Role::kFallback; }
+  int64_t fallback_age() const { return fallback_age_; }
+  uint64_t adopted_leader_uid() const { return adopted_leader_uid_; }
+  /// The samaritan's current success records (empty unless samaritan).
+  const std::vector<SuccessEntry>& success_records() const {
+    return successes_;
+  }
+
+ private:
+  // --- act() helpers, one per role/phase ---
+  RoundAction act_optimistic(Rng& rng);   // contender or samaritan
+  RoundAction act_fallback(Rng& rng);     // fallback contender
+  RoundAction act_leader(Rng& rng);
+  RoundAction act_passive_listen(Rng& rng);  // passive/knocked-out/synced
+
+  /// Picks a special-round frequency: scale d uniform in [1..lgF], then
+  /// uniform in [0, min(2^d, F)).
+  Frequency special_frequency(Rng& rng) const;
+  Frequency uniform_frequency(int band, Rng& rng) const;
+
+  Payload make_optimistic_payload(int super_epoch, int epoch,
+                                  bool special) const;
+
+  // --- on_round_end() helpers ---
+  /// Returns true iff the message caused adoption of a numbering.
+  bool handle_message(const Message& message);
+  void handle_as_contender(const Message& message);
+  void handle_as_samaritan(const Message& message);
+  void handle_as_fallback(const Message& message);
+  void record_success(const ContenderMsg& msg);
+  void reset_records_if_new_super_epoch(int super_epoch);
+  void become_leader_at(int64_t age_now);
+
+  ProtocolEnv env_;
+  SamaritanConfig config_;
+  SamaritanSchedule schedule_;
+  TrapdoorSchedule fallback_schedule_;
+
+  Role role_ = Role::kInactive;
+  int64_t age_ = 0;           ///< total rounds since activation
+  int64_t fallback_age_ = 0;  ///< Trapdoor-mode rounds consumed in fallback
+
+  // Scratch describing the action taken this round (for reception rules).
+  bool round_special_ = false;          ///< this round was special for us
+  bool fallback_round_pending_ = false; ///< this round advanced the fallback
+
+  // Leader-promotion latch (set while handling a report, applied after the
+  // round's age increment).
+  bool promote_to_leader_ = false;
+
+  // Samaritan success records for the current super-epoch.
+  int record_super_epoch_ = -1;
+  std::vector<SuccessEntry> successes_;
+
+  // Output machinery (same convention as TrapdoorProtocol).
+  bool has_sync_ = false;
+  int64_t sync_value_ = 0;
+  uint64_t adopted_leader_uid_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_SAMARITAN_GOOD_SAMARITAN_H_

@@ -1,0 +1,125 @@
+#include "src/samaritan/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+SamaritanSchedule::SamaritanSchedule(int F, int t, int64_t N,
+                                     const SamaritanConfig& config)
+    : F_(F), config_(config) {
+  WSYNC_REQUIRE(F >= 1 && t >= 0 && t < F, "need 0 <= t < F");
+  WSYNC_REQUIRE(N >= 1, "N must be positive");
+  WSYNC_REQUIRE(config.epoch_constant > 0.0, "epoch constant must be positive");
+  WSYNC_REQUIRE(config.success_shift >= 0, "success shift must be >= 0");
+  WSYNC_REQUIRE(config.fallback_epoch_constant > 0.0,
+                "fallback epoch constant must be positive");
+  lg_n_ = std::max(1, lg_ceil(N));
+  lg_f_ = std::max(1, lg_ceil(F));
+  lg_n_cubed_ = static_cast<int64_t>(lg_n_) * lg_n_ * lg_n_;
+
+  total_rounds_ = 0;
+  for (int k = 1; k <= lg_f_; ++k) {
+    total_rounds_ += super_epoch_length(k);
+  }
+}
+
+int64_t SamaritanSchedule::epoch_length(int k) const {
+  WSYNC_REQUIRE(k >= 1 && k <= lg_f_, "super-epoch index out of range");
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(config_.epoch_constant *
+                                        static_cast<double>(pow2(k)) *
+                                        static_cast<double>(lg_n_cubed_))));
+}
+
+int64_t SamaritanSchedule::super_epoch_length(int k) const {
+  return epoch_length(k) * epochs_per_super();
+}
+
+int64_t SamaritanSchedule::success_threshold(int k) const {
+  WSYNC_REQUIRE(k >= 1 && k <= lg_f_, "super-epoch index out of range");
+  const int shift = k + config_.success_shift;
+  const int64_t divisor = shift < 62 ? pow2(shift) : pow2(62);
+  return std::max<int64_t>(1, epoch_length(k) / divisor);
+}
+
+int SamaritanSchedule::band(int k) const {
+  WSYNC_REQUIRE(k >= 1 && k <= lg_f_, "super-epoch index out of range");
+  return static_cast<int>(std::min<int64_t>(pow2(k), F_));
+}
+
+int SamaritanSchedule::special_band(int d) const {
+  WSYNC_REQUIRE(d >= 1 && d <= lg_f_, "special scale out of range");
+  return static_cast<int>(std::min<int64_t>(pow2(d), F_));
+}
+
+double SamaritanSchedule::broadcast_prob(int e) const {
+  WSYNC_REQUIRE(e >= 1 && e <= epochs_per_super(), "epoch out of range");
+  if (e > lg_n_) return 0.5;
+  const double p =
+      std::ldexp(1.0, e) / (2.0 * static_cast<double>(pow2(lg_n_)));
+  return std::min(0.5, p);
+}
+
+SamaritanSchedule::Position SamaritanSchedule::position(int64_t age) const {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  Position pos;
+  if (age >= total_rounds_) {
+    pos.super_epoch = lg_f_;
+    pos.epoch = epochs_per_super();
+    pos.round_in_epoch = 0;
+    pos.finished = true;
+    return pos;
+  }
+  int64_t remaining = age;
+  for (int k = 1; k <= lg_f_; ++k) {
+    const int64_t super_len = super_epoch_length(k);
+    if (remaining < super_len) {
+      const int64_t epoch_len = epoch_length(k);
+      pos.super_epoch = k;
+      pos.epoch = static_cast<int>(remaining / epoch_len) + 1;
+      pos.round_in_epoch = remaining % epoch_len;
+      pos.finished = false;
+      return pos;
+    }
+    remaining -= super_len;
+  }
+  WSYNC_CHECK(false, "unreachable: age within total but no super-epoch found");
+  return pos;
+}
+
+double SamaritanSchedule::frequency_probability(int k, int e,
+                                                Frequency f) const {
+  WSYNC_REQUIRE(k >= 1 && k <= lg_f_, "super-epoch index out of range");
+  WSYNC_REQUIRE(e >= 1 && e <= epochs_per_super(), "epoch out of range");
+  WSYNC_REQUIRE(f >= 0 && f < F_, "frequency out of range");
+
+  const int b = band(k);
+  const double narrow = f < b ? 0.5 / static_cast<double>(b) : 0.0;
+  if (!has_special_rounds(e)) {
+    // Competition epochs: 1/2 narrow band + 1/2 whole band.
+    return narrow + 0.5 / static_cast<double>(F_);
+  }
+  // Critical/reporting epochs: 1/2 narrow band + 1/2 special round, where a
+  // special round picks scale d uniformly from [1..lgF] and then a
+  // frequency uniformly from [0, min(2^d, F)).
+  double special = 0.0;
+  for (int d = 1; d <= lg_f_; ++d) {
+    const int sb = special_band(d);
+    if (f < sb) special += 1.0 / static_cast<double>(sb);
+  }
+  special *= 0.5 / static_cast<double>(lg_f_);
+  return narrow + special;
+}
+
+int64_t SamaritanSchedule::fallback_epoch_length() const {
+  const auto base = static_cast<int64_t>(
+      std::ceil(config_.fallback_epoch_constant * static_cast<double>(F_) *
+                static_cast<double>(lg_n_cubed_)));
+  return std::max(base, 4 * epoch_length(lg_f_));
+}
+
+}  // namespace wsync

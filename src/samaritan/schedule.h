@@ -1,0 +1,97 @@
+// The Good Samaritan round structure (paper Figure 2).
+//
+//   Super-epoch k = 1 .. lgF; each consists of lgN + 2 epochs, every epoch
+//   of length s(k) = Theta(2^k log^3 N).
+//
+//   Epoch e <= lgN ("competition"): broadcast prob p_e = 2^e/(2N); pick a
+//   frequency from [1..2^k] w.p. 1/2, from [1..F] w.p. 1/2.
+//
+//   Epochs lgN+1 ("critical") and lgN+2 ("reporting"): broadcast prob 1/2;
+//   w.p. 1/2 a normal round on [1..2^k]; w.p. 1/2 a SPECIAL round: pick a
+//   scale d uniformly from [1..lgF], a frequency uniformly from
+//   [1..min(2^d, F)], then broadcast or listen with prob 1/2 each.
+//
+//   (The paper's prose says d in [1..F]; Figure 2's induced distribution
+//   P[f] = (2^{floor(lg(F/f))+1}-1)/(2 F lgF) + 1/2^{k+1} and the fallback
+//   description both require d in [1..lgF] — see DESIGN.md.)
+//
+// A contender that learns (from a samaritan report) of at least
+// s(k)/2^{k+6} successful critical-epoch rounds becomes leader. A node that
+// exits super-epoch lgF unsynchronized falls back to a modified Trapdoor
+// protocol whose epochs are at least four times the longest epoch here.
+#ifndef WSYNC_SAMARITAN_SCHEDULE_H_
+#define WSYNC_SAMARITAN_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/samaritan/config.h"
+
+namespace wsync {
+
+class SamaritanSchedule {
+ public:
+  SamaritanSchedule(int F, int t, int64_t N,
+                    const SamaritanConfig& config = {});
+
+  int F() const { return F_; }
+  int lg_n() const { return lg_n_; }
+  int lg_f() const { return lg_f_; }
+
+  /// Number of super-epochs (lgF, at least 1).
+  int num_super_epochs() const { return lg_f_; }
+  /// Epochs per super-epoch (lgN + 2).
+  int epochs_per_super() const { return lg_n_ + 2; }
+
+  /// s(k): length of every epoch in super-epoch k (1-based).
+  int64_t epoch_length(int k) const;
+  /// (lgN + 2) * s(k).
+  int64_t super_epoch_length(int k) const;
+  /// Rounds in the whole optimistic portion.
+  int64_t total_optimistic_rounds() const { return total_rounds_; }
+
+  /// Success-count threshold for leader promotion in super-epoch k:
+  /// max(1, s(k) / 2^{k + success_shift}).
+  int64_t success_threshold(int k) const;
+
+  /// Narrow band min(2^k, F) used in super-epoch k.
+  int band(int k) const;
+  /// Band of a special round with scale d (1-based): min(2^d, F).
+  int special_band(int d) const;
+
+  /// Broadcast probability of epoch e (1-based, in [1, lgN+2]).
+  double broadcast_prob(int e) const;
+
+  bool is_critical_epoch(int e) const { return e == lg_n_ + 1; }
+  bool is_reporting_epoch(int e) const { return e == lg_n_ + 2; }
+  /// Last-two epochs have special rounds.
+  bool has_special_rounds(int e) const { return e > lg_n_; }
+
+  struct Position {
+    int super_epoch = 1;        ///< 1-based k
+    int epoch = 1;              ///< 1-based e in [1, lgN+2]
+    int64_t round_in_epoch = 0; ///< 0-based
+    bool finished = false;      ///< past the optimistic portion
+  };
+  Position position(int64_t age) const;
+
+  /// Analytic per-frequency selection probability in epoch e of
+  /// super-epoch k (the Figure 2 distributions); 0-based frequency.
+  double frequency_probability(int k, int e, Frequency f) const;
+
+  /// Fallback (modified Trapdoor) epoch length:
+  /// max(ceil(c_fb * F * lgN^3), 4 * s(lgF)).
+  int64_t fallback_epoch_length() const;
+
+ private:
+  int F_ = 1;
+  int lg_n_ = 1;
+  int lg_f_ = 1;
+  SamaritanConfig config_;
+  int64_t lg_n_cubed_ = 1;
+  int64_t total_rounds_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_SAMARITAN_SCHEDULE_H_

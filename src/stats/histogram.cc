@@ -1,0 +1,62 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  WSYNC_REQUIRE(bins >= 1, "need at least one bin");
+  WSYNC_REQUIRE(lo < hi, "need lo < hi");
+  counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+void Histogram::add(double value) { add_n(value, 1); }
+
+void Histogram::add_n(double value, int64_t count) {
+  WSYNC_REQUIRE(count >= 0, "count must be non-negative");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<int64_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  counts_[static_cast<size_t>(bin)] += count;
+  total_ += count;
+}
+
+int64_t Histogram::bin_count(int bin) const {
+  WSYNC_REQUIRE(bin >= 0 && bin < bins(), "bin out of range");
+  return counts_[static_cast<size_t>(bin)];
+}
+
+double Histogram::bin_low(int bin) const {
+  WSYNC_REQUIRE(bin >= 0 && bin < bins(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * bin;
+}
+
+double Histogram::bin_high(int bin) const {
+  return bin_low(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(int width) const {
+  WSYNC_REQUIRE(width >= 1, "width must be positive");
+  const int64_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (int b = 0; b < bins(); ++b) {
+    const int64_t c = counts_[static_cast<size_t>(b)];
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(std::llround(
+                        static_cast<double>(c) * width /
+                        static_cast<double>(peak)));
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "[" << bin_low(b) << ", " << bin_high(b) << ") "
+       << std::string(static_cast<size_t>(bar), '#') << " " << c << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsync

@@ -1,0 +1,38 @@
+// A simple fixed-bin histogram with ASCII rendering for bench output.
+#ifndef WSYNC_STATS_HISTOGRAM_H_
+#define WSYNC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsync {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); values outside are clamped into
+  /// the first/last bin. Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, int bins);
+
+  void add(double value);
+  void add_n(double value, int64_t count);
+
+  int64_t total() const { return total_; }
+  int64_t bin_count(int bin) const;
+  double bin_low(int bin) const;
+  double bin_high(int bin) const;
+  int bins() const { return static_cast<int>(counts_.size()); }
+
+  /// Multi-line ASCII bar rendering, `width` characters for the largest bar.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_STATS_HISTOGRAM_H_

@@ -1,0 +1,104 @@
+#include "src/stats/regression.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+namespace {
+
+double mean_of(std::span<const double> v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double r2_of(std::span<const double> y, std::span<const double> yhat) {
+  const double ybar = mean_of(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  WSYNC_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  WSYNC_REQUIRE(x.size() >= 2, "need at least two points to fit a line");
+
+  const double xbar = mean_of(x);
+  const double ybar = mean_of(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - xbar) * (x[i] - xbar);
+    sxy += (x[i] - xbar) * (y[i] - ybar);
+  }
+  WSYNC_REQUIRE(sxx > 0.0, "x values must not all be equal");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = ybar - fit.slope * xbar;
+
+  std::vector<double> yhat(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    yhat[i] = fit.intercept + fit.slope * x[i];
+  }
+  fit.r2 = r2_of(y, yhat);
+  return fit;
+}
+
+PowerFit power_fit(std::span<const double> x, std::span<const double> y) {
+  WSYNC_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    WSYNC_REQUIRE(x[i] > 0.0 && y[i] > 0.0,
+                  "power fit requires positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lf = linear_fit(lx, ly);
+  PowerFit fit;
+  fit.constant = std::exp(lf.intercept);
+  fit.exponent = lf.slope;
+  fit.r2 = lf.r2;
+  return fit;
+}
+
+ModelFit model_fit(std::span<const double> model, std::span<const double> y) {
+  WSYNC_REQUIRE(model.size() == y.size(), "model and y must have equal length");
+  WSYNC_REQUIRE(!model.empty(), "model fit requires data");
+
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    num += model[i] * y[i];
+    den += model[i] * model[i];
+  }
+  WSYNC_REQUIRE(den > 0.0, "model values must not all be zero");
+
+  ModelFit fit;
+  fit.constant = num / den;
+
+  std::vector<double> yhat(y.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    yhat[i] = fit.constant * model[i];
+    if (y[i] != 0.0) {
+      worst = std::max(worst, std::abs(yhat[i] - y[i]) / std::abs(y[i]));
+    }
+  }
+  fit.max_relative_error = worst;
+  fit.r2 = r2_of(y, yhat);
+  return fit;
+}
+
+}  // namespace wsync

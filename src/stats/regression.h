@@ -1,0 +1,40 @@
+// Least-squares fits used to compare measured scaling curves against the
+// paper's asymptotic predictions.
+#ifndef WSYNC_STATS_REGRESSION_H_
+#define WSYNC_STATS_REGRESSION_H_
+
+#include <span>
+
+namespace wsync {
+
+/// Ordinary least squares y ~ a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ~ c * x^alpha via OLS on (log x, log y); requires positive data.
+struct PowerFit {
+  double constant = 0.0;  ///< c
+  double exponent = 0.0;  ///< alpha
+  double r2 = 0.0;        ///< in log space
+};
+PowerFit power_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ~ c * model(x) for a known model curve: the best multiplicative
+/// constant (least squares through the origin) plus the worst-case relative
+/// deviation of y from c*model. This is how benches check the paper's
+/// Theta-shapes: the measured curve should track the predicted curve up to
+/// a stable constant.
+struct ModelFit {
+  double constant = 0.0;
+  double max_relative_error = 0.0;
+  double r2 = 0.0;
+};
+ModelFit model_fit(std::span<const double> model, std::span<const double> y);
+
+}  // namespace wsync
+
+#endif  // WSYNC_STATS_REGRESSION_H_

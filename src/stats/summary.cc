@@ -1,0 +1,85 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+double quantile(std::span<const double> values, double q) {
+  WSYNC_REQUIRE(!values.empty(), "quantile of an empty sample");
+  WSYNC_REQUIRE(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+
+  s.p50 = quantile(values, 0.50);
+  s.p90 = quantile(values, 0.90);
+  s.p99 = quantile(values, 0.99);
+  return s;
+}
+
+Summary summarize(std::span<const int64_t> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return summarize(as_double);
+}
+
+Proportion wilson_interval(int64_t successes, int64_t trials) {
+  WSYNC_REQUIRE(trials >= 0 && successes >= 0 && successes <= trials,
+                "invalid binomial counts");
+  Proportion p;
+  if (trials == 0) return p;
+  const double z = 1.959963985;  // 97.5th percentile of the normal
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  p.estimate = phat;
+  p.lower = std::max(0.0, center - margin);
+  p.upper = std::min(1.0, center + margin);
+  return p;
+}
+
+MeanCi mean_ci(std::span<const double> values) {
+  MeanCi out;
+  const Summary s = summarize(values);
+  out.mean = s.mean;
+  if (s.count > 1) {
+    out.half_width =
+        1.959963985 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return out;
+}
+
+}  // namespace wsync

@@ -1,0 +1,48 @@
+// Summary statistics for experiment measurements.
+#ifndef WSYNC_STATS_SUMMARY_H_
+#define WSYNC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wsync {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the summary of `values` (empty input yields a zero summary).
+Summary summarize(std::span<const double> values);
+Summary summarize(std::span<const int64_t> values);
+
+/// Linear-interpolated quantile (type-7, like numpy's default).
+/// Requires 0 <= q <= 1 and a non-empty sample.
+double quantile(std::span<const double> values, double q);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Proportion {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+Proportion wilson_interval(int64_t successes, int64_t trials);
+
+/// Mean with a normal-approximation 95% confidence half-width.
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;
+};
+MeanCi mean_ci(std::span<const double> values);
+
+}  // namespace wsync
+
+#endif  // WSYNC_STATS_SUMMARY_H_

@@ -1,0 +1,91 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  WSYNC_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    WSYNC_REQUIRE(rows_.back().size() == columns_.size(),
+                  "previous row is incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  WSYNC_REQUIRE(!rows_.empty(), "call row() before cell()");
+  WSYNC_REQUIRE(rows_.back().size() < columns_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return cell(os.str());
+}
+
+std::string Table::markdown() const {
+  if (!rows_.empty()) {
+    WSYNC_REQUIRE(rows_.back().size() == columns_.size(),
+                  "last row is incomplete");
+  }
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&os, &width](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c]
+         << std::string(width[c] - cells[c].size() + 1, ' ') << "|";
+    }
+    os << "\n";
+  };
+
+  emit_row(columns_);
+  os << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ",";
+    os << columns_[c];
+  }
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) os << ",";
+      os << r[c];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsync

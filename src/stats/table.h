@@ -1,0 +1,42 @@
+// Markdown/CSV table builder for benchmark output.
+//
+// Benches print paper-style tables: one row per parameter point, columns
+// for measured quantiles and the paper's predicted curve. Cells are built
+// row-major; rendering aligns columns for the markdown form.
+#ifndef WSYNC_STATS_TABLE_H_
+#define WSYNC_STATS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsync {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(int64_t value);
+  Table& cell(double value, int precision = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Renders a GitHub-flavoured markdown table (columns padded to equal
+  /// width). Verifies all rows are complete.
+  std::string markdown() const;
+
+  /// Renders comma-separated values with a header line.
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_STATS_TABLE_H_

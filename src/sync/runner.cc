@@ -1,0 +1,66 @@
+#include "src/sync/runner.h"
+
+#include <algorithm>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+RunOutcome run_sync_experiment(const RunSpec& spec) {
+  WSYNC_REQUIRE(spec.max_rounds > 0, "max_rounds must be positive");
+  WSYNC_REQUIRE(spec.factory != nullptr, "protocol factory is required");
+  WSYNC_REQUIRE(spec.make_adversary != nullptr, "adversary producer required");
+  WSYNC_REQUIRE(spec.make_activation != nullptr,
+                "activation producer required");
+
+  Simulation sim(spec.sim, spec.factory, spec.make_adversary(),
+                 spec.make_activation());
+  SyncVerifier verifier(spec.verifier);
+
+  RunOutcome outcome;
+  double max_weight = 0.0;
+
+  while (sim.round() < spec.max_rounds) {
+    const RoundReport report = sim.step();
+    max_weight = std::max(max_weight, report.broadcast_weight);
+    verifier.observe(sim);
+    if (sim.all_synced()) break;
+  }
+  outcome.synced = sim.all_synced();
+  outcome.rounds = sim.round();
+
+  for (RoundId i = 0; i < spec.extra_rounds; ++i) {
+    const RoundReport report = sim.step();
+    max_weight = std::max(max_weight, report.broadcast_weight);
+    verifier.observe(sim);
+  }
+
+  outcome.sync_latency.resize(static_cast<size_t>(spec.sim.n), -1);
+  for (NodeId id = 0; id < spec.sim.n; ++id) {
+    const RoundId sync_at = sim.sync_round(id);
+    const RoundId woke_at = sim.activation_round(id);
+    if (sync_at >= 0) {
+      outcome.last_sync_round = std::max(outcome.last_sync_round, sync_at);
+      WSYNC_CHECK(woke_at >= 0, "synced node without activation round");
+      outcome.sync_latency[static_cast<size_t>(id)] = sync_at - woke_at;
+    }
+  }
+
+  outcome.properties = verifier.report();
+  outcome.max_broadcast_weight = max_weight;
+  return outcome;
+}
+
+std::vector<RunOutcome> run_sync_experiments(
+    const RunSpec& spec, const std::vector<uint64_t>& seeds) {
+  std::vector<RunOutcome> outcomes;
+  outcomes.reserve(seeds.size());
+  RunSpec seeded = spec;
+  for (uint64_t seed : seeds) {
+    seeded.sim.seed = seed;
+    outcomes.push_back(run_sync_experiment(seeded));
+  }
+  return outcomes;
+}
+
+}  // namespace wsync

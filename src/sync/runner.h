@@ -1,0 +1,53 @@
+// Convenience harness: assemble a Simulation, drive it to liveness with the
+// verifier attached, and collect the measurements every experiment needs.
+#ifndef WSYNC_SYNC_RUNNER_H_
+#define WSYNC_SYNC_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+#include "src/protocol/protocol.h"
+#include "src/radio/activation.h"
+#include "src/radio/engine.h"
+#include "src/sync/verifier.h"
+
+namespace wsync {
+
+/// A reusable experiment description. Producers are invoked once per run so
+/// specs can be replayed across seeds (adversaries and schedules are
+/// stateful).
+struct RunSpec {
+  SimConfig sim;
+  ProtocolFactory factory;
+  std::function<std::unique_ptr<Adversary>()> make_adversary;
+  std::function<std::unique_ptr<ActivationSchedule>()> make_activation;
+  RoundId max_rounds = 0;
+  /// Keep stepping this many rounds after liveness to exercise the
+  /// post-synchronization behaviour (agreement must keep holding).
+  RoundId extra_rounds = 0;
+  VerifierConfig verifier;
+};
+
+struct RunOutcome {
+  bool synced = false;          ///< liveness reached within max_rounds
+  RoundId rounds = 0;           ///< rounds executed when liveness reached
+  RoundId last_sync_round = -1; ///< max over nodes of absolute sync round
+  /// Per node: rounds from its own activation to its first number
+  /// (-1 if never synchronized).
+  std::vector<RoundId> sync_latency;
+  SyncVerifier::Report properties;
+  double max_broadcast_weight = 0.0;
+};
+
+/// Runs one seeded experiment to completion.
+RunOutcome run_sync_experiment(const RunSpec& spec);
+
+/// Runs `spec` once per seed in `seeds` (overriding spec.sim.seed).
+std::vector<RunOutcome> run_sync_experiments(const RunSpec& spec,
+                                             const std::vector<uint64_t>& seeds);
+
+}  // namespace wsync
+
+#endif  // WSYNC_SYNC_RUNNER_H_

@@ -1,0 +1,64 @@
+#include "src/sync/verifier.h"
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+SyncVerifier::SyncVerifier(VerifierConfig config) : config_(config) {}
+
+void SyncVerifier::observe(const Simulation& sim) {
+  const int n = sim.config().n;
+  if (first_observation_) {
+    prev_.assign(static_cast<size_t>(n), SyncOutput{});
+    first_observation_ = false;
+  }
+  WSYNC_REQUIRE(static_cast<int>(prev_.size()) == n,
+                "verifier reused across simulations of different size");
+
+  ++report_.rounds_observed;
+
+  bool any_number = false;
+  int64_t round_number = 0;
+  int leaders = 0;
+
+  for (NodeId id = 0; id < n; ++id) {
+    if (!sim.is_active(id) || sim.is_crashed(id)) continue;
+    const SyncOutput current = sim.output(id);
+    const SyncOutput previous = prev_[static_cast<size_t>(id)];
+
+    // Synch Commit: non-⊥ may never be followed by ⊥.
+    if (previous.has_number() && current.is_bottom()) {
+      if (config_.allow_resync) {
+        ++report_.resyncs_observed;
+      } else {
+        ++report_.synch_commit_violations;
+      }
+    }
+
+    // Correctness: numbers increment by exactly one round-over-round.
+    if (previous.has_number() && current.has_number() &&
+        current.value != previous.value + 1) {
+      if (!config_.allow_resync) ++report_.correctness_violations;
+    }
+
+    // Agreement: all non-⊥ outputs within this round must be equal.
+    if (current.has_number()) {
+      if (any_number && current.value != round_number) {
+        ++report_.agreement_violations;
+      } else if (!any_number) {
+        any_number = true;
+        round_number = current.value;
+      }
+    }
+
+    if (sim.role(id) == Role::kLeader) ++leaders;
+
+    prev_[static_cast<size_t>(id)] = current;
+  }
+
+  if (leaders > report_.max_simultaneous_leaders) {
+    report_.max_simultaneous_leaders = leaders;
+  }
+}
+
+}  // namespace wsync

@@ -1,0 +1,45 @@
+// Tunable constants for the Trapdoor protocol.
+//
+// The paper specifies epoch lengths up to Θ(·); these constants make them
+// concrete. Defaults are calibrated so the with-high-probability claims hold
+// at the scales exercised by the test suite and benchmarks; every constant
+// is an ablation knob (see bench/ablation_fprime).
+#ifndef WSYNC_TRAPDOOR_CONFIG_H_
+#define WSYNC_TRAPDOOR_CONFIG_H_
+
+namespace wsync {
+
+struct TrapdoorConfig {
+  /// c1 in epoch length l_E = ceil(c1 * F' * lgN / (F' - t)) for the first
+  /// lgN - 1 epochs (paper: Theta(F'/(F'-t) * logN)).
+  double epoch_constant = 4.0;
+
+  /// c2 in the final epoch length l+_E = ceil(c2 * F'^2 * lgN / (F' - t))
+  /// (paper: Theta(F'^2/(F'-t) * logN)).
+  double final_epoch_constant = 4.0;
+
+  /// Use F' = min(F, 2t) as the paper prescribes. Setting this to false
+  /// makes contenders use the full band (the ablation baseline, which is
+  /// asymptotically worse when t << F: the final epoch must be ~F^2/(F-t)
+  /// instead of ~4t^2/t = Theta(t)).
+  bool restrict_to_fprime = true;
+
+  /// Probability with which a leader broadcasts its numbering each round
+  /// (paper: 1/2).
+  double leader_broadcast_prob = 0.5;
+};
+
+/// Extra knobs for the crash-fault-tolerant variant (Section 8).
+struct FaultToleranceConfig {
+  /// c in the restart timeout ceil(c * F'^2 * lgN / (F' - t)) rounds without
+  /// hearing the leader (paper: Omega(F^2/(F-t) * logN)).
+  double silence_constant = 8.0;
+
+  /// A node delays its first output until it has received this many leader
+  /// messages (the leader itself outputs immediately).
+  int min_leader_messages = 3;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_TRAPDOOR_CONFIG_H_

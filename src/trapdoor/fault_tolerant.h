@@ -1,0 +1,80 @@
+// Crash-fault-tolerant Trapdoor (paper Section 8, "Fault-tolerance").
+//
+// "We can easily modify the Trapdoor Protocol to tolerate crash failures:
+// whenever a node does not receive a message from the leader for
+// sufficiently long (e.g., Omega(F^2/(F-t) logN) rounds), it restarts.
+// Moreover, each node delays outputting a round number until it has
+// received sufficiently many messages from the leader."
+//
+// This wrapper drives an inner TrapdoorProtocol and adds:
+//   * a silence timeout: a non-leader node that hears no leader message for
+//     `silence_multiplier x schedule-total` rounds restarts the protocol
+//     from scratch (fresh timestamp age, same uid);
+//   * delayed output: the first non-bottom output is withheld until
+//     `min_leader_messages` leader messages have been received (the leader
+//     itself outputs immediately).
+//
+// Note: across a restart the node's output returns to bottom, so the Synch
+// Commit property holds between restarts, not across them — exactly the
+// compromise the paper's crash extension implies. The verifier supports
+// this via its allow_resync mode.
+#ifndef WSYNC_TRAPDOOR_FAULT_TOLERANT_H_
+#define WSYNC_TRAPDOOR_FAULT_TOLERANT_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/protocol/protocol.h"
+#include "src/trapdoor/config.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+
+struct FaultTolerantConfig {
+  TrapdoorConfig trapdoor;
+  /// Restart after silence_multiplier * inner-schedule-total rounds
+  /// without a leader message. The schedule total dominates the paper's
+  /// Omega(F^2/(F-t) logN), so this always satisfies the requirement.
+  double silence_multiplier = 2.0;
+  /// Leader messages required before the first output.
+  int min_leader_messages = 3;
+};
+
+class FaultTolerantTrapdoor final : public Protocol {
+ public:
+  FaultTolerantTrapdoor(const ProtocolEnv& env,
+                        const FaultTolerantConfig& config = {});
+
+  void on_activate(Rng& rng) override;
+  RoundAction act(Rng& rng) override;
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& rng) override;
+  SyncOutput output() const override;
+  Role role() const override { return inner_->role(); }
+  double broadcast_probability() const override {
+    return inner_->broadcast_probability();
+  }
+
+  static ProtocolFactory factory(const FaultTolerantConfig& config = {});
+
+  // Introspection.
+  int restarts() const { return restarts_; }
+  int64_t leader_messages() const { return leader_messages_; }
+  int64_t silence_timeout() const { return silence_timeout_; }
+  const TrapdoorProtocol& inner() const { return *inner_; }
+
+ private:
+  void restart(Rng& rng);
+
+  ProtocolEnv env_;
+  FaultTolerantConfig config_;
+  std::unique_ptr<TrapdoorProtocol> inner_;
+  int64_t silence_timeout_ = 0;
+  int64_t rounds_since_leader_ = 0;
+  int64_t leader_messages_ = 0;
+  int restarts_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_TRAPDOOR_FAULT_TOLERANT_H_

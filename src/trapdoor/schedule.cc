@@ -1,0 +1,113 @@
+#include "src/trapdoor/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+int TrapdoorSchedule::effective_band(int F, int t, bool restrict_to_fprime) {
+  WSYNC_REQUIRE(F >= 1 && t >= 0 && t < F, "need 0 <= t < F");
+  if (!restrict_to_fprime) return F;
+  return std::min<int64_t>(F, std::max<int64_t>(2L * t, 1));
+}
+
+namespace {
+
+/// Broadcast probability for 1-based epoch e: min(1/2, 2^e / (2 * Npow2)).
+double epoch_probability(int e, int64_t n_pow2) {
+  const double p =
+      std::ldexp(1.0, e) / (2.0 * static_cast<double>(n_pow2));
+  return std::min(0.5, p);
+}
+
+}  // namespace
+
+TrapdoorSchedule TrapdoorSchedule::standard(int F, int t, int64_t N,
+                                            const TrapdoorConfig& config) {
+  WSYNC_REQUIRE(N >= 1, "N must be at least 1");
+  WSYNC_REQUIRE(config.epoch_constant > 0.0 &&
+                    config.final_epoch_constant > 0.0,
+                "epoch constants must be positive");
+  const int f_prime = effective_band(F, t, config.restrict_to_fprime);
+  WSYNC_CHECK(f_prime > t || t == 0 || !config.restrict_to_fprime,
+              "F' must exceed t");
+  // Without the F' restriction t can only be compared against F (t < F is
+  // engine-enforced); with it, F' > t holds by construction (see header).
+  const int denom = std::max(1, f_prime - t);
+  const int lg_n = std::max(1, lg_ceil(N));
+
+  const auto epoch_len = static_cast<int64_t>(std::ceil(
+      config.epoch_constant * static_cast<double>(f_prime) *
+      static_cast<double>(lg_n) / static_cast<double>(denom)));
+  const auto final_len = static_cast<int64_t>(std::ceil(
+      config.final_epoch_constant * static_cast<double>(f_prime) *
+      static_cast<double>(f_prime) * static_cast<double>(lg_n) /
+      static_cast<double>(denom)));
+
+  return TrapdoorSchedule(f_prime, N, std::max<int64_t>(1, epoch_len),
+                          std::max<int64_t>(1, final_len));
+}
+
+TrapdoorSchedule::TrapdoorSchedule(int f_prime, int64_t N, int64_t epoch_len,
+                                   int64_t final_len) {
+  WSYNC_REQUIRE(f_prime >= 1, "F' must be at least 1");
+  WSYNC_REQUIRE(N >= 1, "N must be at least 1");
+  WSYNC_REQUIRE(epoch_len >= 1 && final_len >= 1,
+                "epoch lengths must be positive");
+  f_prime_ = f_prime;
+  lg_n_ = std::max(1, lg_ceil(N));
+  n_pow2_ = pow2(lg_n_);
+
+  epochs_.reserve(static_cast<size_t>(lg_n_));
+  for (int e = 1; e <= lg_n_; ++e) {
+    EpochSpec spec;
+    spec.index = e;
+    spec.length = (e == lg_n_) ? final_len : epoch_len;
+    spec.broadcast_prob = epoch_probability(e, n_pow2_);
+    epochs_.push_back(spec);
+  }
+  finalize();
+}
+
+void TrapdoorSchedule::finalize() {
+  epoch_start_.assign(epochs_.size() + 1, 0);
+  for (size_t i = 0; i < epochs_.size(); ++i) {
+    epoch_start_[i + 1] = epoch_start_[i] + epochs_[i].length;
+  }
+  total_rounds_ = epoch_start_.back();
+}
+
+const EpochSpec& TrapdoorSchedule::epoch(int i) const {
+  WSYNC_REQUIRE(i >= 0 && i < num_epochs(), "epoch index out of range");
+  return epochs_[static_cast<size_t>(i)];
+}
+
+TrapdoorSchedule::Position TrapdoorSchedule::position(int64_t age) const {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  Position pos;
+  if (age >= total_rounds_) {
+    pos.epoch = num_epochs();
+    pos.round_in_epoch = 0;
+    pos.finished = true;
+    return pos;
+  }
+  // Binary search over prefix sums.
+  const auto it = std::upper_bound(epoch_start_.begin(), epoch_start_.end(),
+                                   age);
+  const auto idx = static_cast<int>(it - epoch_start_.begin()) - 1;
+  pos.epoch = idx;
+  pos.round_in_epoch = age - epoch_start_[static_cast<size_t>(idx)];
+  pos.finished = false;
+  return pos;
+}
+
+double TrapdoorSchedule::broadcast_prob_at(int64_t age) const {
+  const Position pos = position(age);
+  if (pos.finished) return 0.0;
+  return epochs_[static_cast<size_t>(pos.epoch)].broadcast_prob;
+}
+
+}  // namespace wsync

@@ -1,0 +1,80 @@
+// The Trapdoor epoch schedule (paper Figure 1).
+//
+//   Epoch #   1 .. lgN-1                      lgN (final)
+//   Length    Theta(F'/(F'-t) * logN)         Theta(F'^2/(F'-t) * logN)
+//   Prob.     2^e / (2N)                      1/2
+//
+// with F' = min(F, 2t) (at least 1). A contender that survives all lgN
+// epochs becomes leader.
+#ifndef WSYNC_TRAPDOOR_SCHEDULE_H_
+#define WSYNC_TRAPDOOR_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trapdoor/config.h"
+
+namespace wsync {
+
+/// One epoch's parameters.
+struct EpochSpec {
+  int index = 0;               ///< 1-based epoch number, as in the paper
+  int64_t length = 0;          ///< rounds in this epoch
+  double broadcast_prob = 0.0; ///< per-round contender broadcast probability
+};
+
+class TrapdoorSchedule {
+ public:
+  /// The paper's Figure 1 schedule for parameters (F, t, N).
+  static TrapdoorSchedule standard(int F, int t, int64_t N,
+                                   const TrapdoorConfig& config = {});
+
+  /// Explicit schedule: lgN epochs over `f_prime` frequencies where every
+  /// non-final epoch has length `epoch_len` and the final epoch has length
+  /// `final_len`. Used directly by the Good Samaritan fallback, which wants
+  /// Theta(F * log^3 N) epochs.
+  TrapdoorSchedule(int f_prime, int64_t N, int64_t epoch_len,
+                   int64_t final_len);
+
+  /// F' = min(F, max(2t, 1)): the band the protocol actually uses.
+  static int effective_band(int F, int t, bool restrict_to_fprime);
+
+  int f_prime() const { return f_prime_; }
+  int lg_n() const { return lg_n_; }
+  int64_t n_pow2() const { return n_pow2_; }
+
+  int num_epochs() const { return static_cast<int>(epochs_.size()); }
+  const EpochSpec& epoch(int i) const;  ///< 0-based access
+  const std::vector<EpochSpec>& epochs() const { return epochs_; }
+
+  /// Total rounds a contender must survive to become leader.
+  int64_t total_rounds() const { return total_rounds_; }
+
+  /// Where a node with local age `age` (0-based rounds since activation)
+  /// stands in the schedule.
+  struct Position {
+    int epoch = 0;              ///< 0-based epoch index
+    int64_t round_in_epoch = 0; ///< 0-based
+    bool finished = false;      ///< age >= total_rounds()
+  };
+  Position position(int64_t age) const;
+
+  /// The contender broadcast probability at local age `age`
+  /// (0 if finished).
+  double broadcast_prob_at(int64_t age) const;
+
+ private:
+  TrapdoorSchedule() = default;
+  void finalize();
+
+  int f_prime_ = 1;
+  int lg_n_ = 1;
+  int64_t n_pow2_ = 2;
+  std::vector<EpochSpec> epochs_;
+  std::vector<int64_t> epoch_start_;  // prefix sums, size num_epochs()+1
+  int64_t total_rounds_ = 0;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_TRAPDOOR_SCHEDULE_H_

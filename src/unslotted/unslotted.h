@@ -1,0 +1,122 @@
+// Unslotted execution (paper Section 8, "Unsynchronized rounds").
+//
+// "Throughout this paper, we assumed that nodes agree in advance on
+// synchronized round boundaries. In general, however, slotted communication
+// models can be transformed into non-slotted models, with a constant
+// multiplicative cost; c.f., [1] (ALOHA). We believe that similar
+// techniques can be applied to modify our protocols to work in a setting
+// without synchronized round boundaries."
+//
+// This module implements that transformation and demonstrates it on the
+// paper's protocols. Physical time is divided into TICKS; each node's
+// logical round spans `ticks_per_slot` consecutive ticks, starting at a
+// per-node phase offset chosen at activation. A broadcaster retransmits its
+// message in every tick of its logical round; a listener receives the first
+// message from any tick of its logical round during which exactly one node
+// transmitted on its frequency and the adversary did not disrupt it. With
+// ticks_per_slot = 2 this is the classical doubling transform: any two
+// overlapping logical rounds share at least one full tick, so the slotted
+// analysis carries over at a 2x cost.
+//
+// Unchanged Protocol implementations (Trapdoor, Good Samaritan, ...) run on
+// top of this engine; only the notion of "round" differs. Outputs of
+// phase-shifted nodes can legitimately differ by one (their round
+// boundaries interleave), so the agreement property becomes "all non-bottom
+// outputs within any tick differ by at most one" — checked by
+// UnslottedSimulation::output_spread().
+#ifndef WSYNC_UNSLOTTED_UNSLOTTED_H_
+#define WSYNC_UNSLOTTED_UNSLOTTED_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/protocol/protocol.h"
+#include "src/radio/activation.h"
+#include "src/radio/engine_view.h"
+
+namespace wsync {
+
+struct UnslottedConfig {
+  int F = 1;
+  int t = 0;          ///< adversary budget PER TICK
+  int64_t N = 1;
+  int n = 1;
+  uint64_t seed = 1;
+  int ticks_per_slot = 2;  ///< transmission repetition factor (>= 1)
+};
+
+class UnslottedSimulation {
+ public:
+  /// `activation` is interpreted in slot units (slot s = ticks
+  /// [s*T, (s+1)*T)); each woken node draws a phase offset in [0, T).
+  UnslottedSimulation(const UnslottedConfig& config, ProtocolFactory factory,
+                      std::unique_ptr<Adversary> adversary,
+                      std::unique_ptr<ActivationSchedule> activation);
+
+  /// Executes one physical tick.
+  void tick();
+
+  struct RunResult {
+    bool synced = false;
+    int64_t ticks = 0;
+  };
+  /// Runs until every node has been activated and outputs a number, or the
+  /// tick budget is exhausted.
+  RunResult run_until_synced(int64_t max_ticks);
+
+  int64_t ticks() const { return now_; }
+  bool all_synced() const;
+  bool is_active(NodeId id) const;
+  SyncOutput output(NodeId id) const;
+  Role role(NodeId id) const;
+  int phase(NodeId id) const;  ///< the node's tick offset in [0, T)
+  /// Max difference between non-bottom outputs right now (0 or 1 in a
+  /// correct execution; -1 if fewer than two nodes output).
+  int64_t output_spread() const;
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<Protocol> protocol;
+    Rng rng{0};
+    bool active = false;
+    int phase = 0;             ///< tick offset of this node's round grid
+    int64_t round_start = -1;  ///< tick at which the current round began
+    // Current round's action, held for the whole round:
+    Frequency freq = kNoFrequency;
+    bool broadcasting = false;
+    Payload payload;
+    std::optional<Message> received;  ///< first clean reception this round
+    SyncOutput last_output;
+  };
+
+  void begin_round(NodeId id, NodeSlot& slot);
+  void end_round(NodeSlot& slot);
+
+  UnslottedConfig config_;
+  ProtocolFactory factory_;
+  std::unique_ptr<Adversary> adversary_;
+  std::unique_ptr<ActivationSchedule> activation_;
+
+  Rng adversary_rng_{0};
+  Rng activation_rng_{0};
+  Rng uid_rng_{0};
+  Rng phase_rng_{0};
+
+  std::vector<NodeSlot> nodes_;
+  int activated_total_ = 0;
+  int64_t now_ = 0;
+  EngineView view_;  ///< per-tick history for the adversary
+
+  // per-tick scratch
+  std::vector<int> transmitters_;
+  std::vector<NodeId> sole_transmitter_;
+  std::vector<char> disrupted_flag_;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_UNSLOTTED_UNSLOTTED_H_

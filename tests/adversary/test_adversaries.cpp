@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/basic.h"
+#include "src/adversary/bursty.h"
+#include "src/radio/engine.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace {
+
+using testing::FakeProtocol;
+using testing::test_payload;
+
+/// Minimal view for driving adversaries directly.
+class ViewFixture {
+ public:
+  ViewFixture(int F, int t) {
+    config_.F = F;
+    config_.t = t;
+    config_.N = 4;
+    config_.n = 1;
+    sim_ = std::make_unique<Simulation>(
+        config_, FakeProtocol::factory({}, nullptr),
+        std::make_unique<NoneAdversary>(),
+        std::make_unique<SimultaneousActivation>(1));
+  }
+
+  const EngineView& view() const { return sim_->view(); }
+  void step() { sim_->step(); }
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST(NoneAdversaryTest, DisruptsNothing) {
+  ViewFixture fx(8, 3);
+  NoneAdversary adversary;
+  Rng rng(1);
+  EXPECT_TRUE(adversary.disrupt(fx.view(), rng).empty());
+  EXPECT_TRUE(adversary.is_oblivious());
+}
+
+TEST(FixedSubsetAdversaryTest, DisruptsExactlyTheGivenSet) {
+  ViewFixture fx(8, 3);
+  FixedSubsetAdversary adversary({1, 4, 6});
+  Rng rng(1);
+  const auto d = adversary.disrupt(fx.view(), rng);
+  EXPECT_EQ(d, (std::vector<Frequency>{1, 4, 6}));
+}
+
+TEST(FixedSubsetAdversaryTest, FirstHelper) {
+  ViewFixture fx(8, 3);
+  FixedSubsetAdversary adversary(3);
+  Rng rng(1);
+  EXPECT_EQ(adversary.disrupt(fx.view(), rng),
+            (std::vector<Frequency>{0, 1, 2}));
+}
+
+TEST(FixedSubsetAdversaryTest, RejectsDuplicates) {
+  EXPECT_THROW(FixedSubsetAdversary({1, 1}), std::invalid_argument);
+  EXPECT_THROW(FixedSubsetAdversary({-1}), std::invalid_argument);
+}
+
+TEST(FixedSubsetAdversaryTest, RejectsOverBudget) {
+  ViewFixture fx(8, 2);
+  FixedSubsetAdversary adversary({0, 1, 2});
+  Rng rng(1);
+  EXPECT_THROW(adversary.disrupt(fx.view(), rng), std::invalid_argument);
+}
+
+TEST(RandomSubsetAdversaryTest, CorrectCountAndRange) {
+  ViewFixture fx(16, 5);
+  RandomSubsetAdversary adversary(5);
+  Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    const auto d = adversary.disrupt(fx.view(), rng);
+    EXPECT_EQ(d.size(), 5u);
+    std::set<Frequency> unique(d.begin(), d.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (Frequency f : d) {
+      EXPECT_GE(f, 0);
+      EXPECT_LT(f, 16);
+    }
+  }
+}
+
+TEST(RandomSubsetAdversaryTest, EventuallyCoversAllFrequencies) {
+  ViewFixture fx(8, 2);
+  RandomSubsetAdversary adversary(2);
+  Rng rng(5);
+  std::set<Frequency> seen;
+  for (int round = 0; round < 200; ++round) {
+    for (Frequency f : adversary.disrupt(fx.view(), rng)) seen.insert(f);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SweepAdversaryTest, WindowAdvances) {
+  ViewFixture fx(8, 3);
+  SweepAdversary adversary(3, 1, 1);
+  Rng rng(1);
+  // Round 0 (view.round() == 0): window starts at 0.
+  EXPECT_EQ(adversary.disrupt(fx.view(), rng),
+            (std::vector<Frequency>{0, 1, 2}));
+  fx.step();  // advance to round 1
+  EXPECT_EQ(adversary.disrupt(fx.view(), rng),
+            (std::vector<Frequency>{1, 2, 3}));
+}
+
+TEST(SweepAdversaryTest, WrapsAroundBand) {
+  ViewFixture fx(4, 3);
+  SweepAdversary adversary(3, 1, 1);
+  Rng rng(1);
+  fx.step();
+  fx.step();  // round 2: window {2, 3, 0}
+  auto d = adversary.disrupt(fx.view(), rng);
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<Frequency>{0, 2, 3}));
+}
+
+TEST(DutyCycleAdversaryTest, OnOffPattern) {
+  ViewFixture fx(8, 2);
+  DutyCycleAdversary adversary({0, 1}, 4, 2);
+  Rng rng(1);
+  EXPECT_FALSE(adversary.disrupt(fx.view(), rng).empty());  // round 0: on
+  fx.step();
+  EXPECT_FALSE(adversary.disrupt(fx.view(), rng).empty());  // round 1: on
+  fx.step();
+  EXPECT_TRUE(adversary.disrupt(fx.view(), rng).empty());   // round 2: off
+  fx.step();
+  EXPECT_TRUE(adversary.disrupt(fx.view(), rng).empty());   // round 3: off
+  fx.step();
+  EXPECT_FALSE(adversary.disrupt(fx.view(), rng).empty());  // round 4: on
+}
+
+TEST(GilbertElliottAdversaryTest, StaysWithinBudgetAndTogglesStates) {
+  ViewFixture fx(8, 4);
+  GilbertElliottAdversary::Params params;
+  params.p_good_to_bad = 0.5;
+  params.p_bad_to_good = 0.5;
+  params.good_count = 0;
+  params.bad_count = 4;
+  GilbertElliottAdversary adversary(params);
+  Rng rng(11);
+  bool saw_good = false;
+  bool saw_bad = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = adversary.disrupt(fx.view(), rng);
+    EXPECT_LE(d.size(), 4u);
+    if (d.empty()) saw_good = true;
+    if (d.size() == 4u) saw_bad = true;
+  }
+  EXPECT_TRUE(saw_good);
+  EXPECT_TRUE(saw_bad);
+}
+
+TEST(GilbertElliottAdversaryTest, IsObliviousByConstruction) {
+  GilbertElliottAdversary adversary({});
+  EXPECT_TRUE(adversary.is_oblivious());
+}
+
+TEST(GreedyListenerAdversaryTest, TargetsCrowdedFrequency) {
+  // Nodes 1..3 listen on frequency 5 every round; the greedy adversary must
+  // jam frequency 5 from round 1 on.
+  SimConfig config;
+  config.F = 8;
+  config.t = 1;
+  config.N = 4;
+  config.n = 4;
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(5, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(5)};
+  scripts[2].actions = {RoundAction::listen(5)};
+  scripts[3].actions = {RoundAction::listen(5)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  Simulation sim(config, FakeProtocol::factory(scripts, &nodes),
+                 std::make_unique<GreedyListenerAdversary>(1),
+                 std::make_unique<SimultaneousActivation>(4));
+
+  sim.step();  // round 0: no history yet; deliveries happen
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  sim.step();  // round 1: adversary saw the listeners, jams frequency 5
+  EXPECT_FALSE(nodes[1]->receptions[1].has_value());
+}
+
+TEST(GreedyDeliveryAdversaryTest, LearnsFromDeliveries) {
+  SimConfig config;
+  config.F = 4;
+  config.t = 1;
+  config.N = 2;
+  config.n = 2;
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(2, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(2)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  Simulation sim(config, FakeProtocol::factory(scripts, &nodes),
+                 std::make_unique<GreedyDeliveryAdversary>(1),
+                 std::make_unique<SimultaneousActivation>(2));
+
+  sim.step();  // round 0: delivery on frequency 2
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  sim.step();  // round 1: adversary jams frequency 2
+  EXPECT_FALSE(nodes[1]->receptions[1].has_value());
+  sim.step();  // keeps jamming while score dominates
+  EXPECT_FALSE(nodes[1]->receptions[2].has_value());
+}
+
+TEST(AdaptiveAdversaryTest, ValidatesCount) {
+  EXPECT_THROW(GreedyDeliveryAdversary(-1), std::invalid_argument);
+  EXPECT_THROW(GreedyDeliveryAdversary(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(GreedyListenerAdversary(-2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

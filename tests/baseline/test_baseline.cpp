@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/adversary/basic.h"
+#include "src/baseline/aloha.h"
+#include "src/baseline/wakeup.h"
+#include "src/sync/runner.h"
+
+namespace wsync {
+namespace {
+
+ProtocolEnv make_env(int F, int t, int64_t N, uint64_t uid) {
+  ProtocolEnv env;
+  env.F = F;
+  env.t = t;
+  env.N = N;
+  env.uid = uid;
+  return env;
+}
+
+TEST(WakeupBaselineTest, UsesFullBand) {
+  WakeupBaseline p(make_env(16, 6, 64, 42));
+  Rng rng(1);
+  p.on_activate(rng);
+  bool beyond_fprime = false;  // F' would be 12; the baseline ignores it
+  for (int i = 0; i < 2000; ++i) {
+    const RoundAction action = p.act(rng);
+    EXPECT_GE(action.frequency, 0);
+    EXPECT_LT(action.frequency, 16);
+    if (action.frequency >= 12) beyond_fprime = true;
+    p.on_round_end(std::nullopt, rng);
+  }
+  EXPECT_TRUE(beyond_fprime);
+}
+
+TEST(WakeupBaselineTest, SelfPromotesAfterOneCycle) {
+  WakeupBaseline p(make_env(4, 0, 16, 42));
+  Rng rng(2);
+  p.on_activate(rng);
+  int64_t rounds = 0;
+  while (p.role() == Role::kContender) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+    ++rounds;
+    ASSERT_LT(rounds, 100000);
+  }
+  EXPECT_EQ(p.role(), Role::kLeader);
+  EXPECT_TRUE(p.output().has_number());
+}
+
+TEST(WakeupBaselineTest, KnockedOutByLargerTimestamp) {
+  WakeupBaseline p(make_env(4, 0, 16, 42));
+  Rng rng(3);
+  p.on_activate(rng);
+  p.act(rng);
+  Message m;
+  ContenderMsg msg;
+  msg.ts = Timestamp{50, 7};
+  m.payload = msg;
+  p.on_round_end(m, rng);
+  EXPECT_EQ(p.role(), Role::kKnockedOut);
+}
+
+TEST(WakeupBaselineTest, SolvesCleanSimultaneousCase) {
+  RunSpec spec;
+  spec.sim.F = 8;
+  spec.sim.t = 0;
+  spec.sim.N = 16;
+  spec.sim.n = 6;
+  spec.sim.seed = 11;
+  spec.factory = WakeupBaseline::factory();
+  spec.make_adversary = [] { return std::make_unique<NoneAdversary>(); };
+  spec.make_activation = [] {
+    return std::make_unique<SimultaneousActivation>(6);
+  };
+  spec.max_rounds = 100000;
+  const RunOutcome outcome = run_sync_experiment(spec);
+  EXPECT_TRUE(outcome.synced);
+}
+
+TEST(AlohaSyncTest, PromotesAfterQuietPeriod) {
+  AlohaConfig config;
+  config.promote_after = 10;
+  AlohaSync p(make_env(4, 0, 16, 42), config);
+  Rng rng(4);
+  p.on_activate(rng);
+  for (int i = 0; i < 10; ++i) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  EXPECT_EQ(p.role(), Role::kLeader);
+}
+
+TEST(AlohaSyncTest, HearingContenderResetsQuietCounter) {
+  AlohaConfig config;
+  config.promote_after = 10;
+  AlohaSync p(make_env(4, 0, 16, 42), config);
+  Rng rng(5);
+  p.on_activate(rng);
+  for (int i = 0; i < 30; ++i) {
+    p.act(rng);
+    if (i % 5 == 4) {
+      Message m;
+      ContenderMsg msg;
+      msg.ts = Timestamp{static_cast<int64_t>(i), 7};
+      m.payload = msg;
+      p.on_round_end(m, rng);
+    } else {
+      p.on_round_end(std::nullopt, rng);
+    }
+  }
+  EXPECT_EQ(p.role(), Role::kContender);  // never 10 quiet rounds in a row
+}
+
+TEST(AlohaSyncTest, AdoptsLeaderMessage) {
+  AlohaSync p(make_env(4, 0, 16, 42));
+  Rng rng(6);
+  p.on_activate(rng);
+  p.act(rng);
+  Message m;
+  LeaderMsg msg;
+  msg.leader_uid = 9;
+  msg.round_number = 1000;
+  m.payload = msg;
+  p.on_round_end(m, rng);
+  EXPECT_EQ(p.role(), Role::kSynced);
+  EXPECT_EQ(p.output().value, 1000);
+  p.act(rng);
+  p.on_round_end(std::nullopt, rng);
+  EXPECT_EQ(p.output().value, 1001);
+}
+
+TEST(AlohaSyncTest, ValidatesConfig) {
+  AlohaConfig bad;
+  bad.broadcast_prob = 0.0;
+  EXPECT_THROW(AlohaSync(make_env(4, 0, 16, 1), bad), std::invalid_argument);
+  bad = AlohaConfig{};
+  bad.promote_after = 0;
+  EXPECT_THROW(AlohaSync(make_env(4, 0, 16, 1), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

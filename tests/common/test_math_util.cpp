@@ -1,0 +1,108 @@
+#include "src/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsync {
+namespace {
+
+TEST(MathUtilTest, LgCeil) {
+  EXPECT_EQ(lg_ceil(1), 0);
+  EXPECT_EQ(lg_ceil(2), 1);
+  EXPECT_EQ(lg_ceil(3), 2);
+  EXPECT_EQ(lg_ceil(4), 2);
+  EXPECT_EQ(lg_ceil(5), 3);
+  EXPECT_EQ(lg_ceil(1023), 10);
+  EXPECT_EQ(lg_ceil(1024), 10);
+  EXPECT_EQ(lg_ceil(1025), 11);
+  EXPECT_THROW(lg_ceil(0), std::invalid_argument);
+}
+
+TEST(MathUtilTest, LgFloor) {
+  EXPECT_EQ(lg_floor(1), 0);
+  EXPECT_EQ(lg_floor(2), 1);
+  EXPECT_EQ(lg_floor(3), 1);
+  EXPECT_EQ(lg_floor(4), 2);
+  EXPECT_EQ(lg_floor(1023), 9);
+  EXPECT_EQ(lg_floor(1024), 10);
+  EXPECT_THROW(lg_floor(0), std::invalid_argument);
+}
+
+TEST(MathUtilTest, Pow2) {
+  EXPECT_EQ(pow2(0), 1);
+  EXPECT_EQ(pow2(1), 2);
+  EXPECT_EQ(pow2(10), 1024);
+  EXPECT_EQ(pow2(62), int64_t{1} << 62);
+  EXPECT_THROW(pow2(-1), std::invalid_argument);
+  EXPECT_THROW(pow2(63), std::invalid_argument);
+}
+
+TEST(MathUtilTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+}
+
+TEST(MathUtilTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(63));
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_THROW(ceil_div(-1, 4), std::invalid_argument);
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+}
+
+TEST(MathUtilTest, SuccessProbabilityMatchesDirectFormula) {
+  for (int64_t n : {int64_t{1}, int64_t{2}, int64_t{10}, int64_t{100}}) {
+    for (double p : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+      const double direct =
+          n * p * std::pow(1.0 - p, static_cast<double>(n - 1));
+      EXPECT_NEAR(success_probability(n, p), direct, 1e-12)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(MathUtilTest, SuccessProbabilityEdges) {
+  EXPECT_DOUBLE_EQ(success_probability(5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(success_probability(1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(success_probability(2, 1.0), 0.0);
+}
+
+TEST(MathUtilTest, SuccessProbabilityPeaksNearOneOverN) {
+  // n p (1-p)^{n-1} is maximized at p = 1/n.
+  const int64_t n = 64;
+  const double at_peak = success_probability(n, 1.0 / n);
+  EXPECT_GT(at_peak, success_probability(n, 0.5 / n));
+  EXPECT_GT(at_peak, success_probability(n, 2.0 / n));
+  // Peak value approaches 1/e for large n.
+  EXPECT_NEAR(at_peak, 1.0 / std::exp(1.0), 0.02);
+}
+
+TEST(MathUtilTest, SuccessProbabilityHandlesHugeN) {
+  // Must not underflow to garbage: for n = 2^40 and p = 2^-40 the value is
+  // about 1/e.
+  const double v = success_probability(int64_t{1} << 40,
+                                       std::ldexp(1.0, -40));
+  EXPECT_NEAR(v, 1.0 / std::exp(1.0), 0.01);
+}
+
+TEST(MathUtilTest, LogBinomial) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(log_binomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(log_binomial(10, 10), 0.0, 1e-9);
+  EXPECT_THROW(log_binomial(3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

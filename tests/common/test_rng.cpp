@@ -1,0 +1,213 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wsync {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all of -2..3 appear
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsAboutHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(29);
+  const double p = 0.3;
+  const int trials = 100000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(31);
+  const std::array<double, 3> weights = {1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.discrete(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.50, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(RngTest, DiscreteZeroWeightNeverChosen) {
+  Rng rng(37);
+  const std::array<double, 3> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(rng.discrete(weights), 1u);
+  }
+}
+
+TEST(RngTest, DiscreteRejectsBadInput) {
+  Rng rng(41);
+  const std::array<double, 2> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.discrete(zero), std::invalid_argument);
+  const std::array<double, 2> negative = {-1.0, 2.0};
+  EXPECT_THROW(rng.discrete(negative), std::invalid_argument);
+  EXPECT_THROW(rng.discrete(std::span<const double>{}),
+               std::invalid_argument);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng a1 = parent.fork(1);
+  Rng a2 = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Same tag -> identical stream.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  }
+  // Different tag -> different stream.
+  Rng a3 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a3.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParentStream) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.fork(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(47);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, SplitMixIsDeterministic) {
+  uint64_t s1 = 123;
+  uint64_t s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+// Chi-squared sanity check on next_below uniformity.
+TEST(RngTest, NextBelowUniformityChiSquared) {
+  Rng rng(53);
+  constexpr int kBuckets = 16;
+  constexpr int kTrials = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kTrials) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace wsync

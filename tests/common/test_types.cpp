@@ -1,0 +1,58 @@
+#include "src/common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace wsync {
+namespace {
+
+TEST(TimestampTest, LexicographicOrderAgeFirst) {
+  const Timestamp early{10, 1};   // active longer == woke earlier
+  const Timestamp late{3, 999};
+  EXPECT_GT(early, late);
+  EXPECT_LT(late, early);
+}
+
+TEST(TimestampTest, UidBreaksTies) {
+  const Timestamp a{5, 100};
+  const Timestamp b{5, 200};
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(TimestampTest, Equality) {
+  const Timestamp a{5, 100};
+  const Timestamp b{5, 100};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(a > b);
+}
+
+TEST(SyncOutputTest, DefaultIsBottom) {
+  const SyncOutput out;
+  EXPECT_TRUE(out.is_bottom());
+  EXPECT_FALSE(out.has_number());
+}
+
+TEST(SyncOutputTest, NumberIsNotBottom) {
+  const SyncOutput out{42};
+  EXPECT_FALSE(out.is_bottom());
+  EXPECT_TRUE(out.has_number());
+  EXPECT_EQ(out.value, 42);
+}
+
+TEST(SyncOutputTest, NegativeAndZeroNumbersAreValid) {
+  EXPECT_TRUE(SyncOutput{0}.has_number());
+  EXPECT_TRUE(SyncOutput{-5}.has_number());
+}
+
+TEST(RoleTest, AllRolesHaveNames) {
+  for (const Role role :
+       {Role::kInactive, Role::kContender, Role::kSamaritan,
+        Role::kKnockedOut, Role::kPassive, Role::kFallback, Role::kLeader,
+        Role::kSynced, Role::kCrashed}) {
+    EXPECT_STRNE(to_string(role), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,220 @@
+// Section 8 fault-tolerance extension: crash the leader, survivors restart
+// and re-synchronize.
+#include <gtest/gtest.h>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/sync/verifier.h"
+#include "src/trapdoor/fault_tolerant.h"
+
+namespace wsync {
+namespace {
+
+struct Fixture {
+  explicit Fixture(uint64_t seed, int n = 5, int F = 8, int t = 2) {
+    config.F = F;
+    config.t = t;
+    config.N = 16;
+    config.n = n;
+    config.seed = seed;
+    sim = std::make_unique<Simulation>(
+        config, FaultTolerantTrapdoor::factory(),
+        std::make_unique<RandomSubsetAdversary>(t),
+        std::make_unique<SimultaneousActivation>(n));
+  }
+
+  NodeId find_leader() const {
+    for (NodeId id = 0; id < config.n; ++id) {
+      if (!sim->is_crashed(id) && sim->role(id) == Role::kLeader) return id;
+    }
+    return kNoNode;
+  }
+
+  SimConfig config;
+  std::unique_ptr<Simulation> sim;
+};
+
+TEST(CrashRecoveryTest, SurvivorsReelectAfterLeaderCrash) {
+  Fixture fx(42);
+  // Phase 1: reach liveness.
+  auto result = fx.sim->run_until_synced(500000);
+  ASSERT_TRUE(result.synced);
+  const NodeId old_leader = fx.find_leader();
+  ASSERT_NE(old_leader, kNoNode);
+
+  // Phase 2: crash the leader; survivors must time out, restart, and
+  // eventually re-synchronize under a fresh leader. Note all_synced() stays
+  // true until the survivors' silence timeouts fire (they keep counting the
+  // adopted numbering), so we drive explicitly until a new leader exists
+  // and everyone has re-adopted its numbering.
+  fx.sim->crash(old_leader);
+  const RoundId budget = fx.sim->round() + 4000000;
+  while (fx.sim->round() < budget &&
+         !(fx.find_leader() != kNoNode && fx.sim->all_synced())) {
+    fx.sim->step();
+  }
+  const NodeId new_leader = fx.find_leader();
+  ASSERT_NE(new_leader, kNoNode);
+  ASSERT_TRUE(fx.sim->all_synced());
+  EXPECT_NE(new_leader, old_leader);
+
+  // At least one survivor restarted.
+  int restarts = 0;
+  for (NodeId id = 0; id < fx.config.n; ++id) {
+    if (fx.sim->is_crashed(id)) continue;
+    const auto& p =
+        dynamic_cast<const FaultTolerantTrapdoor&>(fx.sim->protocol(id));
+    restarts += p.restarts();
+  }
+  EXPECT_GT(restarts, 0);
+}
+
+TEST(CrashRecoveryTest, PropertiesHoldModuloResync) {
+  Fixture fx(7, 4);
+  SyncVerifier verifier(VerifierConfig{.allow_resync = true});
+
+  // Run to liveness, crash the leader, run to recovery, verifying all along.
+  while (!fx.sim->all_synced() && fx.sim->round() < 500000) {
+    fx.sim->step();
+    verifier.observe(*fx.sim);
+  }
+  ASSERT_TRUE(fx.sim->all_synced());
+  const NodeId leader = fx.find_leader();
+  ASSERT_NE(leader, kNoNode);
+  fx.sim->crash(leader);
+
+  const RoundId budget = fx.sim->round() + 4000000;
+  while (fx.sim->round() < budget) {
+    fx.sim->step();
+    verifier.observe(*fx.sim);
+    if (fx.find_leader() != kNoNode && fx.sim->all_synced()) break;
+  }
+  ASSERT_NE(fx.find_leader(), kNoNode);
+  ASSERT_TRUE(fx.sim->all_synced());
+  EXPECT_TRUE(verifier.report().ok());
+  EXPECT_GT(verifier.report().resyncs_observed, 0);
+}
+
+TEST(CrashRecoveryTest, NonLeaderCrashDoesNotDisturbOthers) {
+  Fixture fx(99, 5);
+  auto result = fx.sim->run_until_synced(500000);
+  ASSERT_TRUE(result.synced);
+  const NodeId leader = fx.find_leader();
+  ASSERT_NE(leader, kNoNode);
+
+  // Crash a synced non-leader; everyone else keeps outputting numbers.
+  const NodeId victim = leader == 0 ? 1 : 0;
+  fx.sim->crash(victim);
+  for (int i = 0; i < 2000; ++i) fx.sim->step();
+  EXPECT_TRUE(fx.sim->all_synced());
+  EXPECT_EQ(fx.find_leader(), leader);
+  int restarts = 0;
+  for (NodeId id = 0; id < fx.config.n; ++id) {
+    if (fx.sim->is_crashed(id)) continue;
+    restarts += dynamic_cast<const FaultTolerantTrapdoor&>(
+                    fx.sim->protocol(id))
+                    .restarts();
+  }
+  EXPECT_EQ(restarts, 0);
+}
+
+TEST(FaultTolerantTrapdoorTest, DelaysOutputUntilEnoughLeaderMessages) {
+  ProtocolEnv env;
+  env.F = 8;
+  env.t = 2;
+  env.N = 16;
+  env.uid = 42;
+  FaultTolerantConfig config;
+  config.min_leader_messages = 3;
+  FaultTolerantTrapdoor p(env, config);
+  Rng rng(1);
+  p.on_activate(rng);
+
+  auto leader_msg = [](int64_t number) {
+    Message m;
+    LeaderMsg msg;
+    msg.leader_uid = 9;
+    msg.round_number = number;
+    m.payload = msg;
+    return m;
+  };
+
+  p.act(rng);
+  p.on_round_end(leader_msg(100), rng);
+  EXPECT_TRUE(p.output().is_bottom());  // 1 of 3
+  p.act(rng);
+  p.on_round_end(leader_msg(101), rng);
+  EXPECT_TRUE(p.output().is_bottom());  // 2 of 3
+  p.act(rng);
+  p.on_round_end(leader_msg(102), rng);
+  EXPECT_TRUE(p.output().has_number());  // 3 of 3
+  EXPECT_EQ(p.output().value, 102);
+}
+
+TEST(FaultTolerantTrapdoorTest, RestartsAfterSilenceTimeout) {
+  ProtocolEnv env;
+  env.F = 4;
+  env.t = 1;
+  env.N = 4;
+  env.uid = 42;
+  FaultTolerantConfig config;
+  config.silence_multiplier = 1.0;
+  FaultTolerantTrapdoor p(env, config);
+  Rng rng(2);
+  p.on_activate(rng);
+
+  // Knock the inner protocol out so it cannot become leader, then starve it
+  // of leader messages past the timeout.
+  Message knockout;
+  ContenderMsg msg;
+  msg.ts = Timestamp{1000, 7};
+  knockout.payload = msg;
+  p.act(rng);
+  p.on_round_end(knockout, rng);
+  ASSERT_EQ(p.role(), Role::kKnockedOut);
+
+  const int64_t timeout = p.silence_timeout();
+  for (int64_t i = 0; i <= timeout + 2; ++i) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  EXPECT_GE(p.restarts(), 1);
+  EXPECT_EQ(p.role(), Role::kContender);  // fresh competitor
+}
+
+TEST(FaultTolerantTrapdoorTest, LeaderNeverRestartsOnSilence) {
+  ProtocolEnv env;
+  env.F = 2;
+  env.t = 0;
+  env.N = 2;
+  env.uid = 42;
+  FaultTolerantConfig config;
+  config.silence_multiplier = 1.0;
+  FaultTolerantTrapdoor p(env, config);
+  Rng rng(3);
+  p.on_activate(rng);
+  // Run alone long past the timeout: becomes leader and stays leader.
+  const int64_t rounds = 4 * p.silence_timeout() + 100;
+  for (int64_t i = 0; i < rounds; ++i) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  EXPECT_EQ(p.role(), Role::kLeader);
+  EXPECT_EQ(p.restarts(), 0);
+}
+
+TEST(FaultTolerantTrapdoorTest, ValidatesConfig) {
+  ProtocolEnv env;
+  env.F = 4;
+  env.t = 1;
+  env.N = 4;
+  FaultTolerantConfig bad;
+  bad.silence_multiplier = 0.5;
+  EXPECT_THROW(FaultTolerantTrapdoor(env, bad), std::invalid_argument);
+  bad = FaultTolerantConfig{};
+  bad.min_leader_messages = 0;
+  EXPECT_THROW(FaultTolerantTrapdoor(env, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,161 @@
+// Engine-level invariant fuzzing: run real protocols over a grid of
+// configurations with a recording trace and check, for every round, the
+// physical-layer invariants of the Section 2 model plus protocol role
+// monotonicity.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/basic.h"
+#include "src/adversary/bursty.h"
+#include "src/baseline/wakeup.h"
+#include "src/radio/engine.h"
+#include "src/radio/trace.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+struct FuzzCase {
+  int F;
+  int t;
+  int64_t N;
+  int n;
+  int protocol;   // 0 = trapdoor, 1 = good samaritan, 2 = wakeup baseline
+  int adversary;  // 0 = none, 1 = fixed, 2 = random, 3 = greedy, 4 = bursty
+  uint64_t seed;
+};
+
+std::string fuzz_name(const ::testing::TestParamInfo<FuzzCase>& info) {
+  const FuzzCase& c = info.param;
+  return "F" + std::to_string(c.F) + "t" + std::to_string(c.t) + "n" +
+         std::to_string(c.n) + "p" + std::to_string(c.protocol) + "a" +
+         std::to_string(c.adversary) + "s" + std::to_string(c.seed);
+}
+
+ProtocolFactory pick_protocol(int protocol) {
+  switch (protocol) {
+    case 0: return TrapdoorProtocol::factory();
+    case 1: return GoodSamaritanProtocol::factory();
+    default: return WakeupBaseline::factory();
+  }
+}
+
+std::unique_ptr<Adversary> pick_adversary(int adversary, int t) {
+  switch (adversary) {
+    case 0: return std::make_unique<NoneAdversary>();
+    case 1: return std::make_unique<FixedSubsetAdversary>(t);
+    case 2: return std::make_unique<RandomSubsetAdversary>(t);
+    case 3: return std::make_unique<GreedyDeliveryAdversary>(t);
+    default: {
+      GilbertElliottAdversary::Params params;
+      params.bad_count = t;
+      return std::make_unique<GilbertElliottAdversary>(params);
+    }
+  }
+}
+
+/// Legal role transitions for the protocols under test (reflexive
+/// transitions always allowed).
+bool legal_transition(Role from, Role to) {
+  if (from == to) return true;
+  switch (from) {
+    case Role::kInactive:
+      // Roles are sampled once per round: a node can be activated AND
+      // process its first reception within the same observed step, so any
+      // single-message successor of "contender" is reachable directly.
+      return to == Role::kContender || to == Role::kSamaritan ||
+             to == Role::kKnockedOut || to == Role::kSynced ||
+             to == Role::kLeader;
+    case Role::kContender:
+      return to == Role::kSamaritan || to == Role::kKnockedOut ||
+             to == Role::kLeader || to == Role::kSynced ||
+             to == Role::kFallback;
+    case Role::kSamaritan:
+      return to == Role::kPassive || to == Role::kSynced ||
+             to == Role::kFallback;
+    case Role::kFallback:
+      return to == Role::kKnockedOut || to == Role::kLeader ||
+             to == Role::kSynced;
+    case Role::kKnockedOut:
+    case Role::kPassive:
+      return to == Role::kSynced;
+    case Role::kLeader:
+    case Role::kSynced:
+    case Role::kCrashed:
+      return false;  // terminal
+  }
+  return false;
+}
+
+class EngineInvariantTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(EngineInvariantTest, PhysicalAndRoleInvariantsHoldEveryRound) {
+  const FuzzCase& c = GetParam();
+  SimConfig config;
+  config.F = c.F;
+  config.t = c.t;
+  config.N = c.N;
+  config.n = c.n;
+  config.seed = c.seed;
+
+  MemoryTrace trace;
+  Simulation sim(config, pick_protocol(c.protocol),
+                 pick_adversary(c.adversary, c.t),
+                 std::make_unique<StaggeredUniformActivation>(c.n, 16),
+                 &trace);
+
+  std::vector<Role> last_role(static_cast<size_t>(c.n), Role::kInactive);
+  const int rounds = 3000;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundReport report = sim.step();
+
+    // Physical-layer invariants from the trace.
+    const RoundTraceEvent& event = trace.rounds().back();
+    ASSERT_EQ(event.round, r);
+    EXPECT_LE(static_cast<int>(event.disrupted.size()), c.t);
+    int listeners_total = 0;
+    int broadcasters_total = 0;
+    for (const FreqRoundStats& fs : event.stats.per_freq) {
+      EXPECT_EQ(fs.delivered, fs.broadcasters == 1 && !fs.disrupted);
+      listeners_total += fs.listeners;
+      broadcasters_total += fs.broadcasters;
+    }
+    // Every active node is either listening or broadcasting somewhere.
+    EXPECT_EQ(listeners_total + broadcasters_total, event.active_nodes);
+    EXPECT_EQ(broadcasters_total, report.broadcasters);
+    // Deliveries never exceed listeners.
+    EXPECT_LE(report.deliveries, listeners_total);
+    // Broadcast weight is a sum of probabilities over active nodes.
+    EXPECT_GE(report.broadcast_weight, 0.0);
+    EXPECT_LE(report.broadcast_weight,
+              static_cast<double>(event.active_nodes) + 1e-9);
+
+    // Role monotonicity.
+    for (NodeId id = 0; id < c.n; ++id) {
+      const Role now = sim.role(id);
+      const Role before = last_role[static_cast<size_t>(id)];
+      EXPECT_TRUE(legal_transition(before, now))
+          << "node " << id << " round " << r << ": " << to_string(before)
+          << " -> " << to_string(now);
+      last_role[static_cast<size_t>(id)] = now;
+    }
+    if (sim.all_synced()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, EngineInvariantTest,
+    ::testing::Values(
+        FuzzCase{4, 0, 8, 4, 0, 0, 1}, FuzzCase{8, 2, 16, 8, 0, 2, 2},
+        FuzzCase{8, 6, 16, 8, 0, 2, 3}, FuzzCase{16, 4, 32, 12, 0, 3, 4},
+        FuzzCase{8, 4, 16, 6, 1, 2, 5}, FuzzCase{8, 4, 16, 6, 1, 1, 6},
+        FuzzCase{16, 8, 16, 4, 1, 4, 7}, FuzzCase{8, 2, 16, 8, 2, 2, 8},
+        FuzzCase{8, 6, 16, 10, 2, 1, 9}, FuzzCase{2, 1, 8, 4, 0, 1, 10},
+        FuzzCase{1, 0, 4, 3, 0, 0, 11}, FuzzCase{32, 8, 64, 16, 0, 2, 12}),
+    fuzz_name);
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,123 @@
+// Repeated leader crashes: the fault-tolerant Trapdoor must survive a
+// sequence of leader failures, re-electing and re-synchronizing each time
+// (Section 8: tolerance to nodes crashing, within the oblivious-failure
+// model).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/fault_tolerant.h"
+
+namespace wsync {
+namespace {
+
+NodeId find_leader(const Simulation& sim, int n) {
+  for (NodeId id = 0; id < n; ++id) {
+    if (!sim.is_crashed(id) && sim.role(id) == Role::kLeader) return id;
+  }
+  return kNoNode;
+}
+
+bool run_to_recovery(Simulation& sim, int n, RoundId budget) {
+  while (sim.round() < budget) {
+    sim.step();
+    if (find_leader(sim, n) != kNoNode && sim.all_synced()) return true;
+  }
+  return false;
+}
+
+TEST(RepeatedCrashTest, SurvivesThreeSequentialLeaderCrashes) {
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 16;
+  config.n = 6;
+  config.seed = 777;
+  Simulation sim(config, FaultTolerantTrapdoor::factory(),
+                 std::make_unique<RandomSubsetAdversary>(config.t),
+                 std::make_unique<SimultaneousActivation>(config.n));
+
+  ASSERT_TRUE(sim.run_until_synced(1000000).synced);
+
+  std::set<NodeId> crashed_leaders;
+  for (int wave = 0; wave < 3; ++wave) {
+    const NodeId leader = find_leader(sim, config.n);
+    ASSERT_NE(leader, kNoNode) << "wave " << wave;
+    EXPECT_FALSE(crashed_leaders.count(leader));
+    sim.crash(leader);
+    crashed_leaders.insert(leader);
+    ASSERT_TRUE(run_to_recovery(sim, config.n, sim.round() + 8000000))
+        << "no recovery after crash wave " << wave;
+  }
+
+  // Three leaders died; the remaining three nodes are synchronized under a
+  // fourth.
+  EXPECT_EQ(crashed_leaders.size(), 3u);
+  const NodeId final_leader = find_leader(sim, config.n);
+  ASSERT_NE(final_leader, kNoNode);
+  EXPECT_FALSE(crashed_leaders.count(final_leader));
+
+  // Outputs of the three survivors agree and keep incrementing.
+  int64_t prev = -1;
+  for (int i = 0; i < 20; ++i) {
+    sim.step();
+    int64_t value = -1;
+    for (NodeId id = 0; id < config.n; ++id) {
+      if (sim.is_crashed(id)) continue;
+      const SyncOutput out = sim.output(id);
+      ASSERT_TRUE(out.has_number());
+      if (value < 0) value = out.value;
+      EXPECT_EQ(out.value, value);
+    }
+    if (prev >= 0) {
+      EXPECT_EQ(value, prev + 1);
+    }
+    prev = value;
+  }
+}
+
+TEST(RepeatedCrashTest, CrashDownToSingleSurvivor) {
+  SimConfig config;
+  config.F = 4;
+  config.t = 1;
+  config.N = 8;
+  config.n = 3;
+  config.seed = 888;
+  Simulation sim(config, FaultTolerantTrapdoor::factory(),
+                 std::make_unique<RandomSubsetAdversary>(config.t),
+                 std::make_unique<SimultaneousActivation>(config.n));
+  ASSERT_TRUE(sim.run_until_synced(1000000).synced);
+
+  // Crash everyone but one node, leaders first.
+  for (int wave = 0; wave < 2; ++wave) {
+    NodeId victim = find_leader(sim, config.n);
+    if (victim == kNoNode) {
+      for (NodeId id = 0; id < config.n; ++id) {
+        if (!sim.is_crashed(id)) {
+          victim = id;
+          break;
+        }
+      }
+    }
+    sim.crash(victim);
+    ASSERT_TRUE(run_to_recovery(sim, config.n, sim.round() + 8000000))
+        << "wave " << wave;
+  }
+
+  // The lone survivor must have led itself.
+  int active = 0;
+  for (NodeId id = 0; id < config.n; ++id) {
+    if (!sim.is_crashed(id)) {
+      ++active;
+      EXPECT_EQ(sim.role(id), Role::kLeader);
+      EXPECT_TRUE(sim.output(id).has_number());
+    }
+  }
+  EXPECT_EQ(active, 1);
+}
+
+}  // namespace
+}  // namespace wsync

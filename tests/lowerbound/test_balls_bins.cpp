@@ -1,0 +1,135 @@
+#include "src/lowerbound/balls_bins.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace wsync {
+namespace {
+
+TEST(BallsBinsTest, ZeroBallsAlwaysNoSingleton) {
+  const std::array<double, 3> probs = {0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(no_singleton_probability_exact(0, probs), 1.0);
+}
+
+TEST(BallsBinsTest, OneBallMustLandInExemptBin) {
+  const std::array<double, 3> probs = {0.25, 0.25, 0.5};
+  // The only way no constrained bin holds exactly one ball is the ball
+  // landing in the exempt last bin: probability 0.5.
+  EXPECT_NEAR(no_singleton_probability_exact(1, probs), 0.5, 1e-12);
+}
+
+TEST(BallsBinsTest, AllBinsConstrainedMode) {
+  const std::array<double, 2> probs = {0.5, 0.5};
+  // With every bin constrained, two balls must share a bin: 1/2.
+  EXPECT_NEAR(no_singleton_probability_exact(2, probs, 2), 0.5, 1e-12);
+  // One ball always makes a singleton somewhere.
+  EXPECT_NEAR(no_singleton_probability_exact(1, probs, 2), 0.0, 1e-12);
+}
+
+TEST(BallsBinsTest, SingleExemptBinIsAlwaysSafe) {
+  const std::array<double, 1> probs = {1.0};
+  EXPECT_DOUBLE_EQ(no_singleton_probability_exact(5, probs), 1.0);
+}
+
+TEST(BallsBinsTest, BinomialCrossCheck) {
+  // One constrained bin with probability q, exempt rest: P[count != 1]
+  // = 1 - m q (1-q)^{m-1}.
+  const std::array<double, 2> probs = {0.3, 0.7};
+  for (int64_t m : {int64_t{1}, int64_t{2}, int64_t{5}, int64_t{12}}) {
+    const double expected =
+        1.0 - static_cast<double>(m) * 0.3 *
+                  std::pow(0.7, static_cast<double>(m - 1));
+    EXPECT_NEAR(no_singleton_probability_exact(m, probs), expected, 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(BallsBinsTest, ExactMatchesBruteForceEnumeration) {
+  // Brute force over all 3^6 assignments, constraining the first two bins.
+  const std::array<double, 3> probs = {0.2, 0.3, 0.5};
+  const int64_t m = 6;
+  double brute = 0.0;
+  for (int64_t code = 0; code < 729; ++code) {
+    int64_t c = code;
+    std::array<int, 3> counts{};
+    double prob = 1.0;
+    for (int ball = 0; ball < m; ++ball) {
+      const int bin = static_cast<int>(c % 3);
+      c /= 3;
+      ++counts[static_cast<size_t>(bin)];
+      prob *= probs[static_cast<size_t>(bin)];
+    }
+    if (counts[0] != 1 && counts[1] != 1) brute += prob;
+  }
+  EXPECT_NEAR(no_singleton_probability_exact(m, probs), brute, 1e-12);
+}
+
+TEST(BallsBinsTest, MonteCarloAgreesWithExact) {
+  const std::array<double, 4> probs = {0.1, 0.15, 0.25, 0.5};
+  const int64_t m = 8;
+  Rng rng(42);
+  const double exact = no_singleton_probability_exact(m, probs);
+  const double mc = no_singleton_probability_mc(m, probs, 200000, rng);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(BallsBinsTest, Lemma2BoundValues) {
+  EXPECT_DOUBLE_EQ(lemma2_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(lemma2_bound(3), 0.125);
+}
+
+TEST(BallsBinsTest, Lemma2HoldsOnRandomDistributions) {
+  // The paper's Lemma 2: with p_{s+1} >= 1/2 exempt, P >= 2^{-s}.
+  Rng rng(7);
+  for (int s = 0; s <= 5; ++s) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto probs = random_lemma2_distribution(s, rng);
+      ASSERT_EQ(probs.size(), static_cast<size_t>(s) + 1);
+      for (size_t i = 0; i + 1 < probs.size(); ++i) {
+        ASSERT_LE(probs[i], probs[i + 1] + 1e-12);
+      }
+      ASSERT_GE(probs.back(), 0.5);
+      for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{2}, int64_t{5},
+                        int64_t{16}, int64_t{64}, int64_t{256}}) {
+        const double p = no_singleton_probability_exact(m, probs);
+        EXPECT_GE(p + 1e-9, lemma2_bound(s))
+            << "s=" << s << " m=" << m << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(BallsBinsTest, Lemma2TightnessNearUniformGoodBins) {
+  // With s good bins each at ~(1/2)/s and m tuned so each good bin expects
+  // about one ball, the no-singleton probability gets close to the 2^{-s}
+  // regime — the adversarial shape behind the lower bound.
+  for (int s : {1, 2, 4}) {
+    std::vector<double> probs(static_cast<size_t>(s),
+                              0.5 / static_cast<double>(s));
+    probs.push_back(0.5);
+    const int64_t m = 2 * s;  // about one ball per good bin on average
+    const double p = no_singleton_probability_exact(m, probs);
+    EXPECT_GE(p + 1e-12, lemma2_bound(s));
+    EXPECT_LE(p, 0.95);  // far from trivial
+  }
+}
+
+TEST(BallsBinsTest, ValidatesDistribution) {
+  const std::array<double, 2> bad_sum = {0.3, 0.3};
+  EXPECT_THROW(no_singleton_probability_exact(2, bad_sum),
+               std::invalid_argument);
+  const std::array<double, 2> negative = {-0.5, 1.5};
+  EXPECT_THROW(no_singleton_probability_exact(2, negative),
+               std::invalid_argument);
+  EXPECT_THROW(
+      no_singleton_probability_exact(2, std::span<const double>{}),
+      std::invalid_argument);
+  const std::array<double, 2> ok = {0.5, 0.5};
+  EXPECT_THROW(no_singleton_probability_exact(2, ok, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

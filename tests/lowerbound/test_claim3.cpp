@@ -1,0 +1,93 @@
+#include "src/lowerbound/claim3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsync {
+namespace {
+
+TEST(Claim3Test, XGrowsWithLogLogN) {
+  EXPECT_EQ(claim3_x(16), 16);   // lg(16) = 4 -> ceil(4*4)
+  EXPECT_EQ(claim3_x(4), 8);     // lg(4) = 2 -> 8
+  EXPECT_EQ(claim3_x(1024), 40); // lg(1024) = 10 -> 40
+  EXPECT_THROW(claim3_x(1), std::invalid_argument);
+}
+
+TEST(Claim3Test, ExponentGridMatchesDefinition) {
+  const int lg_n = 1024;
+  const int x = claim3_x(lg_n);  // 40
+  const auto ms = claim3_exponents(lg_n);
+  ASSERT_EQ(static_cast<int>(ms.size()), lg_n / x - 1);  // 24 columns
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(ms[i], x / 2 + static_cast<int>(i) * x);
+  }
+}
+
+TEST(Claim3Test, SmallLgNHasEmptyGrid) {
+  // For any N fitting in a machine integer the asymptotic grid is empty or
+  // a single column — the reason the module takes lg_n directly.
+  EXPECT_TRUE(claim3_exponents(40).empty());
+  EXPECT_LE(claim3_exponents(62).size(), 1u);
+}
+
+TEST(Claim3Test, GoodThreshold) {
+  EXPECT_NEAR(good_threshold(10), 0.01, 1e-12);
+}
+
+TEST(Claim3Test, SuccessProbabilityExp2MatchesSmallCases) {
+  // Cross-check against the direct formula for small m.
+  for (int m : {0, 1, 4, 10}) {
+    for (double p : {0.001, 0.01, 0.25}) {
+      const double n = std::exp2(m);
+      const double direct = n * p * std::pow(1.0 - p, n - 1.0);
+      EXPECT_NEAR(success_probability_exp2(m, p), direct, 1e-9)
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(Claim3Test, SuccessProbabilityExp2HandlesHugeExponents) {
+  // Peak at p = 2^{-m} is ~1/e even for astronomically large n.
+  const double v = success_probability_exp2(500, std::exp2(-500));
+  EXPECT_NEAR(v, 1.0 / std::exp(1.0), 0.01);
+  // Far-off p: probability collapses to 0 rather than NaN.
+  EXPECT_DOUBLE_EQ(success_probability_exp2(500, 0.25), 0.0);
+}
+
+TEST(Claim3Test, PeakOfEveryColumnIsGood) {
+  const int lg_n = 1024;
+  const auto ms = claim3_exponents(lg_n);
+  ASSERT_GE(ms.size(), 2u);
+  for (int m : ms) {
+    EXPECT_TRUE(is_good(m, std::exp2(-m), lg_n)) << "m=" << m;
+  }
+}
+
+TEST(Claim3Test, ProbabilityTunedForOneColumnIsBadForOthers) {
+  const int lg_n = 1024;
+  const auto ms = claim3_exponents(lg_n);
+  ASSERT_GE(ms.size(), 2u);
+  const double p_first = std::exp2(-ms.front());
+  const double p_last = std::exp2(-ms.back());
+  EXPECT_FALSE(is_good(ms.back(), p_first, lg_n));
+  EXPECT_FALSE(is_good(ms.front(), p_last, lg_n));
+}
+
+TEST(Claim3Test, NoProbabilityIsGoodForTwoColumns) {
+  // The claim itself, verified on a dense grid for several lg_n.
+  for (const int lg_n : {256, 512, 1024}) {
+    const Claim3Scan scan = scan_claim3(lg_n, 64);
+    EXPECT_LE(scan.max_good_columns, 1)
+        << "lg_n=" << lg_n << " worst p=" << scan.worst_p;
+    EXPECT_GT(scan.grid_points, 1000);
+  }
+}
+
+TEST(Claim3Test, SomeProbabilityIsGoodForExactlyOneColumn) {
+  const Claim3Scan scan = scan_claim3(1024, 64);
+  EXPECT_EQ(scan.max_good_columns, 1);  // the grid hits column peaks
+}
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,237 @@
+#include "src/lowerbound/rendezvous.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsync {
+namespace {
+
+TEST(RendezvousStrategyTest, UniformDistributionIsUniformOverBand) {
+  const UniformStrategy strategy(8, 4);
+  const auto dist = strategy.frequency_distribution(0);
+  ASSERT_EQ(dist.size(), 8u);
+  for (int f = 0; f < 4; ++f) EXPECT_DOUBLE_EQ(dist[f], 0.25);
+  for (int f = 4; f < 8; ++f) EXPECT_DOUBLE_EQ(dist[f], 0.0);
+}
+
+TEST(RendezvousStrategyTest, UniformValidates) {
+  EXPECT_THROW(UniformStrategy(4, 5), std::invalid_argument);
+  EXPECT_THROW(UniformStrategy(4, 0), std::invalid_argument);
+  EXPECT_THROW(UniformStrategy(4, 2, 1.5), std::invalid_argument);
+}
+
+TEST(RendezvousStrategyTest, DoublingProbabilityDoublesPerEpoch) {
+  const DoublingStrategy strategy(8, 2, 64, 10);  // lgN=6, epochs of 10
+  EXPECT_DOUBLE_EQ(strategy.broadcast_probability(0), 2.0 / 128.0);
+  EXPECT_DOUBLE_EQ(strategy.broadcast_probability(10), 4.0 / 128.0);
+  EXPECT_DOUBLE_EQ(strategy.broadcast_probability(20), 8.0 / 128.0);
+  // Caps at 1/2 in the final epoch and stays there.
+  EXPECT_DOUBLE_EQ(strategy.broadcast_probability(59), 0.5);
+  EXPECT_DOUBLE_EQ(strategy.broadcast_probability(1000), 0.5);
+}
+
+TEST(RendezvousStrategyTest, DoublingUsesBandMin2t) {
+  const DoublingStrategy strategy(16, 3, 64, 10);
+  const auto dist = strategy.frequency_distribution(0);
+  for (int f = 0; f < 6; ++f) EXPECT_GT(dist[f], 0.0);
+  for (int f = 6; f < 16; ++f) EXPECT_DOUBLE_EQ(dist[f], 0.0);
+}
+
+TEST(MeetingProbabilityTest, ComputesSumOverUndisrupted) {
+  const std::vector<double> pu = {0.5, 0.25, 0.25, 0.0};
+  const std::vector<double> pv = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<Frequency> none;
+  EXPECT_NEAR(meeting_probability(pu, pv, none),
+              0.5 * 0.25 + 0.25 * 0.25 + 0.25 * 0.25, 1e-12);
+  const std::vector<Frequency> jam0 = {0};
+  EXPECT_NEAR(meeting_probability(pu, pv, jam0),
+              0.25 * 0.25 + 0.25 * 0.25, 1e-12);
+}
+
+TEST(PerRoundBoundTest, MatchesPaperFormula) {
+  // (k - t) / k^2 with k = min(F, 2t).
+  EXPECT_DOUBLE_EQ(per_round_meeting_upper_bound(16, 4), 4.0 / 64.0);
+  EXPECT_DOUBLE_EQ(per_round_meeting_upper_bound(6, 4), 2.0 / 36.0);
+  EXPECT_DOUBLE_EQ(per_round_meeting_upper_bound(8, 0), 1.0 / 8.0);
+}
+
+TEST(PerRoundBoundTest, UniformMin2tAchievesTheBound) {
+  // Uniform over k = min(F, 2t) against the product adversary: meeting
+  // probability is exactly (k - t)/k^2 — the optimum the paper identifies.
+  const int F = 16;
+  const int t = 4;
+  const int k = 8;
+  const UniformStrategy strategy(F, k);
+  const auto p = strategy.frequency_distribution(0);
+  // Product adversary jams t of the k in-band frequencies.
+  std::vector<Frequency> jam;
+  for (int f = 0; f < t; ++f) jam.push_back(f);
+  EXPECT_NEAR(meeting_probability(p, p, jam),
+              per_round_meeting_upper_bound(F, t), 1e-12);
+}
+
+TEST(PerRoundBoundTest, UniformFullBandIsWorseUnderProductAdversary) {
+  // Spreading over all F frequencies yields (F - t)/F^2 <= (k - t)/k^2.
+  const int F = 32;
+  const int t = 4;
+  const UniformStrategy wide(F, F);
+  const auto p = wide.frequency_distribution(0);
+  std::vector<Frequency> jam;
+  for (int f = 0; f < t; ++f) jam.push_back(f);
+  const double wide_prob = meeting_probability(p, p, jam);
+  EXPECT_LT(wide_prob, per_round_meeting_upper_bound(F, t));
+}
+
+TEST(RoundsToConfidenceTest, MatchesClosedForm) {
+  EXPECT_EQ(rounds_to_confidence(0.5, 0.25), 2);
+  EXPECT_EQ(rounds_to_confidence(0.5, 0.5), 1);
+  EXPECT_GT(rounds_to_confidence(0.01, 0.01), 400);
+  EXPECT_THROW(rounds_to_confidence(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(rounds_to_confidence(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(RunRendezvousTest, NoAdversaryMeetsQuickly) {
+  RendezvousConfig config;
+  config.F = 4;
+  config.t = 0;
+  config.max_rounds = 10000;
+  config.adversary = RendezvousAdversaryKind::kNone;
+  const UniformStrategy u(4, 4);
+  Rng rng(1);
+  const RendezvousResult result = run_rendezvous(config, u, u, rng);
+  ASSERT_GE(result.meet_round, 0);
+  EXPECT_LE(result.meet_round, 200);  // expected 4 rounds, generous cap
+  EXPECT_GE(result.delivery_round, result.meet_round);
+}
+
+TEST(RunRendezvousTest, FixedAdversaryAgainstNarrowBandBlocksForever) {
+  // Both nodes only use frequencies {0, 1}; the fixed adversary jams
+  // exactly those: they can never meet on an undisrupted frequency.
+  RendezvousConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.max_rounds = 2000;
+  config.adversary = RendezvousAdversaryKind::kFixed;
+  const UniformStrategy u(8, 2);
+  Rng rng(2);
+  const RendezvousResult result = run_rendezvous(config, u, u, rng);
+  EXPECT_EQ(result.meet_round, -1);
+}
+
+TEST(RunRendezvousTest, ProductAdversaryTracksShiftedDistributions) {
+  // u concentrates on {0,1}, v on {0,1} as well -> adversary jams both and
+  // blocks forever; but with band 4 > 2t the pair still meets.
+  RendezvousConfig config;
+  config.F = 8;
+  config.t = 1;
+  config.max_rounds = 20000;
+  config.adversary = RendezvousAdversaryKind::kProduct;
+  const UniformStrategy narrow(8, 2);
+  Rng rng(3);
+  const RendezvousResult result =
+      run_rendezvous(config, narrow, narrow, rng);
+  ASSERT_GE(result.meet_round, 0);  // k=2, t=1: prob 1/4 per round
+}
+
+TEST(RunRendezvousTest, MeetingTimeScalesWithBound) {
+  // Median meeting time under the product adversary should be within a
+  // small factor of ln(2)/q where q = (k-t)/k^2.
+  RendezvousConfig config;
+  config.F = 16;
+  config.t = 4;
+  config.max_rounds = 100000;
+  config.adversary = RendezvousAdversaryKind::kProduct;
+  const UniformStrategy optimal(16, 8);
+  std::vector<int64_t> meets;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed * 77 + 1);
+    const RendezvousResult r = run_rendezvous(config, optimal, optimal, rng);
+    ASSERT_GE(r.meet_round, 0);
+    meets.push_back(r.meet_round);
+  }
+  std::sort(meets.begin(), meets.end());
+  const double median = static_cast<double>(meets[meets.size() / 2]);
+  const double q = per_round_meeting_upper_bound(16, 4);
+  const double predicted = std::log(2.0) / q;  // ~11 rounds
+  EXPECT_GT(median, predicted / 4.0);
+  EXPECT_LT(median, predicted * 4.0);
+}
+
+TEST(RunRendezvousTest, WakeGapShiftsLocalRounds) {
+  RendezvousConfig config;
+  config.F = 4;
+  config.t = 0;
+  config.wake_gap = 100;
+  config.max_rounds = 10000;
+  config.adversary = RendezvousAdversaryKind::kNone;
+  const DoublingStrategy u(4, 0, 16, 5);
+  Rng rng(5);
+  const RendezvousResult result = run_rendezvous(config, u, u, rng);
+  EXPECT_GE(result.meet_round, 0);
+}
+
+TEST(RunRendezvousTest, ValidatesConfig) {
+  const UniformStrategy u(4, 4);
+  Rng rng(1);
+  RendezvousConfig bad;
+  bad.F = 4;
+  bad.t = 4;
+  bad.max_rounds = 10;
+  EXPECT_THROW(run_rendezvous(bad, u, u, rng), std::invalid_argument);
+  bad.t = 0;
+  bad.max_rounds = 0;
+  EXPECT_THROW(run_rendezvous(bad, u, u, rng), std::invalid_argument);
+}
+
+TEST(AdversaryKindTest, Names) {
+  EXPECT_STREQ(to_string(RendezvousAdversaryKind::kProduct), "product");
+  EXPECT_STREQ(to_string(RendezvousAdversaryKind::kNone), "none");
+}
+
+// Statistical validation: the empirical per-round meeting frequency in
+// simulated games matches the analytic meeting_probability() under the
+// product adversary, for each strategy.
+class RendezvousStatTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RendezvousStatTest, EmpiricalMeetingRateMatchesAnalytic) {
+  const auto [F, t] = GetParam();
+  const int k = std::min(F, 2 * t);
+  const UniformStrategy strategy(F, std::max(1, k));
+
+  // Analytic per-round probability under the product adversary.
+  const auto dist = strategy.frequency_distribution(0);
+  std::vector<Frequency> jam;
+  for (int f = 0; f < t; ++f) jam.push_back(f);  // symmetric: any t in band
+  const double analytic = meeting_probability(dist, dist, jam);
+
+  // Empirical: geometric meeting times have mean 1/q.
+  RendezvousConfig config;
+  config.F = F;
+  config.t = t;
+  config.max_rounds = 1000000;
+  config.adversary = RendezvousAdversaryKind::kProduct;
+  double total = 0.0;
+  const int games = 400;
+  for (int i = 0; i < games; ++i) {
+    Rng rng(static_cast<uint64_t>(i) * 7919 + 13);
+    const RendezvousResult r = run_rendezvous(config, strategy, strategy,
+                                              rng);
+    ASSERT_GE(r.meet_round, 0);
+    total += static_cast<double>(r.meet_round) + 1.0;  // geometric support
+  }
+  const double empirical_q = games / total;
+  // 400 samples of a geometric: ~10% accuracy at 3 sigma.
+  EXPECT_NEAR(empirical_q, analytic, 0.25 * analytic)
+      << "F=" << F << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RendezvousStatTest,
+                         ::testing::Values(std::make_tuple(8, 2),
+                                           std::make_tuple(16, 4),
+                                           std::make_tuple(16, 8),
+                                           std::make_tuple(32, 8)));
+
+}  // namespace
+}  // namespace wsync

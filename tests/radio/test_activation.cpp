@@ -1,0 +1,117 @@
+#include "src/radio/activation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace wsync {
+namespace {
+
+/// Drains a schedule for `rounds` rounds and returns wake round per node.
+std::vector<RoundId> drain(ActivationSchedule& schedule, int n,
+                           RoundId rounds, uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<RoundId> wake(static_cast<size_t>(n), -1);
+  for (RoundId r = 0; r < rounds; ++r) {
+    for (NodeId id : schedule.activations(r, rng)) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, n);
+      EXPECT_EQ(wake[static_cast<size_t>(id)], -1) << "double activation";
+      wake[static_cast<size_t>(id)] = r;
+    }
+  }
+  return wake;
+}
+
+TEST(SimultaneousActivationTest, AllWakeAtConfiguredRound) {
+  SimultaneousActivation schedule(5, 3);
+  const auto wake = drain(schedule, 5, 10);
+  for (RoundId w : wake) EXPECT_EQ(w, 3);
+  EXPECT_EQ(schedule.last_activation_round(), 3);
+}
+
+TEST(SimultaneousActivationTest, DefaultsToRoundZero) {
+  SimultaneousActivation schedule(3);
+  const auto wake = drain(schedule, 3, 5);
+  for (RoundId w : wake) EXPECT_EQ(w, 0);
+}
+
+TEST(StaggeredUniformActivationTest, EveryNodeWakesWithinWindow) {
+  StaggeredUniformActivation schedule(50, 20);
+  const auto wake = drain(schedule, 50, 20);
+  for (RoundId w : wake) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 20);
+  }
+}
+
+TEST(StaggeredUniformActivationTest, SpreadsAcrossWindow) {
+  StaggeredUniformActivation schedule(200, 20);
+  const auto wake = drain(schedule, 200, 20);
+  std::set<RoundId> distinct(wake.begin(), wake.end());
+  EXPECT_GT(distinct.size(), 10u);  // 200 draws over 20 slots hit most slots
+}
+
+TEST(StaggeredUniformActivationTest, WindowOfOneIsSimultaneous) {
+  StaggeredUniformActivation schedule(4, 1);
+  const auto wake = drain(schedule, 4, 3);
+  for (RoundId w : wake) EXPECT_EQ(w, 0);
+}
+
+TEST(SequentialActivationTest, OnePerGap) {
+  SequentialActivation schedule(4, 3);
+  const auto wake = drain(schedule, 4, 20);
+  EXPECT_EQ(wake[0], 0);
+  EXPECT_EQ(wake[1], 3);
+  EXPECT_EQ(wake[2], 6);
+  EXPECT_EQ(wake[3], 9);
+  EXPECT_EQ(schedule.last_activation_round(), 9);
+}
+
+TEST(TwoBatchActivationTest, SplitsAtConfiguredRounds) {
+  TwoBatchActivation schedule(6, 2, 1, 10);
+  const auto wake = drain(schedule, 6, 20);
+  EXPECT_EQ(wake[0], 1);
+  EXPECT_EQ(wake[1], 1);
+  for (int i = 2; i < 6; ++i) EXPECT_EQ(wake[static_cast<size_t>(i)], 10);
+}
+
+TEST(PoissonActivationTest, ArrivalsAreOrderedAndComplete) {
+  PoissonActivation schedule(30, 0.25);
+  const auto wake = drain(schedule, 30, 100000);
+  RoundId prev = -1;
+  for (RoundId w : wake) {
+    EXPECT_GE(w, prev);  // ids assigned in arrival order
+    prev = w;
+  }
+  EXPECT_EQ(schedule.last_activation_round(), wake.back());
+}
+
+TEST(PoissonActivationTest, MeanGapRoughlyInverseRate) {
+  PoissonActivation schedule(2000, 0.5);
+  const auto wake = drain(schedule, 2000, 100000);
+  // Mean inter-arrival of Geometric(p) starting at 0 is (1-p)/p = 1.
+  const double total = static_cast<double>(wake.back());
+  EXPECT_NEAR(total / 2000.0, 1.0, 0.2);
+}
+
+TEST(ActivationTest, ConstructorsValidate) {
+  EXPECT_THROW(SimultaneousActivation(0), std::invalid_argument);
+  EXPECT_THROW(SimultaneousActivation(1, -1), std::invalid_argument);
+  EXPECT_THROW(StaggeredUniformActivation(1, 0), std::invalid_argument);
+  EXPECT_THROW(SequentialActivation(2, 0), std::invalid_argument);
+  EXPECT_THROW(TwoBatchActivation(2, 3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(TwoBatchActivation(2, 1, 5, 4), std::invalid_argument);
+  EXPECT_THROW(PoissonActivation(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonActivation(2, 1.5), std::invalid_argument);
+}
+
+TEST(ActivationTest, StaggeredIsDeterministicPerSeed) {
+  StaggeredUniformActivation s1(20, 50);
+  StaggeredUniformActivation s2(20, 50);
+  EXPECT_EQ(drain(s1, 20, 50, 99), drain(s2, 20, 50, 99));
+}
+
+}  // namespace
+}  // namespace wsync

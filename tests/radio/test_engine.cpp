@@ -1,0 +1,352 @@
+#include "src/radio/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/adversary/basic.h"
+#include "src/radio/trace.h"
+#include "src/trapdoor/trapdoor.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace {
+
+using testing::FakeProtocol;
+using testing::test_payload;
+
+SimConfig basic_config(int F, int t, int n, uint64_t seed = 1) {
+  SimConfig config;
+  config.F = F;
+  config.t = t;
+  config.N = n;
+  config.n = n;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<Simulation> make_sim(
+    const SimConfig& config, std::map<NodeId, FakeProtocol::Script> scripts,
+    std::map<NodeId, FakeProtocol*>* registry,
+    std::unique_ptr<Adversary> adversary = nullptr,
+    TraceSink* trace = nullptr) {
+  if (adversary == nullptr) adversary = std::make_unique<NoneAdversary>();
+  return std::make_unique<Simulation>(
+      config, FakeProtocol::factory(std::move(scripts), registry),
+      std::move(adversary),
+      std::make_unique<SimultaneousActivation>(config.n), trace);
+}
+
+TEST(EngineTest, SoleBroadcasterDelivers) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(3, test_payload(77))};
+  scripts[1].actions = {RoundAction::listen(3)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+
+  const RoundReport report = sim->step();
+  EXPECT_EQ(report.deliveries, 1);
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  const Message& m = *nodes[1]->receptions[0];
+  EXPECT_EQ(m.sender, 0);
+  EXPECT_EQ(m.frequency, 3);
+  EXPECT_EQ(std::get<DataMsg>(m.payload).tag, 77u);
+}
+
+TEST(EngineTest, BroadcasterNeverReceives) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(3, test_payload(1))};
+  scripts[1].actions = {RoundAction::send(4, test_payload(2))};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+
+  sim->step();
+  EXPECT_FALSE(nodes[0]->receptions[0].has_value());
+  EXPECT_FALSE(nodes[1]->receptions[0].has_value());
+}
+
+TEST(EngineTest, CollisionBlocksDelivery) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(2, test_payload(1))};
+  scripts[1].actions = {RoundAction::send(2, test_payload(2))};
+  scripts[2].actions = {RoundAction::listen(2)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 0, 3), scripts, &nodes);
+
+  const RoundReport report = sim->step();
+  EXPECT_EQ(report.deliveries, 0);
+  EXPECT_FALSE(nodes[2]->receptions[0].has_value());
+}
+
+TEST(EngineTest, ListenerOnOtherFrequencyHearsNothing) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(2, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(5)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+
+  sim->step();
+  EXPECT_FALSE(nodes[1]->receptions[0].has_value());
+}
+
+TEST(EngineTest, DisruptionBlocksDelivery) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(0, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(0)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 2, 2), scripts, &nodes,
+                      std::make_unique<FixedSubsetAdversary>(2));
+
+  sim->step();
+  EXPECT_FALSE(nodes[1]->receptions[0].has_value());
+}
+
+TEST(EngineTest, UndisruptedFrequencyStillDelivers) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(5, test_payload(9))};
+  scripts[1].actions = {RoundAction::listen(5)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(8, 2, 2), scripts, &nodes,
+                      std::make_unique<FixedSubsetAdversary>(2));
+
+  sim->step();
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  EXPECT_EQ(std::get<DataMsg>(nodes[1]->receptions[0]->payload).tag, 9u);
+}
+
+TEST(EngineTest, MultipleListenersAllReceive) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(1, test_payload(5))};
+  scripts[1].actions = {RoundAction::listen(1)};
+  scripts[2].actions = {RoundAction::listen(1)};
+  scripts[3].actions = {RoundAction::listen(1)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(4, 0, 4), scripts, &nodes);
+
+  const RoundReport report = sim->step();
+  EXPECT_EQ(report.deliveries, 3);
+  for (NodeId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(nodes[id]->receptions[0].has_value()) << "node " << id;
+  }
+}
+
+TEST(EngineTest, ParallelFrequenciesDeliverIndependently) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(0, test_payload(10))};
+  scripts[1].actions = {RoundAction::listen(0)};
+  scripts[2].actions = {RoundAction::send(1, test_payload(20))};
+  scripts[3].actions = {RoundAction::listen(1)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(4, 0, 4), scripts, &nodes);
+
+  sim->step();
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  ASSERT_TRUE(nodes[3]->receptions[0].has_value());
+  EXPECT_EQ(std::get<DataMsg>(nodes[1]->receptions[0]->payload).tag, 10u);
+  EXPECT_EQ(std::get<DataMsg>(nodes[3]->receptions[0]->payload).tag, 20u);
+}
+
+TEST(EngineTest, RejectsInvalidConfig) {
+  const auto factory = FakeProtocol::factory({}, nullptr);
+  auto make = [&factory](int F, int t, int64_t N, int n) {
+    SimConfig config;
+    config.F = F;
+    config.t = t;
+    config.N = N;
+    config.n = n;
+    return Simulation(config, factory, std::make_unique<NoneAdversary>(),
+                      std::make_unique<SimultaneousActivation>(n));
+  };
+  EXPECT_THROW(make(0, 0, 1, 1), std::invalid_argument);   // F < 1
+  EXPECT_THROW(make(4, 4, 1, 1), std::invalid_argument);   // t >= F
+  EXPECT_THROW(make(4, -1, 1, 1), std::invalid_argument);  // t < 0
+  EXPECT_THROW(make(4, 0, 1, 2), std::invalid_argument);   // N < n
+  EXPECT_NO_THROW(make(4, 3, 2, 2));
+}
+
+TEST(EngineTest, RejectsOutOfRangeFrequency) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::listen(8)};  // F == 8, valid range [0,8)
+  auto sim = make_sim(basic_config(8, 0, 1), scripts, nullptr);
+  EXPECT_THROW(sim->step(), std::invalid_argument);
+}
+
+TEST(EngineTest, RejectsBroadcastWithoutPayload) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  RoundAction bad;
+  bad.frequency = 0;
+  bad.broadcast = true;  // no payload
+  scripts[0].actions = {bad};
+  auto sim = make_sim(basic_config(8, 0, 1), scripts, nullptr);
+  EXPECT_THROW(sim->step(), std::invalid_argument);
+}
+
+class OverBudgetAdversary final : public Adversary {
+ public:
+  std::vector<Frequency> disrupt(const EngineView& view, Rng&) override {
+    std::vector<Frequency> all;
+    for (int f = 0; f < view.F(); ++f) all.push_back(f);
+    return all;  // t < F, so this always exceeds the budget
+  }
+  bool is_oblivious() const override { return true; }
+};
+
+TEST(EngineTest, RejectsAdversaryOverBudget) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  auto sim = make_sim(basic_config(8, 2, 1), scripts, nullptr,
+                      std::make_unique<OverBudgetAdversary>());
+  EXPECT_THROW(sim->step(), std::invalid_argument);
+}
+
+TEST(EngineTest, AllSyncedTracksOutputs) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].sync_at_age = 1;
+  scripts[1].sync_at_age = 3;
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+
+  sim->step();  // ages become 1: node 0 outputs, node 1 does not
+  EXPECT_FALSE(sim->all_synced());
+  EXPECT_TRUE(sim->output(0).has_number());
+  EXPECT_FALSE(sim->output(1).has_number());
+  EXPECT_EQ(sim->sync_round(0), 0);
+  EXPECT_EQ(sim->sync_round(1), -1);
+
+  sim->step();
+  sim->step();  // ages become 3: node 1 outputs too
+  EXPECT_TRUE(sim->all_synced());
+  EXPECT_EQ(sim->sync_round(1), 2);
+}
+
+TEST(EngineTest, RunUntilSyncedStopsEarly) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].sync_at_age = 2;
+  scripts[1].sync_at_age = 2;
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+
+  const Simulation::RunResult result = sim->run_until_synced(100);
+  EXPECT_TRUE(result.synced);
+  EXPECT_EQ(result.rounds, 2);
+}
+
+TEST(EngineTest, RunUntilSyncedHonorsBudget) {
+  std::map<NodeId, FakeProtocol::Script> scripts;  // never sync
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  const Simulation::RunResult result = sim->run_until_synced(50);
+  EXPECT_FALSE(result.synced);
+  EXPECT_EQ(result.rounds, 50);
+}
+
+TEST(EngineTest, CrashedNodeStopsParticipating) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(0, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(0)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, &nodes);
+
+  sim->step();
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  const int64_t acts_before = nodes[0]->acts();
+
+  sim->crash(0);
+  EXPECT_TRUE(sim->is_crashed(0));
+  EXPECT_EQ(sim->role(0), Role::kCrashed);
+  sim->step();
+  EXPECT_EQ(nodes[0]->acts(), acts_before);  // crashed node no longer acts
+  EXPECT_FALSE(nodes[1]->receptions[1].has_value());
+}
+
+TEST(EngineTest, CrashedNodeExcludedFromLiveness) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].sync_at_age = 1;
+  // Node 1 never syncs.
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  sim->step();
+  EXPECT_FALSE(sim->all_synced());
+  sim->crash(1);
+  sim->step();
+  EXPECT_TRUE(sim->all_synced());
+}
+
+TEST(EngineTest, ViewExposesLastRoundStats) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(1, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(1)};
+  scripts[2].actions = {RoundAction::listen(2)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(4, 1, 3), scripts, &nodes,
+                      std::make_unique<FixedSubsetAdversary>(1));
+
+  EXPECT_FALSE(sim->view().has_last_round());
+  sim->step();
+  ASSERT_TRUE(sim->view().has_last_round());
+  const RoundStats& stats = sim->view().last_round();
+  EXPECT_EQ(stats.round, 0);
+  EXPECT_TRUE(stats.per_freq[0].disrupted);
+  EXPECT_FALSE(stats.per_freq[1].disrupted);
+  EXPECT_EQ(stats.per_freq[1].broadcasters, 1);
+  EXPECT_EQ(stats.per_freq[1].listeners, 1);
+  EXPECT_TRUE(stats.per_freq[1].delivered);
+  EXPECT_EQ(stats.per_freq[2].listeners, 1);
+  EXPECT_FALSE(stats.per_freq[2].delivered);
+  EXPECT_EQ(stats.deliveries, 1);
+  EXPECT_EQ(sim->view().deliveries_per_freq()[1], 1);
+}
+
+TEST(EngineTest, BroadcastWeightIsSummedFromProtocols) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].weight = 0.25;
+  scripts[1].weight = 0.5;
+  scripts[2].weight = 0.125;
+  auto sim = make_sim(basic_config(2, 0, 3), scripts, nullptr);
+  const RoundReport report = sim->step();
+  EXPECT_DOUBLE_EQ(report.broadcast_weight, 0.875);
+}
+
+TEST(EngineTest, DeterministicAcrossIdenticalSeeds) {
+  auto run = [](uint64_t seed) {
+    SimConfig config = basic_config(8, 2, 6, seed);
+    config.N = 64;
+    Simulation sim(config, TrapdoorProtocol::factory(),
+                   std::make_unique<RandomSubsetAdversary>(2),
+                   std::make_unique<SimultaneousActivation>(config.n));
+    std::vector<int> deliveries;
+    for (int i = 0; i < 300; ++i) deliveries.push_back(sim.step().deliveries);
+    return deliveries;
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(456));
+}
+
+TEST(EngineTest, TraceSinkReceivesEvents) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(1, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(1)};
+  scripts[1].sync_at_age = 2;
+  std::map<NodeId, FakeProtocol*> nodes;
+  MemoryTrace trace;
+  auto sim = make_sim(basic_config(2, 0, 2), scripts, &nodes, nullptr, &trace);
+
+  sim->step();
+  sim->step();
+  EXPECT_EQ(trace.rounds().size(), 2u);
+  EXPECT_EQ(trace.activations().size(), 2u);
+  ASSERT_FALSE(trace.deliveries().empty());
+  EXPECT_EQ(trace.deliveries()[0].from, 0);
+  EXPECT_EQ(trace.deliveries()[0].to, 1);
+  ASSERT_EQ(trace.sync_events().size(), 1u);
+  EXPECT_EQ(trace.sync_events()[0].node, 1);
+}
+
+TEST(EngineTest, UidsAreUniqueAcrossNodes) {
+  std::map<NodeId, FakeProtocol*> nodes;
+  auto sim = make_sim(basic_config(2, 0, 16), {}, &nodes);
+  sim->step();
+  std::set<uint64_t> uids;
+  for (const auto& [id, protocol] : nodes) {
+    uids.insert(protocol->env().uid);
+  }
+  EXPECT_EQ(uids.size(), 16u);
+}
+
+}  // namespace
+}  // namespace wsync

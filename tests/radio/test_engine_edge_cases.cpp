@@ -1,0 +1,154 @@
+// Engine edge cases: activation schedule integration, accessor
+// preconditions, and liveness accounting subtleties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/trapdoor.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace {
+
+using testing::FakeProtocol;
+
+TEST(EngineEdgeTest, AccessorsRejectOutOfRangeIds) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 2;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory({}, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SimultaneousActivation>(2));
+  EXPECT_THROW(sim.output(-1), std::invalid_argument);
+  EXPECT_THROW(sim.output(2), std::invalid_argument);
+  EXPECT_THROW(sim.role(5), std::invalid_argument);
+  EXPECT_THROW(sim.crash(-1), std::invalid_argument);
+}
+
+TEST(EngineEdgeTest, ProtocolAccessBeforeActivationThrows) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 4;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory({}, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SequentialActivation>(2, 10));
+  sim.step();  // only node 0 is awake
+  EXPECT_NO_THROW(sim.protocol(0));
+  EXPECT_THROW(sim.protocol(1), std::invalid_argument);
+  EXPECT_THROW(sim.crash(1), std::invalid_argument);
+}
+
+TEST(EngineEdgeTest, InactiveNodesDoNotAct) {
+  std::map<NodeId, FakeProtocol*> nodes;
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 4;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory({}, &nodes),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SequentialActivation>(2, 5));
+  for (int i = 0; i < 5; ++i) sim.step();  // rounds 0..4: only node 0 awake
+  ASSERT_EQ(nodes.count(0), 1u);
+  EXPECT_EQ(nodes[0]->acts(), 5);
+  EXPECT_EQ(nodes.count(1), 0u);  // node 1 wakes at round 5, not yet run
+  sim.step();  // round 5
+  ASSERT_EQ(nodes.count(1), 1u);
+  EXPECT_EQ(nodes[1]->acts(), 1);
+  EXPECT_EQ(nodes[0]->acts(), 6);
+}
+
+TEST(EngineEdgeTest, PoissonActivationDrivesFullSync) {
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 16;
+  config.n = 6;
+  config.seed = 21;
+  Simulation sim(config, TrapdoorProtocol::factory(),
+                 std::make_unique<RandomSubsetAdversary>(2),
+                 std::make_unique<PoissonActivation>(6, 0.05));
+  const auto result = sim.run_until_synced(500000);
+  EXPECT_TRUE(result.synced);
+  for (NodeId id = 0; id < 6; ++id) {
+    EXPECT_GE(sim.activation_round(id), 0);
+    EXPECT_GE(sim.sync_round(id), sim.activation_round(id));
+  }
+}
+
+TEST(EngineEdgeTest, ActivationRoundsVisibleThroughAccessors) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 4;
+  config.n = 3;
+  Simulation sim(config, FakeProtocol::factory({}, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SequentialActivation>(3, 4));
+  for (int i = 0; i < 12; ++i) sim.step();
+  EXPECT_EQ(sim.activation_round(0), 0);
+  EXPECT_EQ(sim.activation_round(1), 4);
+  EXPECT_EQ(sim.activation_round(2), 8);
+  EXPECT_EQ(sim.activated_total(), 3);
+}
+
+TEST(EngineEdgeTest, AllSyncedRequiresEveryActivation) {
+  // One node never wakes within the horizon: liveness must not be claimed
+  // even if every ACTIVE node outputs.
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].sync_at_age = 0;
+  scripts[1].sync_at_age = 0;
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 4;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory(scripts, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<TwoBatchActivation>(2, 1, 0, 1000));
+  for (int i = 0; i < 10; ++i) sim.step();
+  EXPECT_FALSE(sim.all_synced());  // node 1 still inactive
+}
+
+TEST(EngineEdgeTest, DoubleCrashIsIdempotent) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 2;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory({}, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SimultaneousActivation>(2));
+  sim.step();
+  sim.crash(0);
+  EXPECT_NO_THROW(sim.crash(0));
+  EXPECT_TRUE(sim.is_crashed(0));
+}
+
+TEST(EngineEdgeTest, RunUntilSyncedResumable) {
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 16;
+  config.n = 4;
+  config.seed = 9;
+  Simulation sim(config, TrapdoorProtocol::factory(),
+                 std::make_unique<RandomSubsetAdversary>(2),
+                 std::make_unique<SimultaneousActivation>(4));
+  // Interleave manual steps with run_until_synced: the budget is absolute.
+  for (int i = 0; i < 10; ++i) sim.step();
+  const auto r1 = sim.run_until_synced(11);
+  EXPECT_EQ(r1.rounds, 11);
+  const auto r2 = sim.run_until_synced(500000);
+  EXPECT_TRUE(r2.synced);
+  EXPECT_GE(r2.rounds, 11);
+}
+
+}  // namespace
+}  // namespace wsync

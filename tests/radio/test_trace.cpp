@@ -1,0 +1,73 @@
+#include "src/radio/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace wsync {
+namespace {
+
+RoundTraceEvent event_with_weight(RoundId round, double weight) {
+  RoundTraceEvent event;
+  event.round = round;
+  event.broadcast_weight = weight;
+  return event;
+}
+
+TEST(MemoryTraceTest, RecordsRounds) {
+  MemoryTrace trace;
+  trace.on_round(event_with_weight(0, 1.5));
+  trace.on_round(event_with_weight(1, 3.0));
+  trace.on_round(event_with_weight(2, 2.0));
+  ASSERT_EQ(trace.rounds().size(), 3u);
+  EXPECT_EQ(trace.rounds()[1].round, 1);
+  EXPECT_DOUBLE_EQ(trace.max_broadcast_weight(), 3.0);
+}
+
+TEST(MemoryTraceTest, RecordsActivationsAndCrashes) {
+  MemoryTrace trace;
+  trace.on_activation(4, 2);
+  trace.on_crash(9, 2);
+  ASSERT_EQ(trace.activations().size(), 1u);
+  EXPECT_EQ(trace.activations()[0].round, 4);
+  EXPECT_EQ(trace.activations()[0].node, 2);
+  ASSERT_EQ(trace.crashes().size(), 1u);
+  EXPECT_EQ(trace.crashes()[0].round, 9);
+}
+
+TEST(MemoryTraceTest, RecordsDeliveriesAndSyncs) {
+  MemoryTrace trace;
+  trace.on_delivery(DeliveryTraceEvent{1, 3, 0, 5});
+  trace.on_synchronized(7, 5, 42);
+  ASSERT_EQ(trace.deliveries().size(), 1u);
+  EXPECT_EQ(trace.deliveries()[0].frequency, 3);
+  ASSERT_EQ(trace.sync_events().size(), 1u);
+  EXPECT_EQ(trace.sync_events()[0].number, 42);
+}
+
+TEST(MemoryTraceTest, EmptyMaxWeightIsZero) {
+  MemoryTrace trace;
+  EXPECT_DOUBLE_EQ(trace.max_broadcast_weight(), 0.0);
+}
+
+TEST(CountingTraceTest, AggregatesWithoutStoring) {
+  CountingTrace trace;
+  for (int i = 0; i < 1000; ++i) {
+    trace.on_round(event_with_weight(i, static_cast<double>(i % 7)));
+    trace.on_delivery(DeliveryTraceEvent{});
+  }
+  EXPECT_EQ(trace.rounds(), 1000);
+  EXPECT_EQ(trace.deliveries(), 1000);
+  EXPECT_DOUBLE_EQ(trace.max_broadcast_weight(), 6.0);
+}
+
+TEST(TraceSinkTest, DefaultSinkIgnoresEverything) {
+  TraceSink sink;
+  sink.on_round(RoundTraceEvent{});
+  sink.on_activation(0, 0);
+  sink.on_delivery(DeliveryTraceEvent{});
+  sink.on_synchronized(0, 0, 0);
+  sink.on_crash(0, 0);
+  // Nothing to assert: the base class must simply be callable.
+}
+
+}  // namespace
+}  // namespace wsync

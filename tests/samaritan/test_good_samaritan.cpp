@@ -1,0 +1,348 @@
+#include "src/samaritan/good_samaritan.h"
+
+#include <gtest/gtest.h>
+
+namespace wsync {
+namespace {
+
+ProtocolEnv make_env(int F, int t, int64_t N, uint64_t uid) {
+  ProtocolEnv env;
+  env.F = F;
+  env.t = t;
+  env.N = N;
+  env.uid = uid;
+  env.node_id = 0;
+  return env;
+}
+
+Message from_contender(int64_t age, uint64_t uid, bool special = false,
+                       bool fallback = false) {
+  Message m;
+  m.sender = 1;
+  ContenderMsg msg;
+  msg.ts = Timestamp{age, uid};
+  msg.special = special;
+  msg.fallback = fallback;
+  m.payload = msg;
+  return m;
+}
+
+Message from_samaritan(int64_t age, uint64_t uid) {
+  Message m;
+  m.sender = 1;
+  SamaritanMsg msg;
+  msg.ts = Timestamp{age, uid};
+  m.payload = msg;
+  return m;
+}
+
+Message from_leader(uint64_t uid, int64_t number) {
+  Message m;
+  m.sender = 1;
+  LeaderMsg msg;
+  msg.leader_uid = uid;
+  msg.round_number = number;
+  m.payload = msg;
+  return m;
+}
+
+Message report_for(uint64_t contender_uid, int32_t count, int super_epoch) {
+  Message m;
+  m.sender = 1;
+  SamaritanReport report;
+  report.ts = Timestamp{100, 9};
+  report.super_epoch = super_epoch;
+  report.entries[0] = SuccessEntry{contender_uid, count};
+  report.n_entries = 1;
+  m.payload = report;
+  return m;
+}
+
+/// Drives the protocol for one round with an optional incoming message.
+void round(GoodSamaritanProtocol& p, Rng& rng,
+           const std::optional<Message>& msg = std::nullopt) {
+  p.act(rng);
+  p.on_round_end(msg, rng);
+}
+
+TEST(GoodSamaritanTest, StartsAsContender) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(1);
+  p.on_activate(rng);
+  EXPECT_EQ(p.role(), Role::kContender);
+  EXPECT_TRUE(p.output().is_bottom());
+}
+
+TEST(GoodSamaritanTest, ContenderDowngradedByContenderRegardlessOfTimestamp) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(2);
+  p.on_activate(rng);
+  for (int i = 0; i < 5; ++i) round(p, rng);
+  // Sender has a SMALLER timestamp; the optimistic portion ignores
+  // timestamps, so we must still be downgraded.
+  round(p, rng, from_contender(1, 7));
+  EXPECT_EQ(p.role(), Role::kSamaritan);
+}
+
+TEST(GoodSamaritanTest, SamaritanKnockedOutBySamaritan) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(3);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  round(p, rng, from_samaritan(5, 9));
+  EXPECT_EQ(p.role(), Role::kPassive);
+}
+
+TEST(GoodSamaritanTest, SamaritanNotDowngradedByContender) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(4);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  round(p, rng, from_contender(10, 8));
+  EXPECT_EQ(p.role(), Role::kSamaritan);
+}
+
+TEST(GoodSamaritanTest, AnyRoleAdoptsLeaderNumbering) {
+  for (int state = 0; state < 3; ++state) {
+    GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+    Rng rng(5 + static_cast<uint64_t>(state));
+    p.on_activate(rng);
+    if (state >= 1) round(p, rng, from_contender(0, 7));    // samaritan
+    if (state >= 2) round(p, rng, from_samaritan(5, 9));    // passive
+    round(p, rng, from_leader(9, 500));
+    EXPECT_EQ(p.role(), Role::kSynced) << "state " << state;
+    EXPECT_EQ(p.output().value, 500);
+    // Correctness: increments each round after adoption.
+    round(p, rng);
+    EXPECT_EQ(p.output().value, 501);
+  }
+}
+
+TEST(GoodSamaritanTest, ReportPromotesContenderToLeader) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(6);
+  p.on_activate(rng);
+  const auto& schedule = p.schedule();
+  const int64_t threshold = schedule.success_threshold(1);
+  // Reach the reporting epoch of super-epoch 1 as a contender (no traffic).
+  for (int i = 0; i < 3; ++i) round(p, rng);
+  round(p, rng, report_for(42, static_cast<int32_t>(threshold), 1));
+  EXPECT_EQ(p.role(), Role::kLeader);
+  EXPECT_TRUE(p.output().has_number());
+}
+
+TEST(GoodSamaritanTest, LowCountReportDoesNotPromote) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(7);
+  p.on_activate(rng);
+  const int64_t threshold = p.schedule().success_threshold(1);
+  ASSERT_GT(threshold, 1);
+  round(p, rng, report_for(42, static_cast<int32_t>(threshold - 1), 1));
+  EXPECT_EQ(p.role(), Role::kContender);
+}
+
+TEST(GoodSamaritanTest, ReportForOtherUidDoesNotPromote) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(8);
+  p.on_activate(rng);
+  round(p, rng, report_for(777, 1000, 1));
+  EXPECT_EQ(p.role(), Role::kContender);
+}
+
+TEST(GoodSamaritanTest, StaleReportFromOtherSuperEpochDoesNotPromote) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(9);
+  p.on_activate(rng);
+  round(p, rng, report_for(42, 1000, 2));  // we are in super-epoch 1
+  EXPECT_EQ(p.role(), Role::kContender);
+}
+
+TEST(GoodSamaritanTest, SamaritanRecordsSuccessesUnderConditions) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(10);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));  // downgrade at age 0 -> samaritan
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+
+  const auto& schedule = p.schedule();
+  // Advance to the critical epoch of super-epoch 1.
+  while (!schedule.is_critical_epoch(schedule.position(p.age()).epoch)) {
+    round(p, rng);
+  }
+  // Deliver contender messages with matching age until one is recorded in a
+  // non-special round for us (the sender's special flag is false).
+  int64_t recorded = 0;
+  for (int i = 0; i < 64; ++i) {
+    round(p, rng, from_contender(p.age(), 7));
+    if (!p.success_records().empty()) {
+      recorded = p.success_records()[0].count;
+      break;
+    }
+  }
+  EXPECT_GT(recorded, 0);
+  EXPECT_EQ(p.success_records()[0].contender_uid, 7u);
+}
+
+TEST(GoodSamaritanTest, NoRecordingOutsideCriticalEpoch) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(11);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  // Epoch 1 is not critical: nothing may be recorded.
+  for (int i = 0; i < 32; ++i) {
+    round(p, rng, from_contender(p.age(), 7));
+  }
+  const auto pos = p.schedule().position(p.age());
+  ASSERT_FALSE(p.schedule().is_critical_epoch(pos.epoch));
+  EXPECT_TRUE(p.success_records().empty());
+}
+
+TEST(GoodSamaritanTest, NoRecordingForMismatchedWakeRound) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(12);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  const auto& schedule = p.schedule();
+  while (!schedule.is_critical_epoch(schedule.position(p.age()).epoch)) {
+    round(p, rng);
+  }
+  for (int i = 0; i < 64; ++i) {
+    // Sender age differs from ours: condition (c) fails.
+    round(p, rng, from_contender(p.age() + 5, 7));
+  }
+  EXPECT_TRUE(p.success_records().empty());
+}
+
+TEST(GoodSamaritanTest, NoRecordingForSpecialSenderRounds) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(13);
+  p.on_activate(rng);
+  round(p, rng, from_contender(0, 7));
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  const auto& schedule = p.schedule();
+  while (!schedule.is_critical_epoch(schedule.position(p.age()).epoch)) {
+    round(p, rng);
+  }
+  for (int i = 0; i < 64; ++i) {
+    round(p, rng, from_contender(p.age(), 7, /*special=*/true));
+  }
+  EXPECT_TRUE(p.success_records().empty());
+}
+
+TEST(GoodSamaritanTest, EntersFallbackAfterOptimisticPortion) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;  // shrink epochs so the test is fast
+  const auto env = make_env(4, 1, 4, 42);
+  GoodSamaritanProtocol p(env, config);
+  Rng rng(14);
+  p.on_activate(rng);
+  const int64_t total = p.schedule().total_optimistic_rounds();
+  for (int64_t i = 0; i < total; ++i) round(p, rng);
+  EXPECT_EQ(p.role(), Role::kFallback);
+  EXPECT_TRUE(p.in_fallback());
+}
+
+TEST(GoodSamaritanTest, FallbackUsesTimestamps) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;
+  const auto env = make_env(4, 1, 4, 42);
+  GoodSamaritanProtocol p(env, config);
+  Rng rng(15);
+  p.on_activate(rng);
+  while (p.role() != Role::kFallback) round(p, rng);
+  // Smaller timestamp: ignored.
+  round(p, rng, from_contender(0, 7, false, true));
+  EXPECT_EQ(p.role(), Role::kFallback);
+  // Larger timestamp: knocked out.
+  round(p, rng, from_contender(p.age() + 100, 7, false, true));
+  EXPECT_EQ(p.role(), Role::kKnockedOut);
+}
+
+TEST(GoodSamaritanTest, FallbackSurvivorBecomesLeader) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;
+  config.fallback_epoch_constant = 0.01;
+  const auto env = make_env(4, 1, 4, 42);
+  GoodSamaritanProtocol p(env, config);
+  Rng rng(16);
+  p.on_activate(rng);
+  // Run alone: no messages ever arrive; must eventually lead via fallback.
+  const int64_t budget =
+      p.schedule().total_optimistic_rounds() +
+      8 * p.fallback_schedule().total_rounds() + 1000;
+  int64_t i = 0;
+  for (; i < budget && p.role() != Role::kLeader; ++i) round(p, rng);
+  EXPECT_EQ(p.role(), Role::kLeader) << "not leader after " << i << " rounds";
+  EXPECT_TRUE(p.output().has_number());
+}
+
+TEST(GoodSamaritanTest, LeaderOutputIncrementsEachRound) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;
+  config.fallback_epoch_constant = 0.01;
+  const auto env = make_env(4, 1, 4, 42);
+  GoodSamaritanProtocol p(env, config);
+  Rng rng(17);
+  p.on_activate(rng);
+  while (p.role() != Role::kLeader) round(p, rng);
+  const int64_t first = p.output().value;
+  for (int i = 1; i <= 10; ++i) {
+    round(p, rng);
+    EXPECT_EQ(p.output().value, first + i);
+  }
+}
+
+TEST(GoodSamaritanTest, ActionsStayWithinBand) {
+  const auto env = make_env(16, 4, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(18);
+  p.on_activate(rng);
+  for (int i = 0; i < 2000; ++i) {
+    const RoundAction action = p.act(rng);
+    EXPECT_GE(action.frequency, 0);
+    EXPECT_LT(action.frequency, 16);
+    p.on_round_end(std::nullopt, rng);
+  }
+}
+
+TEST(GoodSamaritanTest, BroadcastProbabilityFollowsEpoch) {
+  const auto env = make_env(8, 2, 16, 42);
+  GoodSamaritanProtocol p(env);
+  Rng rng(19);
+  p.on_activate(rng);
+  const auto& schedule = p.schedule();
+  for (int i = 0; i < 200; ++i) {
+    const auto pos = schedule.position(p.age());
+    EXPECT_DOUBLE_EQ(p.broadcast_probability(),
+                     schedule.broadcast_prob(pos.epoch));
+    round(p, rng);
+  }
+}
+
+TEST(GoodSamaritanTest, DisabledFallbackGoesPassive) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;
+  config.enable_fallback = false;
+  const auto env = make_env(4, 1, 4, 42);
+  GoodSamaritanProtocol p(env, config);
+  Rng rng(20);
+  p.on_activate(rng);
+  const int64_t total = p.schedule().total_optimistic_rounds();
+  for (int64_t i = 0; i < total + 10; ++i) round(p, rng);
+  EXPECT_EQ(p.role(), Role::kPassive);
+}
+
+}  // namespace
+}  // namespace wsync

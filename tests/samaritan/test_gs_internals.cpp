@@ -1,0 +1,225 @@
+// Deeper Good Samaritan internals: the samaritan reporting machinery and
+// the Lemma 17 population collapse ("by the end of epoch lgN, there is one
+// contender and one samaritan, whp").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/adversary/basic.h"
+#include "src/radio/engine.h"
+#include "src/samaritan/good_samaritan.h"
+
+namespace wsync {
+namespace {
+
+ProtocolEnv make_env(int F, int t, int64_t N, uint64_t uid) {
+  ProtocolEnv env;
+  env.F = F;
+  env.t = t;
+  env.N = N;
+  env.uid = uid;
+  return env;
+}
+
+Message contender_from(int64_t age, uint64_t uid) {
+  Message m;
+  ContenderMsg msg;
+  msg.ts = Timestamp{age, uid};
+  m.payload = msg;
+  return m;
+}
+
+/// Becomes a samaritan and drives to the critical epoch.
+void make_samaritan_in_critical_epoch(GoodSamaritanProtocol& p, Rng& rng) {
+  p.act(rng);
+  p.on_round_end(contender_from(0, 500), rng);
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+  const auto& schedule = p.schedule();
+  while (!schedule.is_critical_epoch(schedule.position(p.age()).epoch)) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+}
+
+TEST(GsInternalsTest, RecordsMultipleContendersIndependently) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(1);
+  p.on_activate(rng);
+  make_samaritan_in_critical_epoch(p, rng);
+
+  // Deliver interleaved messages from several contenders with the matching
+  // age; each should accumulate its own counter.
+  for (int i = 0; i < 120; ++i) {
+    p.act(rng);
+    p.on_round_end(contender_from(p.age(), 100 + (i % 3)), rng);
+  }
+  const auto& records = p.success_records();
+  ASSERT_GE(records.size(), 2u);
+  for (const SuccessEntry& entry : records) {
+    EXPECT_GE(entry.contender_uid, 100u);
+    EXPECT_LE(entry.contender_uid, 102u);
+    EXPECT_GT(entry.count, 0);
+  }
+}
+
+TEST(GsInternalsTest, ReportCarriesTopFourByCount) {
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42));
+  Rng rng(2);
+  p.on_activate(rng);
+  make_samaritan_in_critical_epoch(p, rng);
+
+  // Six contenders with skewed frequencies.
+  for (int i = 0; i < 600; ++i) {
+    p.act(rng);
+    const uint64_t uid = 200 + (i % 6 < 3 ? i % 6 : i % 6);
+    p.on_round_end(contender_from(p.age(), uid), rng);
+  }
+  if (p.role() != Role::kSamaritan) GTEST_SKIP() << "samaritan knocked out";
+
+  // Walk to the reporting epoch and capture a broadcast report.
+  const auto& schedule = p.schedule();
+  while (!schedule.is_reporting_epoch(schedule.position(p.age()).epoch) &&
+         !schedule.position(p.age()).finished) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  ASSERT_FALSE(schedule.position(p.age()).finished);
+
+  for (int tries = 0; tries < 2000; ++tries) {
+    const RoundAction action = p.act(rng);
+    if (action.broadcast &&
+        std::holds_alternative<SamaritanReport>(*action.payload)) {
+      const auto& report = std::get<SamaritanReport>(*action.payload);
+      EXPECT_LE(report.n_entries, 4);
+      EXPECT_GT(report.n_entries, 0);
+      // Entries must be sorted by decreasing count.
+      for (int i = 1; i < report.n_entries; ++i) {
+        EXPECT_GE(report.entries[static_cast<size_t>(i - 1)].count,
+                  report.entries[static_cast<size_t>(i)].count);
+      }
+      EXPECT_EQ(report.super_epoch,
+                schedule.position(p.age()).super_epoch);
+      return;
+    }
+    p.on_round_end(std::nullopt, rng);
+    if (p.role() != Role::kSamaritan ||
+        schedule.position(p.age()).finished) {
+      GTEST_SKIP() << "left the reporting window";
+    }
+  }
+  FAIL() << "samaritan never broadcast a report";
+}
+
+TEST(GsInternalsTest, RecordsResetAcrossSuperEpochs) {
+  SamaritanConfig config;
+  config.epoch_constant = 0.05;  // small epochs; several super-epochs
+  GoodSamaritanProtocol p(make_env(8, 2, 16, 42), config);
+  Rng rng(3);
+  p.on_activate(rng);
+  p.act(rng);
+  p.on_round_end(contender_from(0, 500), rng);
+  ASSERT_EQ(p.role(), Role::kSamaritan);
+
+  const auto& schedule = p.schedule();
+  // Record in super-epoch 1's critical epoch.
+  while (!(schedule.position(p.age()).super_epoch == 1 &&
+           schedule.is_critical_epoch(schedule.position(p.age()).epoch))) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  for (int i = 0; i < 32 && p.success_records().empty(); ++i) {
+    p.act(rng);
+    p.on_round_end(contender_from(p.age(), 700), rng);
+  }
+  ASSERT_FALSE(p.success_records().empty());
+
+  // Advance into super-epoch 2's critical epoch and record once: the old
+  // super-epoch's records must have been dropped.
+  while (!(schedule.position(p.age()).super_epoch == 2 &&
+           schedule.is_critical_epoch(schedule.position(p.age()).epoch))) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+    ASSERT_FALSE(schedule.position(p.age()).finished);
+  }
+  for (int i = 0; i < 64; ++i) {
+    p.act(rng);
+    p.on_round_end(contender_from(p.age(), 900), rng);
+    if (!p.success_records().empty() &&
+        p.success_records()[0].contender_uid == 900) {
+      break;
+    }
+  }
+  for (const SuccessEntry& entry : p.success_records()) {
+    EXPECT_NE(entry.contender_uid, 700u)
+        << "stale record leaked across super-epochs";
+  }
+}
+
+TEST(GsInternalsTest, Lemma17PopulationCollapse) {
+  // Good execution: simultaneous wake, light jamming. By the time the
+  // group reaches the critical epoch of the deciding super-epoch, the
+  // contender population must have collapsed to exactly one, with at least
+  // one samaritan alive to assist (n >= 2).
+  SimConfig config;
+  config.F = 8;
+  config.t = 4;
+  config.N = 16;
+  config.n = 6;
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    config.seed = seed;
+    Simulation sim(config, GoodSamaritanProtocol::factory(),
+                   std::make_unique<FixedSubsetAdversary>(1),
+                   std::make_unique<SimultaneousActivation>(config.n));
+
+    // All nodes share one age (simultaneous wake): walk until node 0's
+    // schedule says super-epoch 1, critical epoch. (t' = 1 < band(1) = 2,
+    // so super-epoch 1 decides.)
+    sim.step();
+    const auto& schedule =
+        dynamic_cast<const GoodSamaritanProtocol&>(sim.protocol(0))
+            .schedule();
+    const int64_t critical_start =
+        static_cast<int64_t>(schedule.lg_n()) * schedule.epoch_length(1);
+    while (sim.round() < critical_start + 1) sim.step();
+
+    int contenders = 0;
+    int samaritans = 0;
+    for (NodeId id = 0; id < config.n; ++id) {
+      const Role role = sim.role(id);
+      if (role == Role::kContender) ++contenders;
+      if (role == Role::kSamaritan) ++samaritans;
+    }
+    EXPECT_EQ(contenders, 1) << "seed " << seed;
+    EXPECT_GE(samaritans, 1) << "seed " << seed;
+  }
+}
+
+TEST(GsInternalsTest, FallbackTimestampUsesTotalAge) {
+  // A node entering fallback keeps its total age in timestamps, so earlier
+  // wakers dominate the fallback competition too.
+  SamaritanConfig config;
+  config.epoch_constant = 0.01;
+  GoodSamaritanProtocol p(make_env(4, 1, 4, 42), config);
+  Rng rng(5);
+  p.on_activate(rng);
+  while (p.role() != Role::kFallback) {
+    p.act(rng);
+    p.on_round_end(std::nullopt, rng);
+  }
+  const int64_t age_at_fallback = p.age();
+  EXPECT_GT(age_at_fallback, 0);
+  for (int tries = 0; tries < 200; ++tries) {
+    const RoundAction action = p.act(rng);
+    if (action.broadcast) {
+      const auto& msg = std::get<ContenderMsg>(*action.payload);
+      EXPECT_TRUE(msg.fallback);
+      EXPECT_EQ(msg.ts.age, p.age()) << "timestamp must be the total age";
+      return;
+    }
+    p.on_round_end(std::nullopt, rng);
+  }
+  FAIL() << "fallback node never broadcast";
+}
+
+}  // namespace
+}  // namespace wsync

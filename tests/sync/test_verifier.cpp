@@ -1,0 +1,143 @@
+#include "src/sync/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adversary/basic.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace {
+
+using testing::FakeProtocol;
+
+/// A protocol whose outputs follow an explicit script of values
+/// (SyncOutput::kBottom for ⊥), for violating properties on purpose.
+class OutputScriptProtocol final : public Protocol {
+ public:
+  OutputScriptProtocol(std::vector<int64_t> outputs, Role role)
+      : outputs_(std::move(outputs)), role_(role) {}
+
+  void on_activate(Rng&) override {}
+  RoundAction act(Rng&) override { return RoundAction::listen(0); }
+  void on_round_end(const std::optional<Message>&, Rng&) override { ++age_; }
+  SyncOutput output() const override {
+    const size_t i =
+        std::min(static_cast<size_t>(age_ > 0 ? age_ - 1 : 0),
+                 outputs_.size() - 1);
+    return SyncOutput{outputs_[i]};
+  }
+  Role role() const override { return role_; }
+
+ private:
+  std::vector<int64_t> outputs_;
+  Role role_;
+  int64_t age_ = 0;
+};
+
+constexpr int64_t kBot = SyncOutput::kBottom;
+
+Simulation make_sim(std::map<NodeId, std::vector<int64_t>> scripts,
+                    std::map<NodeId, Role> roles = {}) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.n = static_cast<int>(scripts.size());
+  config.N = config.n;
+  auto factory = [scripts = std::move(scripts),
+                  roles = std::move(roles)](const ProtocolEnv& env) {
+    Role role = Role::kContender;
+    if (const auto it = roles.find(env.node_id); it != roles.end()) {
+      role = it->second;
+    }
+    return std::make_unique<OutputScriptProtocol>(scripts.at(env.node_id),
+                                                  role);
+  };
+  return Simulation(config, factory, std::make_unique<NoneAdversary>(),
+                    std::make_unique<SimultaneousActivation>(config.n));
+}
+
+void drive(Simulation& sim, SyncVerifier& verifier, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    sim.step();
+    verifier.observe(sim);
+  }
+}
+
+TEST(SyncVerifierTest, CleanRunPasses) {
+  // Node 1 synchronizes one round before node 0; their numbers agree in
+  // every round where both output.
+  auto sim = make_sim({{0, {kBot, kBot, 10, 11, 12}},
+                       {1, {kBot, 9, 10, 11, 12}}});
+  SyncVerifier verifier;
+  drive(sim, verifier, 5);
+  EXPECT_TRUE(verifier.report().ok());
+  EXPECT_EQ(verifier.report().rounds_observed, 5);
+}
+
+TEST(SyncVerifierTest, DetectsSynchCommitViolation) {
+  auto sim = make_sim({{0, {5, 6, kBot, kBot, kBot}}});
+  SyncVerifier verifier;
+  drive(sim, verifier, 5);
+  EXPECT_GT(verifier.report().synch_commit_violations, 0);
+  EXPECT_FALSE(verifier.report().ok());
+}
+
+TEST(SyncVerifierTest, DetectsCorrectnessViolation) {
+  auto sim = make_sim({{0, {5, 6, 9, 10, 11}}});  // 6 -> 9 jumps
+  SyncVerifier verifier;
+  drive(sim, verifier, 5);
+  EXPECT_EQ(verifier.report().correctness_violations, 1);
+  EXPECT_FALSE(verifier.report().ok());
+}
+
+TEST(SyncVerifierTest, DetectsStuckOutput) {
+  auto sim = make_sim({{0, {5, 5, 5}}});  // must increment each round
+  SyncVerifier verifier;
+  drive(sim, verifier, 3);
+  EXPECT_GT(verifier.report().correctness_violations, 0);
+}
+
+TEST(SyncVerifierTest, DetectsAgreementViolation) {
+  auto sim = make_sim({{0, {10, 11, 12}},
+                       {1, {20, 21, 22}}});  // two numbering schemes
+  SyncVerifier verifier;
+  drive(sim, verifier, 3);
+  EXPECT_EQ(verifier.report().agreement_violations, 3);
+  EXPECT_FALSE(verifier.report().ok());
+}
+
+TEST(SyncVerifierTest, BottomNodesDoNotBreakAgreement) {
+  auto sim = make_sim({{0, {10, 11, 12}},
+                       {1, {kBot, kBot, kBot}}});
+  SyncVerifier verifier;
+  drive(sim, verifier, 3);
+  EXPECT_EQ(verifier.report().agreement_violations, 0);
+}
+
+TEST(SyncVerifierTest, CountsSimultaneousLeaders) {
+  auto sim = make_sim({{0, {10, 11, 12}}, {1, {10, 11, 12}}},
+                      {{0, Role::kLeader}, {1, Role::kLeader}});
+  SyncVerifier verifier;
+  drive(sim, verifier, 3);
+  EXPECT_EQ(verifier.report().max_simultaneous_leaders, 2);
+}
+
+TEST(SyncVerifierTest, AllowResyncToleratesRestart) {
+  auto sim = make_sim({{0, {5, 6, kBot, kBot, 20, 21}}});
+  VerifierConfig config;
+  config.allow_resync = true;
+  SyncVerifier verifier(config);
+  drive(sim, verifier, 6);
+  EXPECT_TRUE(verifier.report().ok());
+  EXPECT_GT(verifier.report().resyncs_observed, 0);
+}
+
+TEST(SyncVerifierTest, StrictModeRejectsRestart) {
+  auto sim = make_sim({{0, {5, 6, kBot, kBot, 20, 21}}});
+  SyncVerifier verifier;
+  drive(sim, verifier, 6);
+  EXPECT_FALSE(verifier.report().ok());
+}
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,103 @@
+// A scriptable protocol for engine-level tests: plays back a fixed cyclic
+// sequence of actions and records everything it receives.
+#ifndef WSYNC_TESTS_TESTING_FAKE_PROTOCOL_H_
+#define WSYNC_TESTS_TESTING_FAKE_PROTOCOL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/protocol/protocol.h"
+
+namespace wsync::testing {
+
+class FakeProtocol final : public Protocol {
+ public:
+  struct Script {
+    /// Actions played in order, cycling; empty means "listen on 0".
+    std::vector<RoundAction> actions;
+    /// Output a number (equal to the node's age) from this age on;
+    /// negative = always bottom.
+    int64_t sync_at_age = -1;
+    /// Role to report.
+    Role role = Role::kContender;
+    /// Planned broadcast probability to report (for weight tests).
+    double weight = 0.0;
+  };
+
+  FakeProtocol(const ProtocolEnv& env, Script script)
+      : env_(env), script_(std::move(script)) {}
+
+  void on_activate(Rng& /*rng*/) override { activated_ = true; }
+
+  RoundAction act(Rng& /*rng*/) override {
+    ++acts_;
+    if (script_.actions.empty()) return RoundAction::listen(0);
+    const RoundAction& action =
+        script_.actions[static_cast<size_t>(step_ %
+                                            script_.actions.size())];
+    ++step_;
+    return action;
+  }
+
+  void on_round_end(const std::optional<Message>& received,
+                    Rng& /*rng*/) override {
+    receptions.push_back(received);
+    ++age_;
+  }
+
+  SyncOutput output() const override {
+    if (script_.sync_at_age >= 0 && age_ >= script_.sync_at_age) {
+      return SyncOutput{age_};
+    }
+    return SyncOutput{};
+  }
+
+  Role role() const override { return script_.role; }
+  double broadcast_probability() const override { return script_.weight; }
+
+  const ProtocolEnv& env() const { return env_; }
+  bool activated() const { return activated_; }
+  int64_t acts() const { return acts_; }
+  int64_t age() const { return age_; }
+
+  /// All receptions, one entry per completed round.
+  std::vector<std::optional<Message>> receptions;
+
+  /// Builds a factory that scripts each node by id (missing ids get the
+  /// default script) and exposes the created instances through `registry`.
+  static ProtocolFactory factory(
+      std::map<NodeId, Script> scripts,
+      std::map<NodeId, FakeProtocol*>* registry) {
+    return [scripts = std::move(scripts), registry](const ProtocolEnv& env) {
+      Script script;
+      if (const auto it = scripts.find(env.node_id); it != scripts.end()) {
+        script = it->second;
+      }
+      auto protocol = std::make_unique<FakeProtocol>(env, std::move(script));
+      if (registry != nullptr) (*registry)[env.node_id] = protocol.get();
+      return protocol;
+    };
+  }
+
+ private:
+  ProtocolEnv env_;
+  Script script_;
+  bool activated_ = false;
+  int64_t acts_ = 0;
+  int64_t age_ = 0;
+  size_t step_ = 0;
+};
+
+/// Convenience payload for scripted broadcasts.
+inline Payload test_payload(uint64_t tag) {
+  DataMsg msg;
+  msg.tag = tag;
+  return msg;
+}
+
+}  // namespace wsync::testing
+
+#endif  // WSYNC_TESTS_TESTING_FAKE_PROTOCOL_H_

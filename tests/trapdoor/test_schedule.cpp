@@ -1,0 +1,144 @@
+#include "src/trapdoor/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsync {
+namespace {
+
+TEST(TrapdoorScheduleTest, EffectiveBandIsMinF2t) {
+  EXPECT_EQ(TrapdoorSchedule::effective_band(16, 4, true), 8);
+  EXPECT_EQ(TrapdoorSchedule::effective_band(16, 12, true), 16);
+  EXPECT_EQ(TrapdoorSchedule::effective_band(16, 8, true), 16);
+  EXPECT_EQ(TrapdoorSchedule::effective_band(16, 0, true), 1);
+  EXPECT_EQ(TrapdoorSchedule::effective_band(16, 4, false), 16);
+  EXPECT_THROW(TrapdoorSchedule::effective_band(4, 4, true),
+               std::invalid_argument);
+}
+
+TEST(TrapdoorScheduleTest, EffectiveBandAlwaysExceedsT) {
+  for (int F = 2; F <= 64; F *= 2) {
+    for (int t = 0; t < F; ++t) {
+      EXPECT_GT(TrapdoorSchedule::effective_band(F, t, true), t)
+          << "F=" << F << " t=" << t;
+    }
+  }
+}
+
+TEST(TrapdoorScheduleTest, HasLgNEpochs) {
+  const auto schedule = TrapdoorSchedule::standard(16, 4, 1024);
+  EXPECT_EQ(schedule.num_epochs(), 10);
+  EXPECT_EQ(schedule.lg_n(), 10);
+  EXPECT_EQ(schedule.n_pow2(), 1024);
+}
+
+TEST(TrapdoorScheduleTest, NonPowerOfTwoNRoundsUp) {
+  const auto schedule = TrapdoorSchedule::standard(16, 4, 1000);
+  EXPECT_EQ(schedule.num_epochs(), 10);
+  EXPECT_EQ(schedule.n_pow2(), 1024);
+}
+
+TEST(TrapdoorScheduleTest, Figure1BroadcastProbabilities) {
+  // Figure 1: probability 2^e / (2N), final epoch 1/2.
+  const int64_t N = 256;  // lgN = 8
+  const auto schedule = TrapdoorSchedule::standard(8, 2, N);
+  for (int e = 1; e <= 8; ++e) {
+    const double expected = std::min(0.5, std::ldexp(1.0, e) / (2.0 * 256));
+    EXPECT_DOUBLE_EQ(schedule.epoch(e - 1).broadcast_prob, expected)
+        << "epoch " << e;
+  }
+  EXPECT_DOUBLE_EQ(schedule.epoch(0).broadcast_prob, 1.0 / 256);
+  EXPECT_DOUBLE_EQ(schedule.epoch(7).broadcast_prob, 0.5);
+}
+
+TEST(TrapdoorScheduleTest, Figure1EpochLengths) {
+  // l_E = Theta(F'/(F'-t) logN) for all but the last epoch; the last is
+  // Theta(F'^2/(F'-t) logN), i.e. F' times longer.
+  TrapdoorConfig config;
+  config.epoch_constant = 4.0;
+  config.final_epoch_constant = 4.0;
+  const auto schedule = TrapdoorSchedule::standard(16, 8, 1024, config);
+  // F' = 16, F'-t = 8, lgN = 10 -> epoch = ceil(4*16*10/8) = 80.
+  EXPECT_EQ(schedule.epoch(0).length, 80);
+  for (int e = 0; e + 1 < schedule.num_epochs(); ++e) {
+    EXPECT_EQ(schedule.epoch(e).length, schedule.epoch(0).length);
+  }
+  // final = ceil(4*16*16*10/8) = 1280 = F' * 80.
+  EXPECT_EQ(schedule.epoch(schedule.num_epochs() - 1).length, 1280);
+}
+
+TEST(TrapdoorScheduleTest, TotalRoundsIsSumOfEpochs) {
+  const auto schedule = TrapdoorSchedule::standard(8, 3, 64);
+  int64_t total = 0;
+  for (int e = 0; e < schedule.num_epochs(); ++e) {
+    total += schedule.epoch(e).length;
+  }
+  EXPECT_EQ(schedule.total_rounds(), total);
+}
+
+TEST(TrapdoorScheduleTest, PositionWalksEpochs) {
+  const auto schedule = TrapdoorSchedule::standard(8, 2, 16);
+  int64_t age = 0;
+  for (int e = 0; e < schedule.num_epochs(); ++e) {
+    for (int64_t r = 0; r < schedule.epoch(e).length; ++r, ++age) {
+      const auto pos = schedule.position(age);
+      EXPECT_FALSE(pos.finished);
+      EXPECT_EQ(pos.epoch, e) << "age " << age;
+      EXPECT_EQ(pos.round_in_epoch, r);
+    }
+  }
+  EXPECT_TRUE(schedule.position(age).finished);
+  EXPECT_TRUE(schedule.position(age + 1000).finished);
+}
+
+TEST(TrapdoorScheduleTest, BroadcastProbMonotoneNondecreasing) {
+  const auto schedule = TrapdoorSchedule::standard(16, 4, 4096);
+  double prev = 0.0;
+  for (int64_t age = 0; age < schedule.total_rounds(); ++age) {
+    const double p = schedule.broadcast_prob_at(age);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 0.5);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(schedule.broadcast_prob_at(schedule.total_rounds()), 0.0);
+}
+
+TEST(TrapdoorScheduleTest, DegenerateCases) {
+  // N = 1: a single epoch with probability 1/2 (clamped).
+  const auto schedule = TrapdoorSchedule::standard(4, 1, 1);
+  EXPECT_EQ(schedule.num_epochs(), 1);
+  EXPECT_DOUBLE_EQ(schedule.epoch(0).broadcast_prob, 0.5);
+  // F = 1, t = 0.
+  const auto single = TrapdoorSchedule::standard(1, 0, 16);
+  EXPECT_EQ(single.f_prime(), 1);
+  EXPECT_GT(single.total_rounds(), 0);
+}
+
+TEST(TrapdoorScheduleTest, CustomLengthsRespected) {
+  const TrapdoorSchedule schedule(4, 16, 100, 999);
+  EXPECT_EQ(schedule.num_epochs(), 4);
+  EXPECT_EQ(schedule.epoch(0).length, 100);
+  EXPECT_EQ(schedule.epoch(3).length, 999);
+  EXPECT_EQ(schedule.total_rounds(), 3 * 100 + 999);
+}
+
+TEST(TrapdoorScheduleTest, TighterDisruptionMeansLongerEpochs) {
+  // As t -> F, F'/(F'-t) blows up, so epochs get longer.
+  const auto loose = TrapdoorSchedule::standard(16, 4, 256);
+  const auto tight = TrapdoorSchedule::standard(16, 14, 256);
+  EXPECT_GT(tight.epoch(0).length, loose.epoch(0).length);
+}
+
+TEST(TrapdoorScheduleTest, ValidatesArguments) {
+  EXPECT_THROW(TrapdoorSchedule::standard(4, 1, 0), std::invalid_argument);
+  EXPECT_THROW(TrapdoorSchedule(0, 4, 1, 1), std::invalid_argument);
+  EXPECT_THROW(TrapdoorSchedule(4, 4, 0, 1), std::invalid_argument);
+  TrapdoorConfig bad;
+  bad.epoch_constant = 0.0;
+  EXPECT_THROW(TrapdoorSchedule::standard(4, 1, 8, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

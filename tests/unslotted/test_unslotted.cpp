@@ -1,0 +1,207 @@
+#include "src/unslotted/unslotted.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/adversary/basic.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/trapdoor/trapdoor.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace {
+
+using testing::FakeProtocol;
+using testing::test_payload;
+
+UnslottedConfig basic_config(int F, int t, int n, int ticks_per_slot = 2,
+                             uint64_t seed = 1) {
+  UnslottedConfig config;
+  config.F = F;
+  config.t = t;
+  config.N = n;
+  config.n = n;
+  config.ticks_per_slot = ticks_per_slot;
+  config.seed = seed;
+  return config;
+}
+
+TEST(UnslottedTest, ValidatesConfig) {
+  auto make = [](UnslottedConfig config) {
+    return UnslottedSimulation(config, FakeProtocol::factory({}, nullptr),
+                               std::make_unique<NoneAdversary>(),
+                               std::make_unique<SimultaneousActivation>(
+                                   config.n));
+  };
+  EXPECT_THROW(make(basic_config(4, 4, 2)), std::invalid_argument);
+  UnslottedConfig bad = basic_config(4, 1, 2);
+  bad.ticks_per_slot = 0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+}
+
+TEST(UnslottedTest, AlignedNodesBehaveLikeSlotted) {
+  // With ticks_per_slot = 1 every node is aligned and the semantics match
+  // the slotted engine: a sole broadcaster reaches a listener.
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(2, test_payload(7))};
+  scripts[1].actions = {RoundAction::listen(2)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  UnslottedSimulation sim(basic_config(4, 0, 2, 1),
+                          FakeProtocol::factory(scripts, &nodes),
+                          std::make_unique<NoneAdversary>(),
+                          std::make_unique<SimultaneousActivation>(2));
+  sim.tick();  // round 0 runs...
+  sim.tick();  // ...and closes at the next boundary
+  ASSERT_FALSE(nodes[1]->receptions.empty());
+  ASSERT_TRUE(nodes[1]->receptions[0].has_value());
+  EXPECT_EQ(std::get<DataMsg>(nodes[1]->receptions[0]->payload).tag, 7u);
+}
+
+TEST(UnslottedTest, PhaseShiftedListenerStillHears) {
+  // Seeds give nodes random phases in {0, 1}; a constant broadcaster is
+  // heard by a constant listener regardless of their relative phase,
+  // because transmissions repeat across the whole logical round.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::map<NodeId, FakeProtocol::Script> scripts;
+    scripts[0].actions = {RoundAction::send(1, test_payload(9))};
+    scripts[1].actions = {RoundAction::listen(1)};
+    std::map<NodeId, FakeProtocol*> nodes;
+    UnslottedSimulation sim(basic_config(4, 0, 2, 2, seed),
+                            FakeProtocol::factory(scripts, &nodes),
+                            std::make_unique<NoneAdversary>(),
+                            std::make_unique<SimultaneousActivation>(2));
+    for (int i = 0; i < 8; ++i) sim.tick();
+    int heard = 0;
+    for (const auto& r : nodes[1]->receptions) {
+      if (r.has_value()) ++heard;
+    }
+    EXPECT_GT(heard, 0) << "seed " << seed << " phases " << sim.phase(0)
+                        << "/" << sim.phase(1);
+  }
+}
+
+TEST(UnslottedTest, PerTickDisruptionBlocks) {
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  scripts[0].actions = {RoundAction::send(0, test_payload(1))};
+  scripts[1].actions = {RoundAction::listen(0)};
+  std::map<NodeId, FakeProtocol*> nodes;
+  UnslottedSimulation sim(basic_config(4, 1, 2, 2),
+                          FakeProtocol::factory(scripts, &nodes),
+                          std::make_unique<FixedSubsetAdversary>(1),
+                          std::make_unique<SimultaneousActivation>(2));
+  for (int i = 0; i < 12; ++i) sim.tick();
+  for (const auto& r : nodes[1]->receptions) {
+    EXPECT_FALSE(r.has_value());
+  }
+}
+
+TEST(UnslottedTest, PhasesAreAssignedWithinSlot) {
+  UnslottedSimulation sim(basic_config(4, 0, 16, 4),
+                          FakeProtocol::factory({}, nullptr),
+                          std::make_unique<NoneAdversary>(),
+                          std::make_unique<SimultaneousActivation>(16));
+  sim.tick();
+  std::set<int> phases;
+  for (NodeId id = 0; id < 16; ++id) {
+    EXPECT_GE(sim.phase(id), 0);
+    EXPECT_LT(sim.phase(id), 4);
+    phases.insert(sim.phase(id));
+  }
+  EXPECT_GT(phases.size(), 1u);  // not all aligned
+}
+
+TEST(UnslottedTest, TrapdoorSynchronizesUnslotted) {
+  // The Section 8 claim: the slotted protocol carries over at a constant
+  // multiplicative cost. Trapdoor instances with random phases must still
+  // elect a unique leader and synchronize.
+  UnslottedConfig config = basic_config(8, 2, 6, 2, 99);
+  config.N = 16;
+  UnslottedSimulation sim(config, TrapdoorProtocol::factory(),
+                          std::make_unique<RandomSubsetAdversary>(2),
+                          std::make_unique<SimultaneousActivation>(6));
+  const auto result = sim.run_until_synced(4000000);
+  ASSERT_TRUE(result.synced);
+  int leaders = 0;
+  for (NodeId id = 0; id < 6; ++id) {
+    if (sim.role(id) == Role::kLeader) ++leaders;
+    EXPECT_TRUE(sim.output(id).has_number());
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(UnslottedTest, OutputSpreadStaysWithinOneRound) {
+  // Phase-shifted nodes may straddle a round boundary, so their outputs can
+  // differ by one — but never more.
+  UnslottedConfig config = basic_config(8, 2, 5, 2, 7);
+  config.N = 16;
+  UnslottedSimulation sim(config, TrapdoorProtocol::factory(),
+                          std::make_unique<RandomSubsetAdversary>(2),
+                          std::make_unique<SimultaneousActivation>(5));
+  const auto result = sim.run_until_synced(4000000);
+  ASSERT_TRUE(result.synced);
+  for (int i = 0; i < 500; ++i) {
+    sim.tick();
+    const int64_t spread = sim.output_spread();
+    EXPECT_LE(spread, 1) << "tick " << sim.ticks();
+  }
+}
+
+TEST(UnslottedTest, UnslottedCostIsRoughlyTheRepetitionFactor) {
+  // Slotted baseline vs ticks_per_slot = 2: ticks-to-sync should be about
+  // 2x the slotted rounds-to-sync (same protocol, same parameters).
+  UnslottedConfig config = basic_config(8, 2, 4, 1, 5);
+  config.N = 16;
+  UnslottedSimulation slotted(config, TrapdoorProtocol::factory(),
+                              std::make_unique<RandomSubsetAdversary>(2),
+                              std::make_unique<SimultaneousActivation>(4));
+  const auto slotted_result = slotted.run_until_synced(4000000);
+  ASSERT_TRUE(slotted_result.synced);
+
+  config.ticks_per_slot = 2;
+  UnslottedSimulation doubled(config, TrapdoorProtocol::factory(),
+                              std::make_unique<RandomSubsetAdversary>(2),
+                              std::make_unique<SimultaneousActivation>(4));
+  const auto doubled_result = doubled.run_until_synced(8000000);
+  ASSERT_TRUE(doubled_result.synced);
+
+  const double ratio = static_cast<double>(doubled_result.ticks) /
+                       static_cast<double>(slotted_result.ticks);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 4.0);  // constant multiplicative cost, about 2x
+}
+
+TEST(UnslottedTest, GoodSamaritanAlsoSurvivesTheTransform) {
+  // The transform is protocol-agnostic: the Good Samaritan protocol (with
+  // its much more intricate round structure) must also synchronize with
+  // phase-shifted nodes.
+  UnslottedConfig config = basic_config(8, 2, 4, 2, 17);
+  config.N = 8;
+  UnslottedSimulation sim(config, GoodSamaritanProtocol::factory(),
+                          std::make_unique<RandomSubsetAdversary>(2),
+                          std::make_unique<SimultaneousActivation>(4));
+  const auto result = sim.run_until_synced(50000000);
+  ASSERT_TRUE(result.synced);
+  int leaders = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    if (sim.role(id) == Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(UnslottedTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    UnslottedConfig config = basic_config(8, 2, 4, 2, seed);
+    config.N = 8;
+    UnslottedSimulation sim(config, TrapdoorProtocol::factory(),
+                            std::make_unique<RandomSubsetAdversary>(2),
+                            std::make_unique<SimultaneousActivation>(4));
+    return sim.run_until_synced(4000000).ticks;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace wsync
