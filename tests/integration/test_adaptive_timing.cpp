@@ -24,7 +24,7 @@ struct TimingCase {
 
 std::string timing_name(const ::testing::TestParamInfo<TimingCase>& info) {
   const TimingCase& c = info.param;
-  return "F" + std::to_string(c.F) + "tp" + std::to_string(c.t_prime) +
+  return std::string("F") + std::to_string(c.F) + "tp" + std::to_string(c.t_prime) +
          "N" + std::to_string(c.N) + "n" + std::to_string(c.n);
 }
 

@@ -30,7 +30,7 @@ struct FuzzCase {
 
 std::string fuzz_name(const ::testing::TestParamInfo<FuzzCase>& info) {
   const FuzzCase& c = info.param;
-  return "F" + std::to_string(c.F) + "t" + std::to_string(c.t) + "n" +
+  return std::string("F") + std::to_string(c.F) + "t" + std::to_string(c.t) + "n" +
          std::to_string(c.n) + "p" + std::to_string(c.protocol) + "a" +
          std::to_string(c.adversary) + "s" + std::to_string(c.seed);
 }

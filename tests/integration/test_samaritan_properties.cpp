@@ -23,7 +23,7 @@ struct GsPoint {
 
 std::string gs_name(const ::testing::TestParamInfo<GsPoint>& info) {
   const GsPoint& g = info.param;
-  return "F" + std::to_string(g.F) + "t" + std::to_string(g.t) + "tp" +
+  return std::string("F") + std::to_string(g.F) + "t" + std::to_string(g.t) + "tp" +
          std::to_string(g.t_prime) + "N" + std::to_string(g.N) + "n" +
          std::to_string(g.n) + "_" + to_string(g.adversary) + "_" +
          to_string(g.activation);

@@ -24,7 +24,7 @@ struct GridPoint {
 
 std::string grid_name(const ::testing::TestParamInfo<GridPoint>& info) {
   const GridPoint& g = info.param;
-  return "F" + std::to_string(g.F) + "t" + std::to_string(g.t) + "N" +
+  return std::string("F") + std::to_string(g.F) + "t" + std::to_string(g.t) + "N" +
          std::to_string(g.N) + "n" + std::to_string(g.n) + "_" +
          to_string(g.adversary) + "_" + to_string(g.activation);
 }
