@@ -15,8 +15,8 @@
 namespace wsync {
 namespace {
 
-PointResult run_with_config(const TrapdoorConfig& config, int F, int t,
-                            int64_t N, int n, int seeds,
+PointResult run_with_config(ThreadPool& pool, const TrapdoorConfig& config,
+                            int F, int t, int64_t N, int n, int seeds,
                             AdversaryKind adversary,
                             ActivationKind activation) {
   ExperimentPoint point;
@@ -34,26 +34,11 @@ PointResult run_with_config(const TrapdoorConfig& config, int F, int t,
   spec.max_rounds =
       16 * TrapdoorSchedule::standard(F, t, N, config).total_rounds() + 2048;
 
-  PointResult result;
-  result.point = point;
-  result.runs = seeds;
-  std::vector<double> rounds;
-  for (const RunOutcome& outcome :
-       run_sync_experiments(spec, make_seeds(seeds))) {
-    if (outcome.synced) {
-      ++result.synced_runs;
-      rounds.push_back(static_cast<double>(outcome.rounds));
-    }
-    result.agreement_violations += outcome.properties.agreement_violations;
-    if (outcome.properties.max_simultaneous_leaders >= 2) {
-      ++result.multi_leader_runs;
-    }
-  }
-  result.rounds_to_live = summarize(rounds);
-  return result;
+  return aggregate_point(
+      point, run_sync_experiments_parallel(spec, make_seeds(seeds), pool));
 }
 
-void band_ablation() {
+void band_ablation(ThreadPool& pool) {
   std::printf("(a) F' = min(F, 2t) band restriction, F = 64, N = 256, "
               "n = 12, random jammer, 8 seeds:\n\n");
   Table table({"t", "restricted: median rounds", "full band: median rounds",
@@ -63,11 +48,11 @@ void band_ablation() {
     TrapdoorConfig full;
     full.restrict_to_fprime = false;
     const PointResult r =
-        run_with_config(restricted, 64, t, 256, 12, 8,
+        run_with_config(pool, restricted, 64, t, 256, 12, 8,
                         AdversaryKind::kRandomSubset,
                         ActivationKind::kSimultaneous);
     const PointResult f =
-        run_with_config(full, 64, t, 256, 12, 8,
+        run_with_config(pool, full, 64, t, 256, 12, 8,
                         AdversaryKind::kRandomSubset,
                         ActivationKind::kSimultaneous);
     table.row()
@@ -83,7 +68,7 @@ void band_ablation() {
       "Theta(F^2/(F-t)) regardless of t.");
 }
 
-void epoch_constant_ablation() {
+void epoch_constant_ablation(ThreadPool& pool) {
   std::printf("\n(b) epoch-length constant c1 (F = 16, t = 8, N = 64, "
               "n = 12, staggered, 12 seeds):\n\n");
   Table table({"c1", "synced runs", "median rounds", "multi-leader runs",
@@ -95,7 +80,7 @@ void epoch_constant_ablation() {
     // (safety is the final epoch's job — sweep (c) below).
     config.final_epoch_constant = 8.0;
     const PointResult r = run_with_config(
-        config, 16, 8, 64, 12, 12, AdversaryKind::kRandomSubset,
+        pool, config, 16, 8, 64, 12, 12, AdversaryKind::kRandomSubset,
         ActivationKind::kStaggeredUniform);
     table.row()
         .cell(c1, 1)
@@ -107,7 +92,7 @@ void epoch_constant_ablation() {
   std::printf("%s", table.markdown().c_str());
 }
 
-void final_epoch_ablation() {
+void final_epoch_ablation(ThreadPool& pool) {
   std::printf("\n(c) final-epoch constant c2 (F = 16, t = 8, N = 64, "
               "n = 16, staggered + fixed jammer, 20 seeds):\n\n");
   Table table({"c2", "synced runs", "median rounds", "multi-leader runs",
@@ -116,7 +101,7 @@ void final_epoch_ablation() {
     TrapdoorConfig config;
     config.final_epoch_constant = c2;
     const PointResult r = run_with_config(
-        config, 16, 8, 64, 16, 20, AdversaryKind::kFixedFirst,
+        pool, config, 16, 8, 64, 16, 20, AdversaryKind::kFixedFirst,
         ActivationKind::kStaggeredUniform);
     table.row()
         .cell(c2, 4)
@@ -138,8 +123,9 @@ void final_epoch_ablation() {
 
 int main() {
   wsync::bench::section("Ablations — the Trapdoor design choices");
-  wsync::band_ablation();
-  wsync::epoch_constant_ablation();
-  wsync::final_epoch_ablation();
+  wsync::ThreadPool pool;  // one pool, reused by every ablation sweep
+  wsync::band_ablation(pool);
+  wsync::epoch_constant_ablation(pool);
+  wsync::final_epoch_ablation(pool);
   return 0;
 }

@@ -4,16 +4,16 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-void run_config(Table& table, ProtocolKind protocol, AdversaryKind adversary,
-                ActivationKind activation, int F, int t, int64_t N, int n,
-                int runs) {
+void run_config(Table& table, ThreadPool& pool, ProtocolKind protocol,
+                AdversaryKind adversary, ActivationKind activation, int F,
+                int t, int64_t N, int n, int runs) {
   ExperimentPoint point;
   point.F = F;
   point.t = t;
@@ -24,7 +24,7 @@ void run_config(Table& table, ProtocolKind protocol, AdversaryKind adversary,
   point.activation = activation;
   point.activation_window = 48;
   point.extra_rounds = 128;
-  const PointResult result = run_point(point, make_seeds(runs));
+  const PointResult result = run_point_parallel(point, make_seeds(runs), pool);
   const Proportion multi = wilson_interval(result.multi_leader_runs, runs);
   table.row()
       .cell(std::string(to_string(protocol)))
@@ -52,26 +52,30 @@ int main() {
   Table table({"protocol", "adversary", "activation", "synced runs",
                "multi-leader runs", "multi-leader 95% upper",
                "agreement violations", "commit+correctness violations"});
+  ThreadPool pool;  // one pool, reused by every row's seed replication
   // The paper's protocols: unique leader whp in every configuration.
-  run_config(table, ProtocolKind::kTrapdoor, AdversaryKind::kRandomSubset,
-             ActivationKind::kSimultaneous, 8, 6, 64, 12, runs);
-  run_config(table, ProtocolKind::kTrapdoor, AdversaryKind::kRandomSubset,
-             ActivationKind::kStaggeredUniform, 8, 6, 64, 12, runs);
-  run_config(table, ProtocolKind::kTrapdoor, AdversaryKind::kGreedyDelivery,
-             ActivationKind::kTwoBatch, 8, 6, 64, 12, runs);
-  run_config(table, ProtocolKind::kGoodSamaritan,
+  run_config(table, pool, ProtocolKind::kTrapdoor,
+             AdversaryKind::kRandomSubset, ActivationKind::kSimultaneous, 8,
+             6, 64, 12, runs);
+  run_config(table, pool, ProtocolKind::kTrapdoor,
+             AdversaryKind::kRandomSubset, ActivationKind::kStaggeredUniform,
+             8, 6, 64, 12, runs);
+  run_config(table, pool, ProtocolKind::kTrapdoor,
+             AdversaryKind::kGreedyDelivery, ActivationKind::kTwoBatch, 8, 6,
+             64, 12, runs);
+  run_config(table, pool, ProtocolKind::kGoodSamaritan,
              AdversaryKind::kRandomSubset, ActivationKind::kSimultaneous, 8,
              4, 32, 8, runs / 2);
   // The baseline without the final epoch: multiple leaders appear under
   // disruption + staggering.
-  run_config(table, ProtocolKind::kWakeupBaseline,
+  run_config(table, pool, ProtocolKind::kWakeupBaseline,
              AdversaryKind::kRandomSubset, ActivationKind::kStaggeredUniform,
              8, 6, 64, 12, runs);
-  run_config(table, ProtocolKind::kWakeupBaseline,
+  run_config(table, pool, ProtocolKind::kWakeupBaseline,
              AdversaryKind::kFixedFirst, ActivationKind::kTwoBatch, 8, 6, 64,
              12, runs);
   // ALOHA strawman: no ordering at all.
-  run_config(table, ProtocolKind::kAloha, AdversaryKind::kRandomSubset,
+  run_config(table, pool, ProtocolKind::kAloha, AdversaryKind::kRandomSubset,
              ActivationKind::kStaggeredUniform, 8, 6, 64, 12, runs);
   std::printf("%s", table.markdown().c_str());
   bench::note(

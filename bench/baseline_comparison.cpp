@@ -5,13 +5,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-void compare_at(Table& table, int t, int runs) {
+void compare_at(Table& table, ThreadPool& pool, int t, int runs) {
+  std::vector<ExperimentPoint> points;
   for (const ProtocolKind kind :
        {ProtocolKind::kTrapdoor, ProtocolKind::kWakeupBaseline,
         ProtocolKind::kAloha}) {
@@ -26,10 +27,12 @@ void compare_at(Table& table, int t, int runs) {
     point.activation = ActivationKind::kStaggeredUniform;
     point.activation_window = 32;
     point.extra_rounds = 128;
-    const PointResult r = run_point(point, make_seeds(runs));
+    points.push_back(point);
+  }
+  for (const PointResult& r : run_points_parallel(points, runs, pool)) {
     table.row()
         .cell(static_cast<int64_t>(t))
-        .cell(std::string(to_string(kind)))
+        .cell(std::string(to_string(r.point.protocol)))
         .cell(static_cast<int64_t>(r.synced_runs))
         .cell(r.synced_runs > 0 ? r.rounds_to_live.p50 : -1.0, 0)
         .cell(static_cast<int64_t>(r.multi_leader_runs))
@@ -48,10 +51,11 @@ int main() {
               "random-subset jammer, %d seeds per row\n\n", runs);
   Table table({"t", "protocol", "synced runs", "median rounds",
                "multi-leader runs", "agreement violations"});
-  compare_at(table, 0, runs);
-  compare_at(table, 4, runs);
-  compare_at(table, 8, runs);
-  compare_at(table, 12, runs);
+  ThreadPool pool;  // one pool, reused by every disruption level
+  compare_at(table, pool, 0, runs);
+  compare_at(table, pool, 4, runs);
+  compare_at(table, pool, 8, runs);
+  compare_at(table, pool, 12, runs);
   std::printf("%s", table.markdown().c_str());
   bench::note(
       "\nShape check: with a clean spectrum everything synchronizes and "

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "src/adversary/basic.h"
+#include "src/common/thread_pool.h"
 #include "src/radio/engine.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
@@ -95,18 +96,29 @@ int main() {
               "first restart (the silence timeout); recovery = crash -> "
               "all survivors output again.\n\n");
 
+  // Every (delay, seed) run is independent — one flat parallel batch,
+  // aggregated below in fixed delay order.
+  const std::vector<RoundId> delays = {0, 200, 2000};
+  const int seeds = 6;
+  std::vector<RecoveryOutcome> outcomes(delays.size() * seeds);
+  ThreadPool pool;
+  parallel_for(pool, outcomes.size(), [&](size_t task) {
+    const RoundId delay = delays[task / seeds];
+    const uint64_t seed = 0xC0FFEE + (task % seeds);
+    outcomes[task] = run_once(8, 2, 5, delay, seed);
+  });
+
   Table table({"crash delay after sync", "recovered runs",
                "median detect rounds", "median recover rounds",
                "mean restarts per run"});
-  for (const RoundId delay : {RoundId{0}, RoundId{200}, RoundId{2000}}) {
+  for (size_t d = 0; d < delays.size(); ++d) {
+    const RoundId delay = delays[d];
     std::vector<double> detect;
     std::vector<double> recover;
     double restarts = 0;
     int recovered = 0;
-    const int seeds = 6;
     for (int i = 0; i < seeds; ++i) {
-      const RecoveryOutcome r =
-          run_once(8, 2, 5, delay, 0xC0FFEE + static_cast<uint64_t>(i));
+      const RecoveryOutcome& r = outcomes[d * seeds + static_cast<size_t>(i)];
       if (!r.recovered) continue;
       ++recovered;
       detect.push_back(static_cast<double>(r.detect_rounds));

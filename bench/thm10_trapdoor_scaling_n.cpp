@@ -9,20 +9,19 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/stats/regression.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-void run_for_t(int F, int t, int seeds) {
+void run_for_t(ThreadPool& pool, int F, int t, int seeds) {
   std::printf("\nF = %d, t = %d, staggered activation, random-subset "
               "jammer, %d seeds per point\n\n", F, t, seeds);
   Table table({"N", "n", "median rounds", "p90 rounds", "max rounds",
                "predicted shape", "measured/predicted"});
-  std::vector<double> model;
-  std::vector<double> measured;
+  std::vector<ExperimentPoint> points;
   for (int lg = 6; lg <= 13; ++lg) {
     const int64_t N = int64_t{1} << lg;
     ExperimentPoint point;
@@ -34,13 +33,18 @@ void run_for_t(int F, int t, int seeds) {
     point.adversary = AdversaryKind::kRandomSubset;
     point.activation = ActivationKind::kStaggeredUniform;
     point.activation_window = 32;
-    const PointResult result = run_point(point, make_seeds(seeds));
+    points.push_back(point);
+  }
+  std::vector<double> model;
+  std::vector<double> measured;
+  for (const PointResult& result : run_points_parallel(points, seeds, pool)) {
+    const int64_t N = result.point.N;
     const double predicted = trapdoor_predicted_rounds(F, t, N);
     model.push_back(predicted);
     measured.push_back(result.rounds_to_live.p50);
     table.row()
         .cell(N)
-        .cell(static_cast<int64_t>(point.n))
+        .cell(static_cast<int64_t>(result.point.n))
         .cell(result.rounds_to_live.p50, 0)
         .cell(result.rounds_to_live.p90, 0)
         .cell(result.rounds_to_live.max, 0)
@@ -63,9 +67,10 @@ int main() {
   wsync::bench::section(
       "Theorem 10 — Trapdoor synchronization time vs N "
       "(O(F/(F-t) log^2 N + Ft/(F-t) logN))");
-  wsync::run_for_t(16, 4, 10);
-  wsync::run_for_t(16, 8, 10);
-  wsync::run_for_t(16, 12, 10);
+  wsync::ThreadPool pool;  // one pool, reused by every t-sweep
+  wsync::run_for_t(pool, 16, 4, 10);
+  wsync::run_for_t(pool, 16, 8, 10);
+  wsync::run_for_t(pool, 16, 12, 10);
   wsync::bench::note(
       "\nShape check: the measured/predicted column is stable across N "
       "within each t,\nconfirming the lg^2 N growth; larger t shifts the "

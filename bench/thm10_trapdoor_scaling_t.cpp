@@ -6,21 +6,20 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/stats/regression.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-void run_sweep(int F, int64_t N, int n, int seeds) {
+void run_sweep(ThreadPool& pool, int F, int64_t N, int n, int seeds) {
   std::printf("\nF = %d, N = %lld, n = %d, simultaneous activation, "
               "random-subset jammer, %d seeds per point\n\n",
               F, static_cast<long long>(N), n, seeds);
   Table table({"t", "F'=min(F,2t)", "median rounds", "p90 rounds",
                "predicted shape", "measured/predicted"});
-  std::vector<double> model;
-  std::vector<double> measured;
+  std::vector<ExperimentPoint> points;
   for (int t : {0, 1, 2, 4, 6, 8, 10, 12, 14}) {
     if (t >= F) continue;
     ExperimentPoint point;
@@ -31,7 +30,12 @@ void run_sweep(int F, int64_t N, int n, int seeds) {
     point.protocol = ProtocolKind::kTrapdoor;
     point.adversary = AdversaryKind::kRandomSubset;
     point.activation = ActivationKind::kSimultaneous;
-    const PointResult result = run_point(point, make_seeds(seeds));
+    points.push_back(point);
+  }
+  std::vector<double> model;
+  std::vector<double> measured;
+  for (const PointResult& result : run_points_parallel(points, seeds, pool)) {
+    const int t = result.point.t;
     const double predicted = trapdoor_predicted_rounds(F, t, N);
     model.push_back(predicted);
     measured.push_back(result.rounds_to_live.p50);
@@ -57,7 +61,8 @@ int main() {
   wsync::bench::section(
       "Theorem 10 — Trapdoor synchronization time vs t at fixed F, N "
       "(the Ft/(F-t) blow-up)");
-  wsync::run_sweep(16, 1024, 16, 10);
+  wsync::ThreadPool pool;
+  wsync::run_sweep(pool, 16, 1024, 16, 10);
   wsync::bench::note(
       "\nShape check: time rises steeply as t approaches F (the F-t "
       "denominator);\nat t = 0 the F' = min(F, 2t) trick collapses the "

@@ -8,14 +8,14 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-PointResult run_protocol(ProtocolKind kind, int F, int t, int t_prime,
-                         int64_t N, int n, int seeds) {
+ExperimentPoint protocol_point(ProtocolKind kind, int F, int t, int t_prime,
+                               int64_t N, int n) {
   ExperimentPoint point;
   point.F = F;
   point.t = t;
@@ -31,7 +31,7 @@ PointResult run_protocol(ProtocolKind kind, int F, int t, int t_prime,
   point.adversary =
       t_prime == 0 ? AdversaryKind::kNone : AdversaryKind::kFixedFirst;
   point.activation = ActivationKind::kSimultaneous;
-  return run_point(point, make_seeds(seeds));
+  return point;
 }
 
 }  // namespace
@@ -59,12 +59,23 @@ int main() {
   Table table({"t' (actual jam)", "GS median rounds", "GS p90",
                "Trapdoor median rounds", "Trapdoor p90",
                "GS t'-scaling t'lg^3N", "winner"});
+  // The whole grid — a (GS, Trapdoor) pair per t' — runs as one parallel
+  // batch; results come back in point order, so pairs stay adjacent.
+  const std::vector<int> t_primes = {0, 1, 2, 4, 8};
+  std::vector<ExperimentPoint> points;
+  for (int t_prime : t_primes) {
+    points.push_back(
+        protocol_point(ProtocolKind::kGoodSamaritan, F, t, t_prime, N, n));
+    points.push_back(
+        protocol_point(ProtocolKind::kTrapdoor, F, t, t_prime, N, n));
+  }
+  const std::vector<PointResult> results = run_points_parallel(points, seeds);
+
   std::vector<double> gs_medians;
-  for (int t_prime : {0, 1, 2, 4, 8}) {
-    const PointResult gs = run_protocol(ProtocolKind::kGoodSamaritan, F, t,
-                                        t_prime, N, n, seeds);
-    const PointResult td =
-        run_protocol(ProtocolKind::kTrapdoor, F, t, t_prime, N, n, seeds);
+  for (size_t i = 0; i < t_primes.size(); ++i) {
+    const int t_prime = t_primes[i];
+    const PointResult& gs = results[2 * i];
+    const PointResult& td = results[2 * i + 1];
     gs_medians.push_back(gs.rounds_to_live.p50);
     const char* winner =
         gs.rounds_to_live.p50 < td.rounds_to_live.p50 ? "GS" : "Trapdoor";

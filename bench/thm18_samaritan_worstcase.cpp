@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/experiment/sweep.h"
+#include "src/experiment/parallel_sweep.h"
 #include "src/samaritan/schedule.h"
 #include "src/stats/table.h"
 
@@ -22,11 +22,13 @@ void run_case(int F, int t, int64_t N, int n, int seeds) {
   gs_point.adversary = AdversaryKind::kRandomSubset;
   gs_point.activation = ActivationKind::kStaggeredUniform;
   gs_point.activation_window = 64;
-  const PointResult gs = run_point(gs_point, make_seeds(seeds));
 
   ExperimentPoint td_point = gs_point;
   td_point.protocol = ProtocolKind::kTrapdoor;
-  const PointResult td = run_point(td_point, make_seeds(seeds));
+  const std::vector<PointResult> results =
+      run_points_parallel({gs_point, td_point}, seeds);
+  const PointResult& gs = results[0];
+  const PointResult& td = results[1];
 
   const SamaritanSchedule schedule(F, t, N);
   // The paper's worst-case budget shape: optimistic portion + lgN fallback

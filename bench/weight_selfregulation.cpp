@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/adversary/basic.h"
+#include "src/common/thread_pool.h"
 #include "src/radio/engine.h"
 #include "src/radio/trace.h"
 #include "src/samaritan/good_samaritan.h"
@@ -18,6 +19,12 @@
 
 namespace wsync {
 namespace {
+
+struct Case {
+  int F;
+  int t;
+  int n;
+};
 
 struct WeightProfile {
   double max_weight = 0.0;
@@ -60,18 +67,30 @@ int main() {
       "Lemma 9 / Lemma 13 — broadcast weight W(r) self-regulation under "
       "mass activation");
 
+  // All profiles (four Trapdoor cases, the Good Samaritan case, and the
+  // detailed trajectory) are independent seeded runs: compute them as one
+  // parallel batch, then emit the table in the fixed row order.
+  const std::vector<Case> cases = {Case{8, 4, 64}, Case{16, 8, 64},
+                                   Case{16, 8, 256}, Case{8, 2, 256}};
+  std::vector<WeightProfile> profiles(cases.size() + 2);
+  ThreadPool pool;
+  parallel_for(pool, profiles.size(), [&](size_t i) {
+    if (i < cases.size()) {
+      const Case c = cases[i];
+      profiles[i] =
+          run(TrapdoorProtocol::factory(), c.F, c.t, 2 * c.n, c.n, 0xABCD);
+    } else if (i == cases.size()) {
+      profiles[i] = run(GoodSamaritanProtocol::factory(), 8, 4, 64, 32, 0xABCD);
+    } else {
+      profiles[i] = run(TrapdoorProtocol::factory(), 16, 8, 512, 256, 0x1234);
+    }
+  });
+
   Table table({"protocol", "F", "t", "F'", "n", "max W(r)", "bound 6F'",
                "rounds to liveness"});
-  struct Case {
-    int F;
-    int t;
-    int n;
-  };
-  for (const Case c : {Case{8, 4, 64}, Case{16, 8, 64}, Case{16, 8, 256},
-                       Case{8, 2, 256}}) {
-    const int64_t N = 2 * c.n;
-    const WeightProfile p =
-        run(TrapdoorProtocol::factory(), c.F, c.t, N, c.n, 0xABCD);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Case c = cases[i];
+    const WeightProfile& p = profiles[i];
     const int f_prime = std::min(c.F, std::max(2 * c.t, 1));
     table.row()
         .cell("trapdoor")
@@ -84,8 +103,7 @@ int main() {
         .cell(p.rounds);
   }
   {
-    const WeightProfile p =
-        run(GoodSamaritanProtocol::factory(), 8, 4, 64, 32, 0xABCD);
+    const WeightProfile& p = profiles[cases.size()];
     table.row()
         .cell("good_samaritan")
         .cell(int64_t{8})
@@ -99,8 +117,7 @@ int main() {
   std::printf("%s", table.markdown().c_str());
 
   // One detailed trajectory, to show the rise-and-regulate shape.
-  const WeightProfile detail =
-      run(TrapdoorProtocol::factory(), 16, 8, 512, 256, 0x1234);
+  const WeightProfile& detail = profiles[cases.size() + 1];
   std::printf("\nW(r) trajectory (Trapdoor, F = 16, t = 8, n = 256; one "
               "sample per %lld rounds):\n\n  ",
               static_cast<long long>(detail.stride));

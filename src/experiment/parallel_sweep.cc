@@ -1,0 +1,59 @@
+#include "src/experiment/parallel_sweep.h"
+
+namespace wsync {
+
+PointResult run_point_parallel(const ExperimentPoint& point,
+                               const std::vector<uint64_t>& seeds,
+                               ThreadPool& pool) {
+  const RunSpec spec = make_run_spec(point);
+  return aggregate_point(point,
+                         run_sync_experiments_parallel(spec, seeds, pool));
+}
+
+PointResult run_point_parallel(const ExperimentPoint& point,
+                               const std::vector<uint64_t>& seeds,
+                               int workers) {
+  ThreadPool pool(workers);
+  return run_point_parallel(point, seeds, pool);
+}
+
+std::vector<PointResult> run_points_parallel(
+    const std::vector<ExperimentPoint>& points, int seeds_per_point,
+    ThreadPool& pool) {
+  const std::vector<uint64_t> seeds = make_seeds(seeds_per_point);
+  const size_t per_point = seeds.size();
+
+  std::vector<RunSpec> specs;
+  specs.reserve(points.size());
+  for (const ExperimentPoint& point : points) {
+    specs.push_back(make_run_spec(point));
+  }
+
+  // One flat task per (point, seed) pair, written into its own slot.
+  std::vector<std::vector<RunOutcome>> outcomes(
+      points.size(), std::vector<RunOutcome>(per_point));
+  parallel_for(pool, points.size() * per_point, [&](size_t task) {
+    const size_t pi = task / per_point;
+    const size_t si = task % per_point;
+    RunSpec seeded = specs[pi];
+    seeded.sim.seed = seeds[si];
+    outcomes[pi][si] = run_sync_experiment(seeded);
+  });
+
+  std::vector<PointResult> results;
+  results.reserve(points.size());
+  for (size_t pi = 0; pi < points.size(); ++pi) {
+    results.push_back(aggregate_point(points[pi], outcomes[pi]));
+  }
+  return results;
+}
+
+std::vector<PointResult> run_points_parallel(
+    const std::vector<ExperimentPoint>& points, int seeds_per_point,
+    int workers) {
+  if (points.empty()) return {};
+  ThreadPool pool(workers);
+  return run_points_parallel(points, seeds_per_point, pool);
+}
+
+}  // namespace wsync

@@ -1,0 +1,46 @@
+// Parallel replication of experiment points over the wsync thread pool.
+//
+// Both entry points return exactly what the serial sweep would: outcomes
+// are computed by the same run_sync_experiment on the same seeds, shard-safe
+// because every run forks its own Rng streams, and aggregated by the same
+// aggregate_point — only wall-clock changes. Results come back in point
+// order (and, within a point, seed order) regardless of which worker
+// finished first.
+#ifndef WSYNC_EXPERIMENT_PARALLEL_SWEEP_H_
+#define WSYNC_EXPERIMENT_PARALLEL_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/experiment/sweep.h"
+
+namespace wsync {
+
+/// run_point, replicated across `pool`'s workers.
+PointResult run_point_parallel(const ExperimentPoint& point,
+                               const std::vector<uint64_t>& seeds,
+                               ThreadPool& pool);
+
+/// Convenience overload owning a pool for the call; `workers <= 0` means
+/// ThreadPool::default_workers().
+PointResult run_point_parallel(const ExperimentPoint& point,
+                               const std::vector<uint64_t>& seeds,
+                               int workers = 0);
+
+/// Grid-level parallelism: every (point, seed) pair of the grid becomes one
+/// task on a single pool, so small points cannot leave workers idle while a
+/// big point finishes. Each point runs on make_seeds(seeds_per_point) — the
+/// same seeds the serial benches use — and the result vector matches
+/// `points` index for index.
+std::vector<PointResult> run_points_parallel(
+    const std::vector<ExperimentPoint>& points, int seeds_per_point,
+    ThreadPool& pool);
+
+std::vector<PointResult> run_points_parallel(
+    const std::vector<ExperimentPoint>& points, int seeds_per_point,
+    int workers = 0);
+
+}  // namespace wsync
+
+#endif  // WSYNC_EXPERIMENT_PARALLEL_SWEEP_H_

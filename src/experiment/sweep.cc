@@ -202,16 +202,15 @@ std::vector<uint64_t> make_seeds(int count, uint64_t base) {
   return seeds;
 }
 
-PointResult run_point(const ExperimentPoint& point,
-                      const std::vector<uint64_t>& seeds) {
-  const RunSpec spec = make_run_spec(point);
+PointResult aggregate_point(const ExperimentPoint& point,
+                            const std::vector<RunOutcome>& outcomes) {
   PointResult result;
   result.point = point;
-  result.runs = static_cast<int>(seeds.size());
+  result.runs = static_cast<int>(outcomes.size());
 
   std::vector<double> rounds;
   std::vector<double> latencies;
-  for (const RunOutcome& outcome : run_sync_experiments(spec, seeds)) {
+  for (const RunOutcome& outcome : outcomes) {
     if (outcome.synced) {
       ++result.synced_runs;
       rounds.push_back(static_cast<double>(outcome.rounds));
@@ -220,6 +219,8 @@ PointResult run_point(const ExperimentPoint& point,
         worst = std::max(worst, latency);
       }
       latencies.push_back(static_cast<double>(worst));
+    } else {
+      ++result.timeout_runs;
     }
     result.agreement_violations += outcome.properties.agreement_violations;
     result.commit_violations += outcome.properties.synch_commit_violations;
@@ -236,6 +237,12 @@ PointResult run_point(const ExperimentPoint& point,
   result.rounds_to_live = summarize(rounds);
   result.max_node_latency = summarize(latencies);
   return result;
+}
+
+PointResult run_point(const ExperimentPoint& point,
+                      const std::vector<uint64_t>& seeds) {
+  const RunSpec spec = make_run_spec(point);
+  return aggregate_point(point, run_sync_experiments(spec, seeds));
 }
 
 double trapdoor_predicted_rounds(int F, int t, int64_t N) {

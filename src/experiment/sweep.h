@@ -23,6 +23,11 @@ struct PointResult {
   ExperimentPoint point;
   int runs = 0;
   int synced_runs = 0;          ///< runs that reached liveness in budget
+  /// Runs that exhausted max_rounds without liveness. These runs are
+  /// excluded from rounds_to_live/max_node_latency (there is no finite
+  /// measurement to record), so always check this counter before reading
+  /// the summaries — a point where half the runs timed out is not "fast".
+  int timeout_runs = 0;
   Summary rounds_to_live;       ///< engine rounds until liveness (synced runs)
   Summary max_node_latency;     ///< per-run max per-node sync latency
   int64_t agreement_violations = 0;  ///< summed over runs
@@ -32,6 +37,11 @@ struct PointResult {
   int multi_leader_runs = 0;    ///< runs where >= 2 leaders coexisted
   double max_broadcast_weight = 0.0;
 };
+
+/// Folds per-seed outcomes into the point aggregate. Shared by the serial
+/// and parallel sweep paths so both produce identical PointResults.
+PointResult aggregate_point(const ExperimentPoint& point,
+                            const std::vector<RunOutcome>& outcomes);
 
 /// Runs the point once per seed and aggregates.
 PointResult run_point(const ExperimentPoint& point,

@@ -281,6 +281,9 @@ const Protocol& Simulation::protocol(NodeId id) const {
 
 bool Simulation::all_synced() const {
   if (activated_total_ < config_.n) return false;
+  // Liveness is a claim about surviving nodes; an execution where every
+  // activated node has crashed has no witness and must not count as synced.
+  if (active_count_ - crashed_count_ == 0) return false;
   for (const NodeSlot& slot : nodes_) {
     if (!slot.active || slot.crashed) continue;
     if (!slot.last_output.has_number()) return false;

@@ -76,7 +76,10 @@ class Simulation {
   const SimConfig& config() const { return config_; }
   /// Number of completed rounds (== index of the next round to execute).
   RoundId round() const { return view_.round(); }
-  int active_count() const { return active_count_; }
+  /// Activated nodes still participating, i.e. excluding crashed nodes —
+  /// the same accounting view().active_count() publishes after each round.
+  int active_count() const { return active_count_ - crashed_count_; }
+  int crashed_count() const { return crashed_count_; }
   int activated_total() const { return activated_total_; }
 
   bool is_active(NodeId id) const;
@@ -95,7 +98,9 @@ class Simulation {
   const Protocol& protocol(NodeId id) const;
 
   /// True iff all n nodes have been activated and every active, non-crashed
-  /// node currently outputs a round number (the liveness condition).
+  /// node currently outputs a round number (the liveness condition). False
+  /// when no non-crashed node survives: liveness needs a living witness,
+  /// so it is never claimed vacuously by an all-crashed execution.
   bool all_synced() const;
 
   /// Crash-fault injection (Section 8 experiments): the node stops

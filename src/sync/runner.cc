@@ -63,4 +63,25 @@ std::vector<RunOutcome> run_sync_experiments(
   return outcomes;
 }
 
+std::vector<RunOutcome> run_sync_experiments_parallel(
+    const RunSpec& spec, const std::vector<uint64_t>& seeds,
+    ThreadPool& pool) {
+  std::vector<RunOutcome> outcomes(seeds.size());
+  parallel_for(pool, seeds.size(), [&](size_t i) {
+    // Copy the spec per task: the producers are std::functions whose copies
+    // share no mutable state, and each Simulation owns its forked Rngs.
+    RunSpec seeded = spec;
+    seeded.sim.seed = seeds[i];
+    outcomes[i] = run_sync_experiment(seeded);
+  });
+  return outcomes;
+}
+
+std::vector<RunOutcome> run_sync_experiments_parallel(
+    const RunSpec& spec, const std::vector<uint64_t>& seeds, int workers) {
+  if (seeds.empty()) return {};
+  ThreadPool pool(workers);
+  return run_sync_experiments_parallel(spec, seeds, pool);
+}
+
 }  // namespace wsync

@@ -1,0 +1,108 @@
+#include "src/experiment/parallel_sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace wsync {
+namespace {
+
+ExperimentPoint trapdoor_point() {
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.N = 32;
+  point.n = 6;
+  point.protocol = ProtocolKind::kTrapdoor;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kSimultaneous;
+  return point;
+}
+
+void expect_same_summary(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+void expect_same_result(const PointResult& a, const PointResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.synced_runs, b.synced_runs);
+  EXPECT_EQ(a.timeout_runs, b.timeout_runs);
+  EXPECT_EQ(a.agreement_violations, b.agreement_violations);
+  EXPECT_EQ(a.commit_violations, b.commit_violations);
+  EXPECT_EQ(a.correctness_violations, b.correctness_violations);
+  EXPECT_EQ(a.max_leaders, b.max_leaders);
+  EXPECT_EQ(a.multi_leader_runs, b.multi_leader_runs);
+  EXPECT_EQ(a.max_broadcast_weight, b.max_broadcast_weight);
+  expect_same_summary(a.rounds_to_live, b.rounds_to_live);
+  expect_same_summary(a.max_node_latency, b.max_node_latency);
+}
+
+TEST(ParallelSweepTest, RunPointParallelMatchesSerial) {
+  const ExperimentPoint point = trapdoor_point();
+  const auto seeds = make_seeds(6);
+  const PointResult serial = run_point(point, seeds);
+  for (const int workers : {1, 4}) {
+    expect_same_result(serial, run_point_parallel(point, seeds, workers));
+  }
+}
+
+TEST(ParallelSweepTest, RunPointsParallelMatchesSerialPointwise) {
+  std::vector<ExperimentPoint> points;
+  for (const int t : {0, 1, 2}) {
+    ExperimentPoint point = trapdoor_point();
+    point.t = t;
+    point.adversary =
+        t == 0 ? AdversaryKind::kNone : AdversaryKind::kRandomSubset;
+    points.push_back(point);
+  }
+  const int seeds_per_point = 4;
+  const auto parallel = run_points_parallel(points, seeds_per_point, 4);
+  ASSERT_EQ(parallel.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult serial =
+        run_point(points[i], make_seeds(seeds_per_point));
+    // Results must land at the index of their point, not completion order.
+    EXPECT_EQ(parallel[i].point.t, points[i].t);
+    expect_same_result(serial, parallel[i]);
+  }
+}
+
+TEST(ParallelSweepTest, EmptyGridYieldsEmptyResults) {
+  EXPECT_TRUE(run_points_parallel({}, 4, 2).empty());
+}
+
+TEST(ParallelSweepTest, TimeoutRunsAreCountedNotDropped) {
+  ExperimentPoint point = trapdoor_point();
+  point.N = 1024;
+  point.n = 8;
+  point.max_rounds = 3;  // nothing can synchronize in 3 rounds
+  const PointResult result = run_point(point, make_seeds(5));
+  EXPECT_EQ(result.runs, 5);
+  EXPECT_EQ(result.synced_runs, 0);
+  EXPECT_EQ(result.timeout_runs, 5);
+  // The summaries hold no samples — timeout_runs is the only trace of the
+  // five runs, which is exactly why it must exist.
+  EXPECT_EQ(result.rounds_to_live.count, 0u);
+  EXPECT_EQ(result.max_node_latency.count, 0u);
+  expect_same_result(result, run_point_parallel(point, make_seeds(5), 2));
+}
+
+TEST(ParallelSweepTest, MixedOutcomePointSplitsSyncedAndTimeout) {
+  // A budget between the fast and slow seeds' needs: some runs sync, the
+  // rest time out, and the counters must partition runs exactly.
+  ExperimentPoint point = trapdoor_point();
+  const PointResult unbounded = run_point(point, make_seeds(6));
+  ASSERT_EQ(unbounded.synced_runs, 6);
+  point.max_rounds = static_cast<RoundId>(unbounded.rounds_to_live.p50);
+  const PointResult bounded = run_point(point, make_seeds(6));
+  EXPECT_EQ(bounded.synced_runs + bounded.timeout_runs, bounded.runs);
+  EXPECT_GT(bounded.timeout_runs, 0);
+}
+
+}  // namespace
+}  // namespace wsync

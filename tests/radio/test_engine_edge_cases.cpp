@@ -116,6 +116,52 @@ TEST(EngineEdgeTest, AllSyncedRequiresEveryActivation) {
   EXPECT_FALSE(sim.all_synced());  // node 1 still inactive
 }
 
+TEST(EngineEdgeTest, ActiveCountExcludesCrashedNodes) {
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 4;
+  config.n = 3;
+  Simulation sim(config, FakeProtocol::factory({}, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SimultaneousActivation>(3));
+  sim.step();
+  EXPECT_EQ(sim.active_count(), 3);
+  EXPECT_EQ(sim.crashed_count(), 0);
+  sim.crash(1);
+  sim.step();  // publish the post-crash accounting to the view
+  // Regression: active_count() used to report crashed nodes as active while
+  // view().active_count() excluded them. Both observers must agree.
+  EXPECT_EQ(sim.active_count(), 2);
+  EXPECT_EQ(sim.crashed_count(), 1);
+  EXPECT_EQ(sim.active_count(), sim.view().active_count());
+  EXPECT_EQ(sim.activated_total(), 3);  // activation history is unchanged
+}
+
+TEST(EngineEdgeTest, AllSyncedIsFalseWhenEveryNodeHasCrashed) {
+  // Every node outputs immediately, then all of them crash: liveness must
+  // not be claimed by an execution with no surviving witness.
+  std::map<NodeId, FakeProtocol::Script> scripts;
+  for (NodeId id = 0; id < 2; ++id) scripts[id].sync_at_age = 0;
+  SimConfig config;
+  config.F = 2;
+  config.t = 0;
+  config.N = 2;
+  config.n = 2;
+  Simulation sim(config, FakeProtocol::factory(scripts, nullptr),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<SimultaneousActivation>(2));
+  sim.step();
+  EXPECT_TRUE(sim.all_synced());
+  sim.crash(0);
+  EXPECT_TRUE(sim.all_synced());  // one survivor still outputs
+  sim.crash(1);
+  EXPECT_FALSE(sim.all_synced());  // vacuous liveness is not liveness
+  EXPECT_EQ(sim.active_count(), 0);
+  sim.step();
+  EXPECT_FALSE(sim.all_synced());
+}
+
 TEST(EngineEdgeTest, DoubleCrashIsIdempotent) {
   SimConfig config;
   config.F = 2;

@@ -1,0 +1,113 @@
+// Determinism under parallelism: the parallel runner must produce
+// bit-identical RunOutcomes to the serial runner on the same seeds, for any
+// worker count — each run derives all randomness from its own seed's forked
+// Rng streams, so the thread schedule cannot leak into results.
+#include "src/sync/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adversary/basic.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+RunSpec trapdoor_spec(int F, int t, int64_t N, int n, RoundId max_rounds) {
+  RunSpec spec;
+  spec.sim.F = F;
+  spec.sim.t = t;
+  spec.sim.N = N;
+  spec.sim.n = n;
+  spec.factory = TrapdoorProtocol::factory();
+  spec.make_adversary = [t] {
+    return std::make_unique<RandomSubsetAdversary>(t);
+  };
+  spec.make_activation = [n] {
+    return std::make_unique<SimultaneousActivation>(n);
+  };
+  spec.max_rounds = max_rounds;
+  return spec;
+}
+
+void expect_identical(const RunOutcome& a, const RunOutcome& b, size_t i) {
+  EXPECT_EQ(a.synced, b.synced) << "seed index " << i;
+  EXPECT_EQ(a.rounds, b.rounds) << "seed index " << i;
+  EXPECT_EQ(a.last_sync_round, b.last_sync_round) << "seed index " << i;
+  EXPECT_EQ(a.sync_latency, b.sync_latency) << "seed index " << i;
+  EXPECT_EQ(a.properties.rounds_observed, b.properties.rounds_observed)
+      << "seed index " << i;
+  EXPECT_EQ(a.properties.synch_commit_violations,
+            b.properties.synch_commit_violations)
+      << "seed index " << i;
+  EXPECT_EQ(a.properties.correctness_violations,
+            b.properties.correctness_violations)
+      << "seed index " << i;
+  EXPECT_EQ(a.properties.agreement_violations,
+            b.properties.agreement_violations)
+      << "seed index " << i;
+  EXPECT_EQ(a.properties.max_simultaneous_leaders,
+            b.properties.max_simultaneous_leaders)
+      << "seed index " << i;
+  // Bit-identical, not approximately equal: same run, same float ops.
+  EXPECT_EQ(a.max_broadcast_weight, b.max_broadcast_weight)
+      << "seed index " << i;
+}
+
+TEST(ParallelRunnerTest, BitIdenticalToSerialAcrossWorkerCounts) {
+  RunSpec spec = trapdoor_spec(8, 2, 32, 6, 200000);
+  spec.extra_rounds = 64;
+  const std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto serial = run_sync_experiments(spec, seeds);
+  ASSERT_EQ(serial.size(), seeds.size());
+
+  for (const int workers :
+       {1, 4, ThreadPool::default_workers()}) {
+    const auto parallel =
+        run_sync_experiments_parallel(spec, seeds, workers);
+    ASSERT_EQ(parallel.size(), seeds.size()) << "workers " << workers;
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      expect_identical(serial[i], parallel[i], i);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, SharedPoolOverloadMatchesSerial) {
+  const RunSpec spec = trapdoor_spec(8, 2, 32, 4, 200000);
+  const std::vector<uint64_t> seeds = {10, 20, 30, 40};
+  const auto serial = run_sync_experiments(spec, seeds);
+  ThreadPool pool(4);
+  // Re-using one pool across calls must not perturb results either.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto parallel = run_sync_experiments_parallel(spec, seeds, pool);
+    ASSERT_EQ(parallel.size(), seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      expect_identical(serial[i], parallel[i], i);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, EmptySeedListYieldsEmptyOutcomes) {
+  const RunSpec spec = trapdoor_spec(4, 1, 8, 2, 1000);
+  EXPECT_TRUE(run_sync_experiments_parallel(spec, {}, 4).empty());
+}
+
+TEST(ParallelRunnerTest, UnsyncedRunsSurviveParallelReplication) {
+  const RunSpec spec = trapdoor_spec(8, 2, 1024, 4, 3);  // 3-round budget
+  const std::vector<uint64_t> seeds = {7, 8, 9};
+  const auto outcomes = run_sync_experiments_parallel(spec, seeds, 4);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const RunOutcome& outcome : outcomes) {
+    EXPECT_FALSE(outcome.synced);
+    EXPECT_EQ(outcome.rounds, 3);
+  }
+}
+
+TEST(ParallelRunnerTest, InvalidSpecPropagatesException) {
+  RunSpec spec;  // no factory/producers: run_sync_experiment throws
+  spec.max_rounds = 10;
+  EXPECT_THROW(run_sync_experiments_parallel(spec, {1, 2}, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync
