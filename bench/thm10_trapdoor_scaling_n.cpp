@@ -1,6 +1,10 @@
 // E3 — Theorem 10, N-scaling: measured rounds-to-liveness of the Trapdoor
 // protocol vs the predicted curve F/(F-t) lg^2 N + Ft/(F-t) lgN.
 //
+// The grid comes from the scenario catalog (thm10_trapdoor_n_scaling), the
+// single source of truth also exercised by wsync_run and the registry
+// tests; this bench adds the per-t tables and the model fit.
+//
 // Expected shape: the measured median tracks the prediction up to a stable
 // multiplicative constant (the epoch-length constants), i.e. the model fit
 // below reports a high R^2 and a bounded max relative error.
@@ -10,34 +14,24 @@
 
 #include "bench/bench_util.h"
 #include "src/experiment/parallel_sweep.h"
+#include "src/scenario/registry.h"
 #include "src/stats/regression.h"
 #include "src/stats/table.h"
 
 namespace wsync {
 namespace {
 
-void run_for_t(ThreadPool& pool, int F, int t, int seeds) {
+void report_for_t(const std::vector<ExperimentPoint>& points,
+                  const std::vector<PointResult>& results, int seeds) {
+  const int F = points.front().F;
+  const int t = points.front().t;
   std::printf("\nF = %d, t = %d, staggered activation, random-subset "
               "jammer, %d seeds per point\n\n", F, t, seeds);
   Table table({"N", "n", "median rounds", "p90 rounds", "max rounds",
                "predicted shape", "measured/predicted"});
-  std::vector<ExperimentPoint> points;
-  for (int lg = 6; lg <= 13; ++lg) {
-    const int64_t N = int64_t{1} << lg;
-    ExperimentPoint point;
-    point.F = F;
-    point.t = t;
-    point.N = N;
-    point.n = static_cast<int>(std::min<int64_t>(24, N));
-    point.protocol = ProtocolKind::kTrapdoor;
-    point.adversary = AdversaryKind::kRandomSubset;
-    point.activation = ActivationKind::kStaggeredUniform;
-    point.activation_window = 32;
-    points.push_back(point);
-  }
   std::vector<double> model;
   std::vector<double> measured;
-  for (const PointResult& result : run_points_parallel(points, seeds, pool)) {
+  for (const PointResult& result : results) {
     const int64_t N = result.point.N;
     const double predicted = trapdoor_predicted_rounds(F, t, N);
     model.push_back(predicted);
@@ -64,14 +58,33 @@ void run_for_t(ThreadPool& pool, int F, int t, int seeds) {
 }  // namespace wsync
 
 int main() {
-  wsync::bench::section(
+  using namespace wsync;
+  bench::section(
       "Theorem 10 — Trapdoor synchronization time vs N "
       "(O(F/(F-t) log^2 N + Ft/(F-t) logN))");
-  wsync::ThreadPool pool;  // one pool, reused by every t-sweep
-  wsync::run_for_t(pool, 16, 4, 10);
-  wsync::run_for_t(pool, 16, 8, 10);
-  wsync::run_for_t(pool, 16, 12, 10);
-  wsync::bench::note(
+  const Scenario& scenario =
+      ScenarioRegistry::get("thm10_trapdoor_n_scaling");
+  const int seeds = scenario.default_seeds;
+  // The whole grid runs as one parallel batch; results come back in point
+  // order, so slicing by t just partitions consecutive runs.
+  const std::vector<PointResult> results =
+      run_points_parallel(scenario.grid, seeds);
+  size_t begin = 0;
+  while (begin < scenario.grid.size()) {
+    size_t end = begin;
+    while (end < scenario.grid.size() &&
+           scenario.grid[end].t == scenario.grid[begin].t) {
+      ++end;
+    }
+    report_for_t(
+        {scenario.grid.begin() + static_cast<std::ptrdiff_t>(begin),
+         scenario.grid.begin() + static_cast<std::ptrdiff_t>(end)},
+        {results.begin() + static_cast<std::ptrdiff_t>(begin),
+         results.begin() + static_cast<std::ptrdiff_t>(end)},
+        seeds);
+    begin = end;
+  }
+  bench::note(
       "\nShape check: the measured/predicted column is stable across N "
       "within each t,\nconfirming the lg^2 N growth; larger t shifts the "
       "whole curve up via the\nFt/(F-t) term.");

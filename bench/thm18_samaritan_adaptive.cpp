@@ -3,50 +3,27 @@
 // ACTUAL disruption t' (O(t' log^3 N)), while the Trapdoor protocol pays
 // for the worst-case budget t regardless. The crossover at small t' is the
 // paper's headline comparison.
+//
+// The grid comes from the scenario catalog (thm18_samaritan_adaptive):
+// (GS, Trapdoor) point pairs per t', with the oblivious low-frequency
+// jammer fixed on {1..t'} — the worst case for the GS narrow bands, and
+// exactly the adaptivity the theorem prices at O(t' log^3 N).
 #include <cstdio>
 
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/require.h"
 #include "src/experiment/parallel_sweep.h"
+#include "src/scenario/registry.h"
 #include "src/stats/table.h"
-
-namespace wsync {
-namespace {
-
-ExperimentPoint protocol_point(ProtocolKind kind, int F, int t, int t_prime,
-                               int64_t N, int n) {
-  ExperimentPoint point;
-  point.F = F;
-  point.t = t;
-  point.N = N;
-  point.n = n;
-  point.jam_count = t_prime;
-  point.protocol = kind;
-  // A low-frequency jammer (oblivious, fixed set {0..t'-1}) is the worst
-  // case for the Good Samaritan narrow bands: super-epoch k makes progress
-  // only once its band 2^k exceeds t', which is exactly the adaptivity the
-  // theorem prices at O(t' log^3 N). A random jammer would leave the
-  // narrow band mostly clear and hide the effect.
-  point.adversary =
-      t_prime == 0 ? AdversaryKind::kNone : AdversaryKind::kFixedFirst;
-  point.activation = ActivationKind::kSimultaneous;
-  return point;
-}
-
-}  // namespace
-}  // namespace wsync
 
 int main() {
   using namespace wsync;
-  // The crossover needs t >> t' lg^2 N (the Trapdoor pays Ft/(F-t) lgN for
-  // the worst-case budget; GS pays t' lg^3 N for the actual disruption), so
-  // we provision a wide band with half of it adversary-budgeted.
-  const int F = 256;
-  const int t = 128;  // worst-case budget both protocols must tolerate
-  const int64_t N = 64;
-  const int n = 6;
-  const int seeds = 8;
+  const Scenario& scenario =
+      ScenarioRegistry::get("thm18_samaritan_adaptive");
+  const int seeds = scenario.default_seeds;
+  const ExperimentPoint& first = scenario.grid.front();
 
   bench::section(
       "Theorem 18 — adaptive Good Samaritan vs worst-case-provisioned "
@@ -54,28 +31,28 @@ int main() {
   std::printf(
       "F = %d, t = %d (provisioned), N = %lld, n = %d, oblivious "
       "low-frequency jammer fixed on {1..t'}, %d seeds\n\n",
-      F, t, static_cast<long long>(N), n, seeds);
+      first.F, first.t, static_cast<long long>(first.N), first.n, seeds);
 
   Table table({"t' (actual jam)", "GS median rounds", "GS p90",
                "Trapdoor median rounds", "Trapdoor p90",
                "GS t'-scaling t'lg^3N", "winner"});
   // The whole grid — a (GS, Trapdoor) pair per t' — runs as one parallel
   // batch; results come back in point order, so pairs stay adjacent.
-  const std::vector<int> t_primes = {0, 1, 2, 4, 8};
-  std::vector<ExperimentPoint> points;
-  for (int t_prime : t_primes) {
-    points.push_back(
-        protocol_point(ProtocolKind::kGoodSamaritan, F, t, t_prime, N, n));
-    points.push_back(
-        protocol_point(ProtocolKind::kTrapdoor, F, t, t_prime, N, n));
-  }
-  const std::vector<PointResult> results = run_points_parallel(points, seeds);
+  const std::vector<PointResult> results =
+      run_points_parallel(scenario.grid, seeds);
 
   std::vector<double> gs_medians;
-  for (size_t i = 0; i < t_primes.size(); ++i) {
-    const int t_prime = t_primes[i];
-    const PointResult& gs = results[2 * i];
-    const PointResult& td = results[2 * i + 1];
+  std::vector<int> t_primes;
+  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+    const PointResult& gs = results[i];
+    const PointResult& td = results[i + 1];
+    // The column binding below depends on the registry's pair order; fail
+    // loudly if a catalog edit reorders it.
+    WSYNC_CHECK(gs.point.protocol == ProtocolKind::kGoodSamaritan &&
+                    td.point.protocol == ProtocolKind::kTrapdoor,
+                "thm18 scenario grid must pair (GS, Trapdoor) per t'");
+    const int t_prime = gs.point.jam_count;
+    t_primes.push_back(t_prime);
     gs_medians.push_back(gs.rounds_to_live.p50);
     const char* winner =
         gs.rounds_to_live.p50 < td.rounds_to_live.p50 ? "GS" : "Trapdoor";
@@ -85,7 +62,7 @@ int main() {
         .cell(gs.rounds_to_live.p90, 0)
         .cell(td.rounds_to_live.p50, 0)
         .cell(td.rounds_to_live.p90, 0)
-        .cell(samaritan_predicted_rounds(t_prime, N), 0)
+        .cell(samaritan_predicted_rounds(t_prime, first.N), 0)
         .cell(std::string(winner));
   }
   std::printf("%s", table.markdown().c_str());
@@ -94,7 +71,7 @@ int main() {
               "once t' drives the super-epoch, the linear-in-t' "
               "signature):\n");
   for (size_t i = 2; i < gs_medians.size(); ++i) {
-    std::printf("  t' %d -> %d: x%.2f\n", 1 << (i - 2), 1 << (i - 1),
+    std::printf("  t' %d -> %d: x%.2f\n", t_primes[i - 1], t_primes[i],
                 gs_medians[i] / gs_medians[i - 1]);
   }
   bench::note(

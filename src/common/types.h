@@ -77,6 +77,18 @@ constexpr const char* to_string(Role role) {
   return "unknown";
 }
 
+/// A scheduled crash-fault burst (Section 8 extension): at the start of
+/// round `round`, the `count` lowest-id nodes that are active and not yet
+/// crashed are crashed. Used by the runner and scenario layers to express
+/// churn waves declaratively.
+struct CrashWave {
+  RoundId round = 0;
+  int count = 0;
+
+  friend constexpr bool operator==(const CrashWave&,
+                                   const CrashWave&) = default;
+};
+
 /// A node's per-round output: either bottom (not yet synchronized) or a round
 /// number. Encoded as int64_t with kBottom standing in for the paper's ⊥.
 struct SyncOutput {

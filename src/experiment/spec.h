@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/types.h"
 
@@ -28,6 +29,8 @@ enum class AdversaryKind {
   kGilbertElliott,   ///< bursty: 0 in good state, jam_count in bad state
   kGreedyDelivery,   ///< adaptive: top jam_count by decayed deliveries
   kGreedyListener,   ///< adaptive: top jam_count by last-round listeners
+  kDutyCycle,        ///< periodic: jams {0..jam_count-1} for duty_on rounds
+                     ///< out of every duty_period (microwave-oven pattern)
 };
 
 enum class ActivationKind {
@@ -35,6 +38,7 @@ enum class ActivationKind {
   kStaggeredUniform,  ///< uniform wake rounds over [0, window)
   kSequential,        ///< one node per round
   kTwoBatch,          ///< half at round 0, half at `window`
+  kPoisson,           ///< geometric inter-arrivals with mean `window / n`
 };
 
 const char* to_string(ProtocolKind kind);
@@ -64,6 +68,15 @@ struct ExperimentPoint {
 
   /// Keep verifying this many rounds after liveness.
   RoundId extra_rounds = 0;
+
+  /// kDutyCycle only: jam for `duty_on` rounds out of every `duty_period`.
+  RoundId duty_period = 8;
+  RoundId duty_on = 4;
+
+  /// Crash-fault waves, applied by the runner (see RunSpec::crash_waves).
+  /// The waves must leave at least one node alive for liveness to remain
+  /// achievable.
+  std::vector<CrashWave> crash_waves;
 };
 
 }  // namespace wsync

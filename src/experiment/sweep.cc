@@ -37,6 +37,7 @@ const char* to_string(AdversaryKind kind) {
     case AdversaryKind::kGilbertElliott: return "gilbert_elliott";
     case AdversaryKind::kGreedyDelivery: return "greedy_delivery";
     case AdversaryKind::kGreedyListener: return "greedy_listener";
+    case AdversaryKind::kDutyCycle: return "duty_cycle";
   }
   return "unknown";
 }
@@ -47,6 +48,7 @@ const char* to_string(ActivationKind kind) {
     case ActivationKind::kStaggeredUniform: return "staggered";
     case ActivationKind::kSequential: return "sequential";
     case ActivationKind::kTwoBatch: return "two_batch";
+    case ActivationKind::kPoisson: return "poisson";
   }
   return "unknown";
 }
@@ -104,6 +106,19 @@ std::function<std::unique_ptr<Adversary>()> make_adversary_producer(
       return [jam] { return std::make_unique<GreedyDeliveryAdversary>(jam); };
     case AdversaryKind::kGreedyListener:
       return [jam] { return std::make_unique<GreedyListenerAdversary>(jam); };
+    case AdversaryKind::kDutyCycle: {
+      WSYNC_REQUIRE(point.duty_period >= 1 &&
+                        point.duty_on >= 0 &&
+                        point.duty_on <= point.duty_period,
+                    "need 0 <= duty_on <= duty_period");
+      std::vector<Frequency> set(static_cast<size_t>(jam));
+      for (int f = 0; f < jam; ++f) set[static_cast<size_t>(f)] = f;
+      const RoundId period = point.duty_period;
+      const RoundId on = point.duty_on;
+      return [set, period, on] {
+        return std::make_unique<DutyCycleAdversary>(set, period, on);
+      };
+    }
   }
   WSYNC_CHECK(false, "unknown adversary kind");
   return {};
@@ -127,6 +142,15 @@ std::function<std::unique_ptr<ActivationSchedule>()> make_activation_producer(
         return std::make_unique<TwoBatchActivation>(
             n, std::max(1, n / 2), 0, window);
       };
+    case ActivationKind::kPoisson: {
+      // Mean inter-arrival window / n, so the swarm occupies roughly the
+      // same span as the staggered schedule with the same window.
+      const double rate =
+          static_cast<double>(n) / static_cast<double>(window);
+      return [n, rate] {
+        return std::make_unique<PoissonActivation>(n, std::min(1.0, rate));
+      };
+    }
   }
   WSYNC_CHECK(false, "unknown activation kind");
   return {};
@@ -189,6 +213,7 @@ RunSpec make_run_spec(const ExperimentPoint& point) {
   spec.max_rounds =
       point.max_rounds > 0 ? point.max_rounds : auto_round_budget(point);
   spec.extra_rounds = point.extra_rounds;
+  spec.crash_waves = point.crash_waves;
   spec.verifier.allow_resync =
       point.protocol == ProtocolKind::kFaultTolerantTrapdoor;
   return spec;

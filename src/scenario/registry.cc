@@ -1,0 +1,431 @@
+#include "src/scenario/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsync {
+
+namespace {
+
+ExperimentPoint base_point(ProtocolKind protocol, int F, int t, int64_t N,
+                           int n) {
+  ExperimentPoint point;
+  point.protocol = protocol;
+  point.F = F;
+  point.t = t;
+  point.N = N;
+  point.n = n;
+  return point;
+}
+
+/// E3 / Theorem 10: Trapdoor rounds-to-liveness vs N for three disruption
+/// levels. Grid is t-major so the bench can slice one table per t.
+Scenario thm10_trapdoor_n_scaling() {
+  Scenario s;
+  s.name = "thm10_trapdoor_n_scaling";
+  s.summary =
+      "Trapdoor time vs N at t in {4,8,12}: the F/(F-t) lg^2 N scaling";
+  s.rationale =
+      "Theorem 10: the Trapdoor protocol synchronizes in O(F/(F-t) log^2 N "
+      "+ Ft/(F-t) logN) rounds. Measured medians must track that curve up "
+      "to a stable constant.";
+  for (const int t : {4, 8, 12}) {
+    for (int lg = 6; lg <= 13; ++lg) {
+      const int64_t N = int64_t{1} << lg;
+      ExperimentPoint point = base_point(
+          ProtocolKind::kTrapdoor, 16, t, N,
+          static_cast<int>(std::min<int64_t>(24, N)));
+      point.adversary = AdversaryKind::kRandomSubset;
+      point.activation = ActivationKind::kStaggeredUniform;
+      point.activation_window = 32;
+      s.grid.push_back(point);
+    }
+  }
+  s.default_seeds = 10;
+  // Agreement is whp 1 - 1/N with N down to 64 here: an occasional
+  // multi-leader run is within the paper's guarantee, not a failure.
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// E5 / Theorem 18: Good Samaritan pays for the ACTUAL disruption t', the
+/// worst-case-provisioned Trapdoor pays for the budget t. Points come in
+/// (GS, Trapdoor) pairs per t' so comparisons stay adjacent.
+Scenario thm18_samaritan_adaptive() {
+  Scenario s;
+  s.name = "thm18_samaritan_adaptive";
+  s.summary =
+      "GS vs worst-case Trapdoor as actual jamming t' varies below t";
+  s.rationale =
+      "Theorem 18: with all nodes awake together, the Good Samaritan "
+      "protocol synchronizes in O(t' log^3 N) where t' is the actual "
+      "disruption, crossing over the Trapdoor's budget-provisioned cost.";
+  for (const int t_prime : {0, 1, 2, 4, 8}) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::kGoodSamaritan, ProtocolKind::kTrapdoor}) {
+      ExperimentPoint point = base_point(kind, 256, 128, 64, 6);
+      point.jam_count = t_prime;
+      // A fixed low-frequency jammer is the worst case for GS narrow bands;
+      // a random one would leave them mostly clear and hide the effect.
+      point.adversary = t_prime == 0 ? AdversaryKind::kNone
+                                     : AdversaryKind::kFixedFirst;
+      point.activation = ActivationKind::kSimultaneous;
+      s.grid.push_back(point);
+    }
+  }
+  s.default_seeds = 8;
+  s.expect_agreement_clean = false;  // N = 64: whp leaves ~1/64 slack
+  return s;
+}
+
+/// E14: Trapdoor vs the wakeup-style doubling baseline and the ALOHA
+/// strawman across disruption levels — the paper's core value proposition.
+Scenario baseline_comparison() {
+  Scenario s;
+  s.name = "baseline_comparison";
+  s.summary =
+      "Trapdoor vs wakeup baseline vs ALOHA across t: safety under jamming";
+  s.rationale =
+      "Sections 1 and 7 motivation: simple baselines are competitive on a "
+      "clean spectrum but elect multiple leaders once the adversary jams; "
+      "the Trapdoor protocol stays safe at a moderate round cost.";
+  for (const int t : {0, 4, 8, 12}) {
+    for (const ProtocolKind kind :
+         {ProtocolKind::kTrapdoor, ProtocolKind::kWakeupBaseline,
+          ProtocolKind::kAloha}) {
+      ExperimentPoint point = base_point(kind, 16, t, 64, 10);
+      point.adversary =
+          t == 0 ? AdversaryKind::kNone : AdversaryKind::kRandomSubset;
+      point.activation = ActivationKind::kStaggeredUniform;
+      point.activation_window = 32;
+      point.extra_rounds = 128;
+      s.grid.push_back(point);
+    }
+  }
+  s.default_seeds = 12;
+  s.expect_all_synced = false;       // ALOHA stalls at heavy jamming
+  s.expect_agreement_clean = false;  // the baselines' failure IS the result
+  s.expect_correctness_clean = false;  // nodes hop between rival numberings
+  return s;
+}
+
+/// Chirp interference: a contiguous window sweeping across the band.
+Scenario sweep_jammer_narrowband() {
+  Scenario s;
+  s.name = "sweep_jammer_narrowband";
+  s.summary = "Trapdoor and GS under a sweeping half-band chirp jammer";
+  s.rationale =
+      "Stress: a frequency-sweeping jammer periodically blankets the "
+      "narrow bands both protocols concentrate on; epoch redundancy must "
+      "ride out the sweep.";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kGoodSamaritan}) {
+    ExperimentPoint point = base_point(kind, 16, 8, 64, 12);
+    point.adversary = AdversaryKind::kSweep;
+    point.activation = ActivationKind::kSequential;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;  // N = 64 whp margin
+  return s;
+}
+
+/// Bursty Gilbert-Elliott interference against a two-batch arrival: a late
+/// swarm lands while the channel is mid-burst.
+Scenario gilbert_elliott_bursts() {
+  Scenario s;
+  s.name = "gilbert_elliott_bursts";
+  s.summary = "Bursty GE jammer vs a late second activation batch";
+  s.rationale =
+      "Stress (paper cites Gummadi et al. on bursty RF interference): "
+      "geometric good/bad sojourns jam half the band in bursts while half "
+      "the nodes arrive late.";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kGoodSamaritan, ProtocolKind::kTrapdoor}) {
+    ExperimentPoint point = base_point(kind, 16, 8, 64, 8);
+    point.adversary = AdversaryKind::kGilbertElliott;
+    point.activation = ActivationKind::kTwoBatch;
+    point.activation_window = 64;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Adaptive jammer chasing past deliveries.
+Scenario greedy_delivery_hunter() {
+  Scenario s;
+  s.name = "greedy_delivery_hunter";
+  s.summary = "Adaptive jammer on the historically busiest frequencies";
+  s.rationale =
+      "Section 2 allows full history adaptivity; the greedy-delivery "
+      "jammer aims where communication has been succeeding, the strongest "
+      "in-model test of the uniform-hopping defense.";
+  ExperimentPoint point =
+      base_point(ProtocolKind::kTrapdoor, 16, 6, 64, 12);
+  point.adversary = AdversaryKind::kGreedyDelivery;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 32;
+  s.grid.push_back(point);
+  s.default_seeds = 8;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Adaptive jammer chasing last-round listeners, against GS.
+Scenario greedy_listener_hunter() {
+  Scenario s;
+  s.name = "greedy_listener_hunter";
+  s.summary = "Listener-chasing adaptive jammer vs the Good Samaritan";
+  s.rationale =
+      "Stress: GS concentrates listeners on narrow bands, exactly what a "
+      "listener-tracking jammer targets; the scale distribution of the "
+      "critical epochs must still get reports through.";
+  ExperimentPoint point =
+      base_point(ProtocolKind::kGoodSamaritan, 16, 6, 64, 8);
+  point.adversary = AdversaryKind::kGreedyListener;
+  point.activation = ActivationKind::kSimultaneous;
+  s.grid.push_back(point);
+  s.default_seeds = 8;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Duty-cycled interference (microwave-oven pattern): jam half the band
+/// half the time. Radio use is the resource in Bradonjic-Kohler-Ostrovsky's
+/// duty-cycled model; here the INTERFERENCE is duty-cycled.
+Scenario duty_cycle_interference() {
+  Scenario s;
+  s.name = "duty_cycle_interference";
+  s.summary = "Periodic half-band jamming, 4 rounds on out of every 8";
+  s.rationale =
+      "Stress (cf. Bradonjic-Kohler-Ostrovsky, near-optimal radio use): "
+      "periodic duty-cycled interference; also ablates the F' = 2t band "
+      "restriction, which concentrates exactly where the jammer sits.";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kTrapdoorFullBand}) {
+    ExperimentPoint point = base_point(kind, 16, 8, 64, 8);
+    point.adversary = AdversaryKind::kDutyCycle;
+    point.duty_period = 8;
+    point.duty_on = 4;
+    point.activation = ActivationKind::kSequential;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Section 8 churn: two crash waves hit while activation is still rolling
+/// in; the fault-tolerant protocol's survivors must still synchronize.
+Scenario late_churn_crash_waves() {
+  Scenario s;
+  s.name = "late_churn_crash_waves";
+  s.summary = "Two crash waves during a staggered wake-up, FT Trapdoor";
+  s.rationale =
+      "Section 8 extension: crash faults during the competition. The "
+      "fault-tolerant Trapdoor restarts on silence; survivors of two "
+      "two-node waves must re-elect and reach liveness.";
+  ExperimentPoint point =
+      base_point(ProtocolKind::kFaultTolerantTrapdoor, 8, 2, 16, 8);
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 16;
+  point.crash_waves = {{40, 2}, {120, 2}};
+  point.max_rounds = 500000;  // silence-timeout recovery is slow by design
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  // A crashed leader's numbering lingers on survivors while a new leader
+  // starts its own: transient disagreement is inherent to recovery.
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Near-capacity jamming: the adversary disrupts t = F - 1 frequencies,
+/// leaving exactly one clean frequency per round.
+Scenario near_capacity_jam() {
+  Scenario s;
+  s.name = "near_capacity_jam";
+  s.summary = "t = F-1: one clean frequency per round, random or fixed";
+  s.rationale =
+      "Stress: the model's extreme t < F boundary. Progress only on the "
+      "single undisrupted frequency; the F/(F-t) = F cost factor is at its "
+      "worst.";
+  for (const AdversaryKind adversary :
+       {AdversaryKind::kRandomSubset, AdversaryKind::kFixedFirst}) {
+    ExperimentPoint point = base_point(ProtocolKind::kTrapdoor, 8, 7, 32, 6);
+    point.adversary = adversary;
+    point.activation = ActivationKind::kSimultaneous;
+    point.max_rounds = 200000;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// F = 1: no frequency diversity at all, t = 0 forced.
+Scenario single_frequency_band() {
+  Scenario s;
+  s.name = "single_frequency_band";
+  s.summary = "Degenerate F = 1 band: every protocol, pure contention";
+  s.rationale =
+      "Stress: with one frequency the problem collapses to leader election "
+      "under collision; every protocol must still terminate (t = 0).";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kGoodSamaritan,
+        ProtocolKind::kWakeupBaseline, ProtocolKind::kAloha}) {
+    ExperimentPoint point = base_point(kind, 1, 0, 16, 4);
+    point.activation = ActivationKind::kSimultaneous;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_all_synced = false;       // ALOHA cannot elect on one frequency
+  s.expect_agreement_clean = false;  // baselines may still split
+  return s;
+}
+
+/// t = 0 makes F' = max(2t, 1) = 1: the restricted Trapdoor voluntarily
+/// abandons 15 of its 16 frequencies. The full-band ablation shows what
+/// the restriction costs on a clean, wide spectrum.
+Scenario fprime_degenerate_band() {
+  Scenario s;
+  s.name = "fprime_degenerate_band";
+  s.summary = "F' = 1 at t = 0: band restriction vs full-band ablation";
+  s.rationale =
+      "Section 5: the protocol hops over F' = min(F, 2t) frequencies. At "
+      "t = 0 that degenerates to a single frequency; the ablation measures "
+      "the contention cost of the restriction on a clean band.";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kTrapdoorFullBand}) {
+    ExperimentPoint point = base_point(kind, 16, 0, 64, 8);
+    point.adversary = AdversaryKind::kNone;
+    point.activation = ActivationKind::kStaggeredUniform;
+    point.activation_window = 32;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Late swarm against the baselines: two batches far apart under jamming.
+Scenario two_batch_churn_baselines() {
+  Scenario s;
+  s.name = "two_batch_churn_baselines";
+  s.summary = "Baselines vs a late swarm under quarter-band jamming";
+  s.rationale =
+      "Stress: the two-batch pattern defeats protocols that assume the "
+      "whole population competes together; paired with jamming it breaks "
+      "the baselines' implicit synchrony.";
+  for (const ProtocolKind kind :
+       {ProtocolKind::kWakeupBaseline, ProtocolKind::kAloha}) {
+    ExperimentPoint point = base_point(kind, 16, 4, 32, 10);
+    point.adversary = AdversaryKind::kRandomSubset;
+    point.activation = ActivationKind::kTwoBatch;
+    point.activation_window = 32;
+    point.extra_rounds = 64;
+    s.grid.push_back(point);
+  }
+  s.default_seeds = 8;
+  s.expect_all_synced = false;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;  // nodes hop between rival numberings
+  return s;
+}
+
+/// FT Trapdoor besieged by the listener-chasing jammer: restarts under
+/// sustained adaptive pressure.
+Scenario ft_trapdoor_adaptive_siege() {
+  Scenario s;
+  s.name = "ft_trapdoor_adaptive_siege";
+  s.summary = "Fault-tolerant Trapdoor vs the listener-chasing jammer";
+  s.rationale =
+      "Stress: silence-triggered restarts (Section 8) interact with an "
+      "adaptive jammer that suppresses exactly the deliveries that would "
+      "prevent the restarts.";
+  ExperimentPoint point =
+      base_point(ProtocolKind::kFaultTolerantTrapdoor, 16, 8, 32, 8);
+  point.adversary = AdversaryKind::kGreedyListener;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 32;
+  point.max_rounds = 200000;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+/// Poisson arrivals under bursty interference: the ad-hoc arrival process
+/// nobody schedules.
+Scenario poisson_arrivals_bursty() {
+  Scenario s;
+  s.name = "poisson_arrivals_bursty";
+  s.summary = "Geometric inter-arrival wake-ups under GE burst jamming";
+  s.rationale =
+      "Stress: arrivals as a memoryless process (mean window/n apart) "
+      "combined with bursty interference — no round is special, so any "
+      "schedule-phase dependence would surface here.";
+  ExperimentPoint point = base_point(ProtocolKind::kTrapdoor, 16, 4, 64, 10);
+  point.adversary = AdversaryKind::kGilbertElliott;
+  point.activation = ActivationKind::kPoisson;
+  point.activation_window = 40;
+  s.grid.push_back(point);
+  s.default_seeds = 8;
+  s.expect_agreement_clean = false;
+  return s;
+}
+
+std::vector<Scenario> build_catalog() {
+  std::vector<Scenario> catalog;
+  catalog.push_back(thm10_trapdoor_n_scaling());
+  catalog.push_back(thm18_samaritan_adaptive());
+  catalog.push_back(baseline_comparison());
+  catalog.push_back(sweep_jammer_narrowband());
+  catalog.push_back(gilbert_elliott_bursts());
+  catalog.push_back(greedy_delivery_hunter());
+  catalog.push_back(greedy_listener_hunter());
+  catalog.push_back(duty_cycle_interference());
+  catalog.push_back(late_churn_crash_waves());
+  catalog.push_back(near_capacity_jam());
+  catalog.push_back(single_frequency_band());
+  catalog.push_back(fprime_degenerate_band());
+  catalog.push_back(two_batch_churn_baselines());
+  catalog.push_back(ft_trapdoor_adaptive_siege());
+  catalog.push_back(poisson_arrivals_bursty());
+  for (const Scenario& scenario : catalog) validate(scenario);
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& ScenarioRegistry::all() {
+  static const std::vector<Scenario> catalog = build_catalog();
+  return catalog;
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) {
+  for (const Scenario& scenario : all()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::get(std::string_view name) {
+  const Scenario* scenario = find(name);
+  if (scenario != nullptr) return *scenario;
+  std::string message = "unknown scenario '" + std::string(name) +
+                        "'; known scenarios:";
+  for (const Scenario& known : all()) message += " " + known.name;
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> ScenarioRegistry::names() {
+  std::vector<std::string> out;
+  out.reserve(all().size());
+  for (const Scenario& scenario : all()) out.push_back(scenario.name);
+  return out;
+}
+
+}  // namespace wsync

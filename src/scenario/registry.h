@@ -1,0 +1,39 @@
+// The compile-time scenario catalog.
+//
+// Every named workload the project knows how to run: the paper's theorem
+// reproductions (the migrated benches pull their grids from here), the full
+// protocol x adversary x activation cross-coverage, and the stress variants
+// (churn waves, near-capacity jamming, degenerate bands). docs/SCENARIOS.md
+// documents each entry; tests/scenario/ asserts the whole catalog validates,
+// runs, and is bit-identical across worker counts.
+#ifndef WSYNC_SCENARIO_REGISTRY_H_
+#define WSYNC_SCENARIO_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace wsync {
+
+class ScenarioRegistry {
+ public:
+  /// The whole catalog, built once, in documentation order. Every entry
+  /// passes validate().
+  static const std::vector<Scenario>& all();
+
+  /// Lookup by name; nullptr when absent.
+  static const Scenario* find(std::string_view name);
+
+  /// Lookup by name; throws std::invalid_argument (listing the valid names)
+  /// when absent.
+  static const Scenario& get(std::string_view name);
+
+  /// Catalog names, in catalog order.
+  static std::vector<std::string> names();
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_SCENARIO_REGISTRY_H_

@@ -1,6 +1,7 @@
 #include "src/stats/table.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "src/common/require.h"
@@ -68,6 +69,88 @@ std::string Table::markdown() const {
   }
   os << "\n";
   for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+namespace {
+
+/// True when the whole cell is one JSON-legal number (what Table::cell()'s
+/// int64_t/double overloads produce), so it can be emitted unquoted.
+bool is_json_number(const std::string& s) {
+  if (s.empty()) return false;
+  const size_t start = s[0] == '-' ? 1 : 0;
+  if (start == s.size()) return false;
+  bool seen_dot = false;
+  for (size_t i = start; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+      continue;
+    }
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  // JSON forbids a bare leading/trailing dot and leading zeros ("007").
+  if (s[start] == '.' || s.back() == '.') return false;
+  if (s[start] == '0' && start + 1 < s.size() && s[start + 1] != '.') {
+    return false;
+  }
+  return true;
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string json_escaped(const std::string& text) {
+  std::ostringstream os;
+  append_json_string(os, text);
+  return os.str();
+}
+
+std::string Table::json(int indent) const {
+  if (!rows_.empty()) {
+    WSYNC_REQUIRE(rows_.back().size() == columns_.size(),
+                  "last row is incomplete");
+  }
+  const std::string pad(static_cast<size_t>(std::max(0, indent)), ' ');
+  std::ostringstream os;
+  os << pad << "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << pad << "  {";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << ", ";
+      append_json_string(os, columns_[c]);
+      os << ": ";
+      const std::string& value = rows_[r][c];
+      if (is_json_number(value)) {
+        os << value;
+      } else {
+        append_json_string(os, value);
+      }
+    }
+    os << "}";
+  }
+  if (!rows_.empty()) os << "\n" << pad;
+  os << "]";
   return os.str();
 }
 

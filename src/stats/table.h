@@ -12,6 +12,12 @@
 
 namespace wsync {
 
+/// `text` as one quoted JSON string literal (quotes included), with the
+/// `"`/`\`/control-character escapes JSON requires. The single escaper
+/// behind Table::json(), exported so other JSON emitters (wsync_run)
+/// cannot drift from it.
+std::string json_escaped(const std::string& text);
+
 class Table {
  public:
   explicit Table(std::vector<std::string> columns);
@@ -31,6 +37,12 @@ class Table {
 
   /// Renders comma-separated values with a header line.
   std::string csv() const;
+
+  /// Renders a JSON array with one object per row, keyed by column name.
+  /// Cells that parse fully as a number are emitted unquoted; everything
+  /// else is emitted as an escaped JSON string. `indent` spaces of leading
+  /// indentation are applied to every line. Verifies all rows are complete.
+  std::string json(int indent = 0) const;
 
  private:
   std::vector<std::string> columns_;

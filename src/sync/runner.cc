@@ -13,6 +13,11 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
   WSYNC_REQUIRE(spec.make_activation != nullptr,
                 "activation producer required");
 
+  for (const CrashWave& wave : spec.crash_waves) {
+    WSYNC_REQUIRE(wave.round >= 0 && wave.count >= 0,
+                  "crash waves need a non-negative round and count");
+  }
+
   Simulation sim(spec.sim, spec.factory, spec.make_adversary(),
                  spec.make_activation());
   SyncVerifier verifier(spec.verifier);
@@ -20,7 +25,24 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
   RunOutcome outcome;
   double max_weight = 0.0;
 
+  // Crashes the waves scheduled for the round about to execute. Victims are
+  // the lowest-id live nodes, so the choice depends only on engine state and
+  // the serial/parallel paths stay bit-identical.
+  auto apply_crash_waves = [&] {
+    for (const CrashWave& wave : spec.crash_waves) {
+      if (wave.round != sim.round()) continue;
+      int remaining = wave.count;
+      for (NodeId id = 0; id < spec.sim.n && remaining > 0; ++id) {
+        if (sim.is_active(id) && !sim.is_crashed(id)) {
+          sim.crash(id);
+          --remaining;
+        }
+      }
+    }
+  };
+
   while (sim.round() < spec.max_rounds) {
+    apply_crash_waves();
     const RoundReport report = sim.step();
     max_weight = std::max(max_weight, report.broadcast_weight);
     verifier.observe(sim);
@@ -30,6 +52,7 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
   outcome.rounds = sim.round();
 
   for (RoundId i = 0; i < spec.extra_rounds; ++i) {
+    apply_crash_waves();
     const RoundReport report = sim.step();
     max_weight = std::max(max_weight, report.broadcast_weight);
     verifier.observe(sim);

@@ -28,6 +28,12 @@ struct RunSpec {
   /// Keep stepping this many rounds after liveness to exercise the
   /// post-synchronization behaviour (agreement must keep holding).
   RoundId extra_rounds = 0;
+  /// Crash-fault waves (Section 8): before executing round `wave.round`, the
+  /// runner crashes the `wave.count` lowest-id nodes that are active and not
+  /// yet crashed. Purely a function of the round index and engine state, so
+  /// runs stay bit-deterministic per seed. Waves scheduled after the run
+  /// ends (liveness + extra_rounds) never fire.
+  std::vector<CrashWave> crash_waves;
   VerifierConfig verifier;
 };
 

@@ -19,7 +19,9 @@ TEST(SweepTest, EnumNamesAreStable) {
   EXPECT_STREQ(to_string(ProtocolKind::kTrapdoor), "trapdoor");
   EXPECT_STREQ(to_string(ProtocolKind::kGoodSamaritan), "good_samaritan");
   EXPECT_STREQ(to_string(AdversaryKind::kRandomSubset), "random_subset");
+  EXPECT_STREQ(to_string(AdversaryKind::kDutyCycle), "duty_cycle");
   EXPECT_STREQ(to_string(ActivationKind::kStaggeredUniform), "staggered");
+  EXPECT_STREQ(to_string(ActivationKind::kPoisson), "poisson");
 }
 
 TEST(SweepTest, MakeRunSpecFillsDefaults) {
@@ -92,7 +94,7 @@ TEST(SweepTest, EveryAdversaryKindRunsAtSmallScale) {
        {AdversaryKind::kNone, AdversaryKind::kFixedFirst,
         AdversaryKind::kRandomSubset, AdversaryKind::kSweep,
         AdversaryKind::kGilbertElliott, AdversaryKind::kGreedyDelivery,
-        AdversaryKind::kGreedyListener}) {
+        AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle}) {
     ExperimentPoint point;
     point.F = 8;
     point.t = 2;
@@ -108,7 +110,8 @@ TEST(SweepTest, EveryAdversaryKindRunsAtSmallScale) {
 TEST(SweepTest, EveryActivationKindRunsAtSmallScale) {
   for (const ActivationKind kind :
        {ActivationKind::kSimultaneous, ActivationKind::kStaggeredUniform,
-        ActivationKind::kSequential, ActivationKind::kTwoBatch}) {
+        ActivationKind::kSequential, ActivationKind::kTwoBatch,
+        ActivationKind::kPoisson}) {
     ExperimentPoint point;
     point.F = 8;
     point.t = 2;
@@ -119,6 +122,54 @@ TEST(SweepTest, EveryActivationKindRunsAtSmallScale) {
     point.adversary = AdversaryKind::kRandomSubset;
     const PointResult result = run_point(point, make_seeds(2));
     EXPECT_EQ(result.synced_runs, 2) << to_string(kind);
+  }
+}
+
+TEST(SweepTest, DutyCycleValidatesItsWindow) {
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.N = 16;
+  point.n = 4;
+  point.adversary = AdversaryKind::kDutyCycle;
+  point.duty_period = 4;
+  point.duty_on = 5;  // on > period
+  EXPECT_THROW(make_run_spec(point), std::invalid_argument);
+  point.duty_on = 2;
+  EXPECT_NO_THROW(make_run_spec(point));
+}
+
+TEST(SweepTest, CrashWavesFlowIntoTheRunSpecAndCrashNodes) {
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.N = 16;
+  point.n = 6;
+  point.protocol = ProtocolKind::kFaultTolerantTrapdoor;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.crash_waves = {{5, 2}};
+  const RunSpec spec = make_run_spec(point);
+  ASSERT_EQ(spec.crash_waves.size(), 1u);
+  EXPECT_EQ(spec.crash_waves[0].round, 5);
+  EXPECT_EQ(spec.crash_waves[0].count, 2);
+
+  // The wave crashes exactly two nodes; the survivors still synchronize,
+  // and the per-node latency slots of the victims stay at -1.
+  const PointResult result = run_point(point, make_seeds(2));
+  EXPECT_EQ(result.synced_runs, 2);
+  EXPECT_EQ(result.commit_violations, 0);
+  for (uint64_t seed : make_seeds(2)) {
+    RunSpec seeded = spec;
+    seeded.sim.seed = seed;
+    const RunOutcome outcome = run_sync_experiment(seeded);
+    EXPECT_TRUE(outcome.synced);
+    int never_synced = 0;
+    for (RoundId latency : outcome.sync_latency) {
+      if (latency < 0) ++never_synced;
+    }
+    // Simultaneous activation at round 0, wave at round 5: both victims
+    // were pre-sync contenders, so exactly they never report a number.
+    EXPECT_EQ(never_synced, 2);
   }
 }
 

@@ -1,0 +1,178 @@
+// Golden-trace regression for the Figure 1 / Figure 2 schedules.
+//
+// Renders (a) the epoch structure and the first 64 per-round schedule
+// positions, and (b) a 64-round single-node decision trace under a fixed
+// seed, then compares byte-for-byte against the checked-in files in
+// tests/golden/. A schedule refactor that changes any epoch length,
+// probability, or seeded decision shows up as a diff here instead of
+// silently shifting every bench figure.
+//
+// After an INTENTIONAL schedule change, regenerate with
+//   WSYNC_REGEN_GOLDEN=1 ctest -R Golden
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/samaritan/good_samaritan.h"
+#include "src/samaritan/schedule.h"
+#include "src/trapdoor/schedule.h"
+#include "src/trapdoor/trapdoor.h"
+
+namespace wsync {
+namespace {
+
+constexpr RoundId kSnapshotRounds = 64;
+constexpr uint64_t kTraceSeed = 0xF16;
+
+void append_line(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+  *out += '\n';
+}
+
+/// 64 rounds of one node's (frequency, action) decisions, isolated from the
+/// engine: the node never receives anything, so the trace depends only on
+/// the schedule logic and its private seeded stream.
+void append_decision_trace(std::string* out, Protocol& protocol) {
+  Rng rng(kTraceSeed);
+  protocol.on_activate(rng);
+  for (RoundId age = 0; age < kSnapshotRounds; ++age) {
+    const RoundAction action = protocol.act(rng);
+    append_line(out, "round %2lld: freq %2d %s", static_cast<long long>(age),
+                action.frequency, action.broadcast ? "broadcast" : "listen");
+    protocol.on_round_end(std::nullopt, rng);
+  }
+}
+
+std::string render_fig1_trapdoor(int F, int t, int64_t N) {
+  std::string out;
+  append_line(&out, "# Figure 1 golden: Trapdoor schedule F=%d t=%d N=%lld",
+              F, t, static_cast<long long>(N));
+  const TrapdoorSchedule schedule = TrapdoorSchedule::standard(F, t, N);
+  append_line(&out, "f_prime=%d lg_n=%d total_rounds=%lld",
+              schedule.f_prime(), schedule.lg_n(),
+              static_cast<long long>(schedule.total_rounds()));
+  append_line(&out, "");
+  append_line(&out, "epochs (index, length, broadcast_prob):");
+  for (int e = 0; e < schedule.num_epochs(); ++e) {
+    const EpochSpec& spec = schedule.epoch(e);
+    append_line(&out, "epoch %2d: length %4lld prob %.8f", spec.index,
+                static_cast<long long>(spec.length), spec.broadcast_prob);
+  }
+  append_line(&out, "");
+  append_line(&out, "first %lld rounds (age, epoch, round_in_epoch, prob):",
+              static_cast<long long>(kSnapshotRounds));
+  for (RoundId age = 0; age < kSnapshotRounds; ++age) {
+    const TrapdoorSchedule::Position pos = schedule.position(age);
+    append_line(&out, "age %2lld: epoch %2d round %3lld prob %.8f",
+                static_cast<long long>(age), pos.epoch,
+                static_cast<long long>(pos.round_in_epoch),
+                schedule.broadcast_prob_at(age));
+  }
+  append_line(&out, "");
+  append_line(&out, "decision trace, seed %llu:",
+              static_cast<unsigned long long>(kTraceSeed));
+  ProtocolEnv env{F, t, N, /*uid=*/42, /*node_id=*/0};
+  TrapdoorProtocol protocol(env);
+  append_decision_trace(&out, protocol);
+  return out;
+}
+
+std::string render_fig2_samaritan(int F, int t, int64_t N) {
+  std::string out;
+  append_line(&out,
+              "# Figure 2 golden: Good Samaritan schedule F=%d t=%d N=%lld",
+              F, t, static_cast<long long>(N));
+  const SamaritanSchedule schedule(F, t, N);
+  append_line(&out,
+              "super_epochs=%d epochs_per_super=%d optimistic_total=%lld "
+              "fallback_epoch=%lld",
+              schedule.num_super_epochs(), schedule.epochs_per_super(),
+              static_cast<long long>(schedule.total_optimistic_rounds()),
+              static_cast<long long>(schedule.fallback_epoch_length()));
+  append_line(&out, "");
+  append_line(&out, "super-epochs (k, band, epoch_len, threshold):");
+  for (int k = 1; k <= schedule.num_super_epochs(); ++k) {
+    append_line(&out, "k %d: band %3d len %5lld threshold %3lld", k,
+                schedule.band(k),
+                static_cast<long long>(schedule.epoch_length(k)),
+                static_cast<long long>(schedule.success_threshold(k)));
+  }
+  append_line(&out, "");
+  append_line(&out, "epoch broadcast probs (e, prob, kind):");
+  for (int e = 1; e <= schedule.epochs_per_super(); ++e) {
+    const char* kind = "competition";
+    if (schedule.is_critical_epoch(e)) kind = "critical";
+    if (schedule.is_reporting_epoch(e)) kind = "reporting";
+    append_line(&out, "e %2d: prob %.8f %s", e, schedule.broadcast_prob(e),
+                kind);
+  }
+  append_line(&out, "");
+  append_line(&out, "first %lld rounds (age, super_epoch, epoch, round):",
+              static_cast<long long>(kSnapshotRounds));
+  for (RoundId age = 0; age < kSnapshotRounds; ++age) {
+    const SamaritanSchedule::Position pos = schedule.position(age);
+    append_line(&out, "age %2lld: k %d e %2d round %4lld",
+                static_cast<long long>(age), pos.super_epoch, pos.epoch,
+                static_cast<long long>(pos.round_in_epoch));
+  }
+  append_line(&out, "");
+  append_line(&out, "decision trace, seed %llu:",
+              static_cast<unsigned long long>(kTraceSeed));
+  ProtocolEnv env{F, t, N, /*uid=*/42, /*node_id=*/0};
+  GoodSamaritanProtocol protocol(env);
+  append_decision_trace(&out, protocol);
+  return out;
+}
+
+std::string golden_path(const std::string& file) {
+  return std::string(WSYNC_GOLDEN_DIR) + "/" + file;
+}
+
+void compare_with_golden(const std::string& file,
+                         const std::string& rendered) {
+  const std::string path = golden_path(file);
+  if (std::getenv("WSYNC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with WSYNC_REGEN_GOLDEN=1 to create it)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << "schedule drifted from " << path
+      << "; if intentional, regenerate with WSYNC_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenScheduleTest, Fig1TrapdoorSchedule) {
+  compare_with_golden("fig1_trapdoor_schedule.golden",
+                      render_fig1_trapdoor(8, 2, 256));
+}
+
+TEST(GoldenScheduleTest, Fig1TrapdoorWideBand) {
+  compare_with_golden("fig1_trapdoor_wideband.golden",
+                      render_fig1_trapdoor(16, 12, 1024));
+}
+
+TEST(GoldenScheduleTest, Fig2SamaritanSchedule) {
+  compare_with_golden("fig2_samaritan_schedule.golden",
+                      render_fig2_samaritan(16, 8, 256));
+}
+
+}  // namespace
+}  // namespace wsync

@@ -1,0 +1,82 @@
+// Registry round-trip: every catalog scenario validates, runs a seed to
+// completion, and produces bit-identical aggregates at 1 vs 4 workers —
+// the PR 2 determinism contract extended to the whole catalog.
+#include <gtest/gtest.h>
+
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario.h"
+
+namespace wsync {
+namespace {
+
+void expect_same_summary(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+void expect_same_result(const PointResult& a, const PointResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.synced_runs, b.synced_runs);
+  EXPECT_EQ(a.timeout_runs, b.timeout_runs);
+  EXPECT_EQ(a.agreement_violations, b.agreement_violations);
+  EXPECT_EQ(a.commit_violations, b.commit_violations);
+  EXPECT_EQ(a.correctness_violations, b.correctness_violations);
+  EXPECT_EQ(a.max_leaders, b.max_leaders);
+  EXPECT_EQ(a.multi_leader_runs, b.multi_leader_runs);
+  EXPECT_EQ(a.max_broadcast_weight, b.max_broadcast_weight);
+  expect_same_summary(a.rounds_to_live, b.rounds_to_live);
+  expect_same_summary(a.max_node_latency, b.max_node_latency);
+}
+
+class RegistryRoundTripTest
+    : public ::testing::TestWithParam<const Scenario*> {};
+
+std::string scenario_name(
+    const ::testing::TestParamInfo<const Scenario*>& info) {
+  return info.param->name;
+}
+
+TEST_P(RegistryRoundTripTest, RunsOneSeedIdenticallyAcrossWorkerCounts) {
+  const Scenario& scenario = *GetParam();
+  ASSERT_NO_THROW(validate(scenario));
+
+  const ScenarioResult one = run_scenario(scenario, /*seeds=*/1,
+                                          /*workers=*/1);
+  ASSERT_EQ(one.points.size(), scenario.grid.size());
+  for (const PointResult& r : one.points) {
+    // Every run completed (synced or counted as a timeout), and the one
+    // unconditional hard property held.
+    EXPECT_EQ(r.runs, 1);
+    EXPECT_EQ(r.synced_runs + r.timeout_runs, r.runs);
+    EXPECT_EQ(r.commit_violations, 0);
+  }
+
+  const ScenarioResult four = run_scenario(scenario, /*seeds=*/1,
+                                           /*workers=*/4);
+  ASSERT_EQ(four.points.size(), one.points.size());
+  for (size_t i = 0; i < one.points.size(); ++i) {
+    expect_same_result(one.points[i], four.points[i]);
+  }
+  EXPECT_EQ(one.failures, four.failures);
+}
+
+std::vector<const Scenario*> catalog_pointers() {
+  std::vector<const Scenario*> out;
+  for (const Scenario& scenario : ScenarioRegistry::all()) {
+    out.push_back(&scenario);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, RegistryRoundTripTest,
+                         ::testing::ValuesIn(catalog_pointers()),
+                         scenario_name);
+
+}  // namespace
+}  // namespace wsync

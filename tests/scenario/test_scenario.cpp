@@ -1,0 +1,217 @@
+#include "src/scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "src/scenario/registry.h"
+
+namespace wsync {
+namespace {
+
+Scenario minimal_scenario() {
+  Scenario s;
+  s.name = "unit_test_scenario";
+  s.summary = "one small trapdoor point";
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.N = 16;
+  point.n = 4;
+  point.adversary = AdversaryKind::kRandomSubset;
+  s.grid.push_back(point);
+  return s;
+}
+
+TEST(ScenarioValidateTest, AcceptsMinimalScenario) {
+  EXPECT_NO_THROW(validate(minimal_scenario()));
+}
+
+TEST(ScenarioValidateTest, RejectsBadNames) {
+  Scenario s = minimal_scenario();
+  s.name = "";
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.name = "Has-Caps";
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.name = "spaces here";
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RejectsEmptyGridAndSummary) {
+  Scenario s = minimal_scenario();
+  s.grid.clear();
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = minimal_scenario();
+  s.summary.clear();
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = minimal_scenario();
+  s.default_seeds = 0;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RejectsModelViolations) {
+  Scenario s = minimal_scenario();
+  s.grid[0].t = s.grid[0].F;  // t < F required
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s = minimal_scenario();
+  s.grid[0].n = 32;  // n > N
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s = minimal_scenario();
+  s.grid[0].jam_count = s.grid[0].t + 1;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s = minimal_scenario();
+  s.grid[0].adversary = AdversaryKind::kDutyCycle;
+  s.grid[0].duty_on = s.grid[0].duty_period + 1;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RejectsCrashWavesThatKillEveryone) {
+  Scenario s = minimal_scenario();
+  s.grid[0].crash_waves = {{10, 2}, {20, 2}};  // n = 4: nobody left
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.grid[0].crash_waves = {{10, 2}, {20, 1}};  // one survivor: fine
+  EXPECT_NO_THROW(validate(s));
+  s.grid[0].crash_waves = {{-1, 1}};
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.grid[0].crash_waves = {{10, 0}};
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+PointResult clean_result(const ExperimentPoint& point, int runs) {
+  PointResult r;
+  r.point = point;
+  r.runs = runs;
+  r.synced_runs = runs;
+  return r;
+}
+
+TEST(ScenarioExpectationsTest, CleanResultsPass) {
+  const Scenario s = minimal_scenario();
+  EXPECT_TRUE(check_expectations(s, {clean_result(s.grid[0], 3)}).empty());
+}
+
+TEST(ScenarioExpectationsTest, ResultCountMismatchFails) {
+  const Scenario s = minimal_scenario();
+  EXPECT_FALSE(check_expectations(s, {}).empty());
+}
+
+TEST(ScenarioExpectationsTest, CommitViolationsAlwaysFail) {
+  Scenario s = minimal_scenario();
+  s.expect_all_synced = false;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  PointResult r = clean_result(s.grid[0], 3);
+  r.commit_violations = 1;
+  EXPECT_EQ(check_expectations(s, {r}).size(), 1u);
+}
+
+TEST(ScenarioExpectationsTest, FlagsGateTheSoftProperties) {
+  Scenario s = minimal_scenario();
+  PointResult r = clean_result(s.grid[0], 4);
+  r.synced_runs = 3;
+  r.timeout_runs = 1;
+  r.agreement_violations = 2;
+  r.correctness_violations = 5;
+  EXPECT_EQ(check_expectations(s, {r}).size(), 3u);
+  s.expect_all_synced = false;
+  EXPECT_EQ(check_expectations(s, {r}).size(), 2u);
+  s.expect_agreement_clean = false;
+  EXPECT_EQ(check_expectations(s, {r}).size(), 1u);
+  s.expect_correctness_clean = false;
+  EXPECT_TRUE(check_expectations(s, {r}).empty());
+}
+
+TEST(ScenarioRunTest, RunScenarioProducesGridOrderedResults) {
+  Scenario s = minimal_scenario();
+  ExperimentPoint second = s.grid[0];
+  second.t = 0;
+  second.adversary = AdversaryKind::kNone;
+  s.grid.push_back(second);
+  const ScenarioResult result = run_scenario(s, 2, 2);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].point.t, 2);
+  EXPECT_EQ(result.points[1].point.t, 0);
+  EXPECT_EQ(result.points[0].runs, 2);
+  EXPECT_TRUE(result.ok()) << result.failures.front();
+}
+
+TEST(ScenarioRunTest, SeedsZeroMeansScenarioDefault) {
+  Scenario s = minimal_scenario();
+  s.default_seeds = 3;
+  const ScenarioResult result = run_scenario(s);
+  EXPECT_EQ(result.points[0].runs, 3);
+}
+
+TEST(RegistryTest, CatalogHasAtLeastTwelveValidatedScenarios) {
+  const auto& catalog = ScenarioRegistry::all();
+  EXPECT_GE(catalog.size(), 12u);
+  std::set<std::string> names;
+  for (const Scenario& scenario : catalog) {
+    EXPECT_NO_THROW(validate(scenario)) << scenario.name;
+    EXPECT_FALSE(scenario.rationale.empty()) << scenario.name;
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate name " << scenario.name;
+  }
+}
+
+TEST(RegistryTest, CatalogCoversEveryAxisValue) {
+  std::set<ProtocolKind> protocols;
+  std::set<AdversaryKind> adversaries;
+  std::set<ActivationKind> activations;
+  bool any_crash_waves = false;
+  for (const Scenario& scenario : ScenarioRegistry::all()) {
+    for (const ExperimentPoint& point : scenario.grid) {
+      protocols.insert(point.protocol);
+      adversaries.insert(point.adversary);
+      activations.insert(point.activation);
+      any_crash_waves |= !point.crash_waves.empty();
+    }
+  }
+  for (const ProtocolKind kind :
+       {ProtocolKind::kTrapdoor, ProtocolKind::kTrapdoorFullBand,
+        ProtocolKind::kGoodSamaritan, ProtocolKind::kWakeupBaseline,
+        ProtocolKind::kAloha, ProtocolKind::kFaultTolerantTrapdoor}) {
+    EXPECT_TRUE(protocols.count(kind)) << to_string(kind);
+  }
+  for (const AdversaryKind kind :
+       {AdversaryKind::kNone, AdversaryKind::kFixedFirst,
+        AdversaryKind::kRandomSubset, AdversaryKind::kSweep,
+        AdversaryKind::kGilbertElliott, AdversaryKind::kGreedyDelivery,
+        AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle}) {
+    EXPECT_TRUE(adversaries.count(kind)) << to_string(kind);
+  }
+  for (const ActivationKind kind :
+       {ActivationKind::kSimultaneous, ActivationKind::kStaggeredUniform,
+        ActivationKind::kSequential, ActivationKind::kTwoBatch,
+        ActivationKind::kPoisson}) {
+    EXPECT_TRUE(activations.count(kind)) << to_string(kind);
+  }
+  EXPECT_TRUE(any_crash_waves) << "no scenario exercises crash waves";
+}
+
+TEST(RegistryTest, FindAndGet) {
+  EXPECT_NE(ScenarioRegistry::find("baseline_comparison"), nullptr);
+  EXPECT_EQ(ScenarioRegistry::find("no_such_scenario"), nullptr);
+  EXPECT_EQ(ScenarioRegistry::get("baseline_comparison").name,
+            "baseline_comparison");
+  EXPECT_THROW(ScenarioRegistry::get("no_such_scenario"),
+               std::invalid_argument);
+  EXPECT_EQ(ScenarioRegistry::names().size(), ScenarioRegistry::all().size());
+}
+
+TEST(RegistryTest, BenchScenariosExist) {
+  // The migrated benches resolve these by name; renaming them breaks the
+  // single-source-of-truth contract.
+  for (const char* name :
+       {"thm10_trapdoor_n_scaling", "thm18_samaritan_adaptive",
+        "baseline_comparison"}) {
+    EXPECT_NE(ScenarioRegistry::find(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wsync

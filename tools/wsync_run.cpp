@@ -1,0 +1,247 @@
+// wsync_run — the scenario catalog driver.
+//
+//   wsync_run --list                     # catalog overview
+//   wsync_run --all [--seeds K] [--workers W] [--json PATH]
+//   wsync_run NAME [NAME...] [options]   # run a subset by name
+//
+// Every selected scenario runs its grid through run_points_parallel on one
+// shared pool; stdout gets a markdown table per scenario, --json gets a
+// machine-readable summary. The JSON contains only deterministic aggregates
+// (never worker counts or wall-clock), so two runs at different --workers
+// must produce byte-identical files — CI diffs exactly that. Exit status: 0
+// when every scenario met its expected invariants, 1 otherwise, 2 on usage
+// errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario.h"
+#include "src/stats/table.h"
+
+namespace wsync {
+namespace {
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  int seeds = 0;    // 0 = per-scenario default
+  int workers = 0;  // 0 = ThreadPool::default_workers()
+  std::string json_path;
+  std::vector<std::string> names;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: wsync_run --list\n"
+               "       wsync_run (--all | NAME...) [--seeds K] [--workers W]"
+               " [--json PATH]\n"
+               "\n"
+               "  --list       list the scenario catalog and exit\n"
+               "  --all        run every scenario in the catalog\n"
+               "  --seeds K    seeds per experiment point"
+               " (default: each scenario's own)\n"
+               "  --workers W  thread-pool size (default: hardware)\n"
+               "  --json PATH  write per-scenario JSON summaries to PATH\n");
+}
+
+bool parse_int_flag(const std::string& flag, const char* value, int min,
+                    int* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "wsync_run: %s needs a value\n", flag.c_str());
+    return false;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min || parsed > 1 << 20) {
+    std::fprintf(stderr, "wsync_run: bad value for %s: '%s'\n", flag.c_str(),
+                 value);
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--all") {
+      options->all = true;
+    } else if (arg == "--seeds") {
+      if (!parse_int_flag(arg, next, 1, &options->seeds)) return false;
+      ++i;
+    } else if (arg == "--workers") {
+      if (!parse_int_flag(arg, next, 1, &options->workers)) return false;
+      ++i;
+    } else if (arg == "--json") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --json needs a path\n");
+        return false;
+      }
+      options->json_path = next;
+      ++i;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wsync_run: unknown flag '%s'\n", arg.c_str());
+      return false;
+    } else {
+      options->names.push_back(arg);
+    }
+  }
+  if (options->list) return true;
+  if (options->all == !options->names.empty()) {
+    std::fprintf(stderr,
+                 "wsync_run: pass either --all or scenario names (see "
+                 "--list)\n");
+    return false;
+  }
+  return true;
+}
+
+int list_catalog() {
+  Table table({"name", "points", "seeds", "expects", "summary"});
+  for (const Scenario& scenario : ScenarioRegistry::all()) {
+    std::string expects;
+    auto expect = [&expects](bool on, const char* what) {
+      if (!on) return;
+      if (!expects.empty()) expects += "+";
+      expects += what;
+    };
+    expect(scenario.expect_all_synced, "synced");
+    expect(scenario.expect_agreement_clean, "agreement");
+    expect(scenario.expect_correctness_clean, "correctness");
+    if (expects.empty()) expects = "commit-only";
+    table.row()
+        .cell(scenario.name)
+        .cell(static_cast<int64_t>(scenario.grid.size()))
+        .cell(static_cast<int64_t>(scenario.default_seeds))
+        .cell(expects)
+        .cell(scenario.summary);
+  }
+  std::printf("%zu scenarios:\n\n%s", ScenarioRegistry::all().size(),
+              table.markdown().c_str());
+  std::printf(
+      "\nAll scenarios additionally expect zero synch-commit violations\n"
+      "(no output is ever retracted to bottom).\n");
+  return 0;
+}
+
+/// Per-point result rows; shared by the stdout table and the JSON summary.
+Table results_table(const Scenario& scenario,
+                    const std::vector<PointResult>& results) {
+  Table table({"protocol", "adversary", "activation", "F", "t", "t_actual",
+               "N", "n", "runs", "synced", "timeout", "p50_rounds",
+               "p90_rounds", "agreement_viol", "max_leaders"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PointResult& r = results[i];
+    const ExperimentPoint& p = scenario.grid[i];
+    const int jam = p.jam_count < 0 ? p.t : p.jam_count;
+    table.row()
+        .cell(std::string(to_string(p.protocol)))
+        .cell(std::string(to_string(p.adversary)))
+        .cell(std::string(to_string(p.activation)))
+        .cell(static_cast<int64_t>(p.F))
+        .cell(static_cast<int64_t>(p.t))
+        .cell(static_cast<int64_t>(jam))
+        .cell(p.N)
+        .cell(static_cast<int64_t>(p.n))
+        .cell(static_cast<int64_t>(r.runs))
+        .cell(static_cast<int64_t>(r.synced_runs))
+        .cell(static_cast<int64_t>(r.timeout_runs))
+        .cell(r.synced_runs > 0 ? r.rounds_to_live.p50 : -1.0, 1)
+        .cell(r.synced_runs > 0 ? r.rounds_to_live.p90 : -1.0, 1)
+        .cell(r.agreement_violations)
+        .cell(static_cast<int64_t>(r.max_leaders));
+  }
+  return table;
+}
+
+int run_scenarios(const Options& options) {
+  std::vector<const Scenario*> selected;
+  if (options.all) {
+    for (const Scenario& scenario : ScenarioRegistry::all()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    for (const std::string& name : options.names) {
+      const Scenario* scenario = ScenarioRegistry::find(name);
+      if (scenario == nullptr) {
+        std::fprintf(stderr,
+                     "wsync_run: unknown scenario '%s' (see --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(scenario);
+    }
+  }
+
+  ThreadPool pool(options.workers);
+  std::string json = "{\n  \"scenarios\": [";
+  int failed_scenarios = 0;
+  for (size_t s = 0; s < selected.size(); ++s) {
+    const Scenario& scenario = *selected[s];
+    const int seeds =
+        options.seeds > 0 ? options.seeds : scenario.default_seeds;
+    std::printf("## %s — %s\n\n", scenario.name.c_str(),
+                scenario.summary.c_str());
+    std::printf("%zu points x %d seeds\n\n", scenario.grid.size(), seeds);
+
+    const ScenarioResult result = run_scenario(scenario, seeds, pool);
+    const Table table = results_table(scenario, result.points);
+    std::printf("%s\n", table.markdown().c_str());
+    for (const std::string& failure : result.failures) {
+      std::printf("EXPECTATION FAILED: %s\n", failure.c_str());
+    }
+    std::printf("%s\n\n", result.ok() ? "ok" : "FAILED");
+    if (!result.ok()) ++failed_scenarios;
+
+    json += s == 0 ? "\n" : ",\n";
+    json += "    {\"name\": " + json_escaped(scenario.name);
+    json += ", \"seeds\": " + std::to_string(seeds) + ", \"ok\": ";
+    json += result.ok() ? "true" : "false";
+    json += ", \"failures\": [";
+    for (size_t f = 0; f < result.failures.size(); ++f) {
+      if (f > 0) json += ", ";
+      json += json_escaped(result.failures[f]);
+    }
+    json += "],\n     \"points\":\n";
+    json += table.json(5);
+    json += "}";
+  }
+  json += selected.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "wsync_run: cannot write '%s'\n",
+                   options.json_path.c_str());
+      return 2;
+    }
+    out << json;
+  }
+
+  std::printf("%zu scenario(s), %d failed\n", selected.size(),
+              failed_scenarios);
+  return failed_scenarios == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main(int argc, char** argv) {
+  wsync::Options options;
+  if (!wsync::parse_args(argc, argv, &options)) {
+    wsync::print_usage(stderr);
+    return 2;
+  }
+  if (options.list) return wsync::list_catalog();
+  return wsync::run_scenarios(options);
+}
