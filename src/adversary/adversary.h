@@ -35,6 +35,27 @@ class Adversary {
   /// assumed by the Good Samaritan analysis (Section 7).
   virtual bool is_oblivious() const = 0;
 
+  // --- whitespace channel availability (Azar et al.) ----------------------
+  // A second, orthogonal resource: instead of jamming (which consumes the
+  // budget t and causes collisions), an adversary may declare a channel
+  // simply ABSENT for a particular node — the whitespace model, where each
+  // party sees only a subset of the band. The engine treats an absent
+  // channel as if the node's radio faced dead air: its broadcast reaches
+  // nobody (and does not collide), and it hears nothing while listening.
+
+  /// True when this adversary restricts per-node channel availability at
+  /// all. The engine skips the per-(node, frequency) queries on the hot
+  /// path when this is false (the default).
+  virtual bool restricts_availability() const { return false; }
+
+  /// Whitespace availability: true iff frequency `f` exists for node `id`
+  /// this round. Only consulted when restricts_availability() is true, and
+  /// only after disrupt() has been called for the round (implementations
+  /// may materialize masks lazily there, where they have the rng).
+  virtual bool channel_available(NodeId /*id*/, Frequency /*f*/) const {
+    return true;
+  }
+
  protected:
   Adversary() = default;
 };

@@ -1,0 +1,96 @@
+#include "src/adversary/whitespace.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+WhitespaceAdversary::WhitespaceAdversary(Params params) : params_(params) {
+  WSYNC_REQUIRE(params_.n >= 1, "need at least one node");
+  WSYNC_REQUIRE(params_.available >= 1,
+                "each node needs at least one available channel");
+  WSYNC_REQUIRE(params_.shared >= 1 && params_.shared <= params_.available,
+                "need 1 <= shared <= available");
+  WSYNC_REQUIRE(params_.jam_count >= 0, "jam_count must be non-negative");
+}
+
+namespace {
+
+/// First `count` entries of a seeded shuffle of `pool[from..]` — sampling
+/// without replacement, deterministic in the rng stream.
+std::vector<Frequency> sample_without_replacement(std::vector<Frequency>& pool,
+                                                  int count, Rng& rng) {
+  std::vector<Frequency> chosen;
+  chosen.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<size_t>(
+        rng.uniform_int(i, static_cast<int64_t>(pool.size()) - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+    chosen.push_back(pool[static_cast<size_t>(i)]);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+void WhitespaceAdversary::materialize(int F, Rng& rng) {
+  WSYNC_REQUIRE(params_.available <= F,
+                "whitespace availability exceeds the number of frequencies");
+  // The channels every node keeps, drawn once for the run.
+  std::vector<Frequency> pool(static_cast<size_t>(F));
+  std::iota(pool.begin(), pool.end(), 0);
+  shared_channels_ = sample_without_replacement(pool, params_.shared, rng);
+  std::sort(shared_channels_.begin(), shared_channels_.end());
+
+  // Each node independently fills the rest of its view from the remaining
+  // band — the Azar-style asymmetric views.
+  const std::vector<Frequency> rest(
+      pool.begin() + static_cast<std::ptrdiff_t>(params_.shared), pool.end());
+  const int extra = params_.available - params_.shared;
+  masks_.assign(static_cast<size_t>(params_.n),
+                std::vector<char>(static_cast<size_t>(F), 0));
+  for (int id = 0; id < params_.n; ++id) {
+    std::vector<char>& mask = masks_[static_cast<size_t>(id)];
+    for (Frequency f : shared_channels_) mask[static_cast<size_t>(f)] = 1;
+    std::vector<Frequency> node_pool = rest;
+    for (Frequency f : sample_without_replacement(node_pool, extra, rng)) {
+      mask[static_cast<size_t>(f)] = 1;
+    }
+  }
+  materialized_ = true;
+}
+
+std::vector<Frequency> WhitespaceAdversary::disrupt(const EngineView& view,
+                                                    Rng& rng) {
+  if (!materialized_) materialize(view.F(), rng);
+  WSYNC_REQUIRE(params_.jam_count <= view.t(),
+                "jam_count exceeds the adversary budget t");
+  if (params_.jam_count == 0) return {};
+  std::vector<Frequency> pool(static_cast<size_t>(view.F()));
+  std::iota(pool.begin(), pool.end(), 0);
+  return sample_without_replacement(pool, params_.jam_count, rng);
+}
+
+bool WhitespaceAdversary::channel_available(NodeId id, Frequency f) const {
+  WSYNC_CHECK(materialized_,
+              "availability queried before the first disrupt()");
+  WSYNC_REQUIRE(id >= 0 && id < params_.n, "node id out of range");
+  const std::vector<char>& mask = masks_[static_cast<size_t>(id)];
+  WSYNC_REQUIRE(f >= 0 && f < static_cast<Frequency>(mask.size()),
+                "frequency out of range");
+  return mask[static_cast<size_t>(f)] != 0;
+}
+
+const std::vector<std::vector<char>>& WhitespaceAdversary::masks() const {
+  WSYNC_CHECK(materialized_, "masks queried before the first disrupt()");
+  return masks_;
+}
+
+const std::vector<Frequency>& WhitespaceAdversary::shared_channels() const {
+  WSYNC_CHECK(materialized_, "masks queried before the first disrupt()");
+  return shared_channels_;
+}
+
+}  // namespace wsync

@@ -31,6 +31,9 @@ enum class AdversaryKind {
   kGreedyListener,   ///< adaptive: top jam_count by last-round listeners
   kDutyCycle,        ///< periodic: jams {0..jam_count-1} for duty_on rounds
                      ///< out of every duty_period (microwave-oven pattern)
+  kWhitespace,       ///< whitespace availability (Azar et al.): fixed
+                     ///< per-node channel masks with a guaranteed common
+                     ///< core, plus jam_count random jamming on top
 };
 
 enum class ActivationKind {
@@ -72,6 +75,19 @@ struct ExperimentPoint {
   /// kDutyCycle only: jam for `duty_on` rounds out of every `duty_period`.
   RoundId duty_period = 8;
   RoundId duty_on = 4;
+
+  /// kWhitespace only: channels available per node (negative = auto, half
+  /// the band but at least one) and channels guaranteed common to every
+  /// node (so rendezvous stays possible); 1 <= shared <= available <= F.
+  int whitespace_available = -1;
+  int whitespace_shared = 1;
+
+  /// Energy budget (Bradonjić–Kohler–Ostrovsky radio use): when
+  /// non-negative, every run of this point is expected to keep every node's
+  /// awake-rounds (broadcast + listen) at or below this bound. Violations
+  /// are counted in PointResult::energy_budget_violations and gate
+  /// check_expectations. Negative = no budget.
+  int64_t energy_budget = -1;
 
   /// Crash-fault waves, applied by the runner (see RunSpec::crash_waves).
   /// The waves must leave at least one node alive for liveness to remain

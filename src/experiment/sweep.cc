@@ -6,6 +6,7 @@
 #include "src/adversary/adaptive.h"
 #include "src/adversary/basic.h"
 #include "src/adversary/bursty.h"
+#include "src/adversary/whitespace.h"
 #include "src/baseline/aloha.h"
 #include "src/baseline/wakeup.h"
 #include "src/common/math_util.h"
@@ -38,6 +39,7 @@ const char* to_string(AdversaryKind kind) {
     case AdversaryKind::kGreedyDelivery: return "greedy_delivery";
     case AdversaryKind::kGreedyListener: return "greedy_listener";
     case AdversaryKind::kDutyCycle: return "duty_cycle";
+    case AdversaryKind::kWhitespace: return "whitespace";
   }
   return "unknown";
 }
@@ -83,6 +85,15 @@ int effective_jam_count(const ExperimentPoint& point) {
   return jam;
 }
 
+}  // namespace
+
+int effective_whitespace_available(const ExperimentPoint& point) {
+  if (point.whitespace_available > 0) return point.whitespace_available;
+  return std::max(1, point.F / 2);
+}
+
+namespace {
+
 std::function<std::unique_ptr<Adversary>()> make_adversary_producer(
     const ExperimentPoint& point) {
   const int jam = effective_jam_count(point);
@@ -117,6 +128,20 @@ std::function<std::unique_ptr<Adversary>()> make_adversary_producer(
       const RoundId on = point.duty_on;
       return [set, period, on] {
         return std::make_unique<DutyCycleAdversary>(set, period, on);
+      };
+    }
+    case AdversaryKind::kWhitespace: {
+      WhitespaceAdversary::Params params;
+      params.n = point.n;
+      params.available = effective_whitespace_available(point);
+      params.shared = point.whitespace_shared;
+      params.jam_count = jam;
+      WSYNC_REQUIRE(params.available <= point.F,
+                    "whitespace_available must not exceed F");
+      WSYNC_REQUIRE(params.shared >= 1 && params.shared <= params.available,
+                    "need 1 <= whitespace_shared <= whitespace_available");
+      return [params] {
+        return std::make_unique<WhitespaceAdversary>(params);
       };
     }
   }
@@ -194,8 +219,17 @@ RoundId auto_round_budget(const ExperimentPoint& point) {
       schedule_total = 256;
       break;
   }
-  return 16 * schedule_total + 8 * std::max<RoundId>(1, point.activation_window) +
-         1024;
+  RoundId budget = 16 * schedule_total +
+                   8 * std::max<RoundId>(1, point.activation_window) + 1024;
+  if (point.adversary == AdversaryKind::kWhitespace) {
+    // Whitespace masks thin every rendezvous: a broadcast lands only when
+    // listener and broadcaster share the channel, so scale the budget by
+    // roughly the inverse of the guaranteed-common fraction of the band.
+    const RoundId dilation = std::max<RoundId>(
+        1, point.F / std::max(1, point.whitespace_shared));
+    budget *= dilation;
+  }
+  return budget;
 }
 
 }  // namespace
@@ -235,6 +269,8 @@ PointResult aggregate_point(const ExperimentPoint& point,
 
   std::vector<double> rounds;
   std::vector<double> latencies;
+  std::vector<double> max_awake;
+  std::vector<double> mean_awake;
   for (const RunOutcome& outcome : outcomes) {
     if (outcome.synced) {
       ++result.synced_runs;
@@ -258,9 +294,23 @@ PointResult aggregate_point(const ExperimentPoint& point,
     }
     result.max_broadcast_weight =
         std::max(result.max_broadcast_weight, outcome.max_broadcast_weight);
+
+    // Energy is spent whether or not the run reached liveness, so the radio
+    // use summaries cover every run (unlike rounds_to_live).
+    max_awake.push_back(static_cast<double>(outcome.energy.max_awake_rounds));
+    mean_awake.push_back(outcome.energy.mean_awake_rounds);
+    result.broadcast_rounds += outcome.energy.broadcast_rounds;
+    result.listen_rounds += outcome.energy.listen_rounds;
+    result.sleep_rounds += outcome.energy.sleep_rounds;
+    if (point.energy_budget >= 0 &&
+        outcome.energy.max_awake_rounds > point.energy_budget) {
+      ++result.energy_budget_violations;
+    }
   }
   result.rounds_to_live = summarize(rounds);
   result.max_node_latency = summarize(latencies);
+  result.max_awake_rounds = summarize(max_awake);
+  result.mean_awake_rounds = summarize(mean_awake);
   return result;
 }
 

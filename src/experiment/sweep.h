@@ -15,6 +15,10 @@ namespace wsync {
 /// Builds the RunSpec for a point (factories resolved from the enums).
 RunSpec make_run_spec(const ExperimentPoint& point);
 
+/// kWhitespace: channels available per node after defaulting (a negative
+/// whitespace_available means half the band, but at least one channel).
+int effective_whitespace_available(const ExperimentPoint& point);
+
 /// Evenly spaced deterministic seeds for replication.
 std::vector<uint64_t> make_seeds(int count, uint64_t base = 0x5EED);
 
@@ -36,6 +40,16 @@ struct PointResult {
   int max_leaders = 0;          ///< max simultaneous leaders over all runs
   int multi_leader_runs = 0;    ///< runs where >= 2 leaders coexisted
   double max_broadcast_weight = 0.0;
+
+  // --- radio use (energy) over ALL runs, timeouts included ---------------
+  Summary max_awake_rounds;     ///< per-run max over nodes of awake rounds
+  Summary mean_awake_rounds;    ///< per-run mean over nodes of awake rounds
+  int64_t broadcast_rounds = 0; ///< node-rounds spent broadcasting, summed
+  int64_t listen_rounds = 0;    ///< node-rounds spent listening, summed
+  int64_t sleep_rounds = 0;     ///< node-rounds spent asleep, summed
+  /// Runs whose max awake-rounds exceeded point.energy_budget (only counted
+  /// when the point sets a budget; check_expectations gates on this).
+  int energy_budget_violations = 0;
 };
 
 /// Folds per-seed outcomes into the point aggregate. Shared by the serial

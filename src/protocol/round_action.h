@@ -11,18 +11,28 @@ namespace wsync {
 
 /// In each round an active node selects exactly one frequency and either
 /// broadcasts a payload on it or listens on it (Section 2 of the paper: a
-/// node receives no information from other frequencies).
+/// node receives no information from other frequencies). A node may instead
+/// power its radio down for the round (frequency = kNoFrequency): it neither
+/// sends nor hears anything and is charged sleep energy — the duty-cycled
+/// regime of Bradonjić–Kohler–Ostrovsky. None of the paper's protocols
+/// sleep (their radios are always on), but the engine and the EnergyLedger
+/// support it for energy-aware applications and tests.
 struct RoundAction {
   Frequency frequency = 0;
   bool broadcast = false;
   /// Must be set iff `broadcast` is true.
   std::optional<Payload> payload;
 
+  bool is_sleep() const { return frequency == kNoFrequency; }
+
   static RoundAction listen(Frequency f) {
     return RoundAction{f, false, std::nullopt};
   }
   static RoundAction send(Frequency f, Payload p) {
     return RoundAction{f, true, std::move(p)};
+  }
+  static RoundAction sleep() {
+    return RoundAction{kNoFrequency, false, std::nullopt};
   }
 };
 

@@ -1,0 +1,69 @@
+#include "src/radio/energy.h"
+
+#include <algorithm>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+EnergyLedger::EnergyLedger(int n) {
+  WSYNC_REQUIRE(n >= 0, "node count must be non-negative");
+  nodes_.resize(static_cast<size_t>(n));
+  recorded_.assign(static_cast<size_t>(n), 0);
+}
+
+void EnergyLedger::record(NodeId id, RadioState state) {
+  WSYNC_REQUIRE(id >= 0 && id < n(), "node id out of range");
+  const auto i = static_cast<size_t>(id);
+  WSYNC_CHECK(recorded_[i] == 0, "node recorded twice in one round");
+  recorded_[i] = 1;
+  ++records_this_round_;
+  switch (state) {
+    case RadioState::kSleep: ++nodes_[i].sleep_rounds; break;
+    case RadioState::kListen: ++nodes_[i].listen_rounds; break;
+    case RadioState::kBroadcast: ++nodes_[i].broadcast_rounds; break;
+  }
+}
+
+void EnergyLedger::end_round() {
+  WSYNC_CHECK(records_this_round_ == n(),
+              "every node needs exactly one radio state per round");
+  std::fill(recorded_.begin(), recorded_.end(), 0);
+  records_this_round_ = 0;
+  ++rounds_;
+}
+
+const NodeEnergy& EnergyLedger::node(NodeId id) const {
+  WSYNC_REQUIRE(id >= 0 && id < n(), "node id out of range");
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int64_t EnergyLedger::max_awake_rounds() const {
+  int64_t worst = 0;
+  for (const NodeEnergy& node : nodes_) {
+    worst = std::max(worst, node.awake_rounds());
+  }
+  return worst;
+}
+
+double EnergyLedger::mean_awake_rounds() const {
+  if (nodes_.empty()) return 0.0;
+  int64_t total = 0;
+  for (const NodeEnergy& node : nodes_) total += node.awake_rounds();
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+RunEnergy EnergyLedger::totals() const {
+  RunEnergy totals;
+  totals.rounds = rounds_;
+  totals.max_awake_rounds = max_awake_rounds();
+  totals.mean_awake_rounds = mean_awake_rounds();
+  for (const NodeEnergy& node : nodes_) {
+    totals.broadcast_rounds += node.broadcast_rounds;
+    totals.listen_rounds += node.listen_rounds;
+    totals.sleep_rounds += node.sleep_rounds;
+  }
+  return totals;
+}
+
+}  // namespace wsync

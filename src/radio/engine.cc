@@ -53,6 +53,8 @@ Simulation::Simulation(const SimConfig& config, ProtocolFactory factory,
   view_.deliveries_per_freq_.assign(static_cast<size_t>(config_.F), 0);
   view_.listens_per_freq_.assign(static_cast<size_t>(config_.F), 0);
 
+  energy_ = EnergyLedger(config_.n);
+
   broadcaster_count_.assign(static_cast<size_t>(config_.F), 0);
   sole_broadcaster_.assign(static_cast<size_t>(config_.F), kNoNode);
   disrupted_flag_.assign(static_cast<size_t>(config_.F), 0);
@@ -123,25 +125,50 @@ RoundReport Simulation::step() {
   }
   stats.activations = activations_this_round;
 
+  // Whitespace masks only exist for availability-restricting adversaries;
+  // skip the per-(node, frequency) queries entirely otherwise.
+  const bool masked = adversary_->restricts_availability();
+
   double weight = 0.0;
   int broadcasters_total = 0;
+  int absences_total = 0;
   for (int i = 0; i < config_.n; ++i) {
     NodeSlot& slot = nodes_[static_cast<size_t>(i)];
     slot.freq = kNoFrequency;
     slot.broadcast = false;
-    if (!slot.active || slot.crashed) continue;
+    slot.reached_channel = false;
+    if (!slot.active || slot.crashed) {
+      energy_.record(i, RadioState::kSleep);
+      continue;
+    }
 
     weight += slot.protocol->broadcast_probability();
     RoundAction action = slot.protocol->act(slot.rng);
-    WSYNC_REQUIRE(action.frequency >= 0 && action.frequency < config_.F,
-                  "protocol chose a frequency outside [0, F)");
     WSYNC_REQUIRE(action.broadcast == action.payload.has_value(),
                   "broadcast implies payload and listen implies none");
+    if (action.is_sleep()) {
+      // Radio powered down: no channel contact either way, sleep energy.
+      energy_.record(i, RadioState::kSleep);
+      continue;
+    }
+    WSYNC_REQUIRE(action.frequency >= 0 && action.frequency < config_.F,
+                  "protocol chose a frequency outside [0, F)");
     slot.freq = action.frequency;
     slot.broadcast = action.broadcast;
+    energy_.record(i, action.broadcast ? RadioState::kBroadcast
+                                       : RadioState::kListen);
 
     const auto fi = static_cast<size_t>(action.frequency);
     FreqRoundStats& fs = stats.per_freq[fi];
+    // Whitespace: a choice on a channel absent for this node burns energy
+    // but never touches the channel — no collision, no reception.
+    slot.reached_channel =
+        !masked || adversary_->channel_available(i, action.frequency);
+    if (!slot.reached_channel) {
+      ++fs.absent;
+      ++absences_total;
+      continue;
+    }
     if (action.broadcast) {
       ++broadcasters_total;
       ++fs.broadcasters;
@@ -172,7 +199,9 @@ RoundReport Simulation::step() {
     if (!slot.active || slot.crashed) continue;
 
     std::optional<Message> received;
-    if (!slot.broadcast) {
+    // Reception needs a listener that actually reached its channel (neither
+    // sleeping nor excluded by a whitespace mask).
+    if (!slot.broadcast && slot.freq != kNoFrequency && slot.reached_channel) {
       const auto fi = static_cast<size_t>(slot.freq);
       if (stats.per_freq[fi].delivered) {
         Message m;
@@ -198,6 +227,7 @@ RoundReport Simulation::step() {
     slot.last_output = out;
   }
   stats.deliveries = deliveries;
+  energy_.end_round();
 
   // (6) Publish history for the adversary and the trace.
   view_.last_round_ = stats;
@@ -219,6 +249,7 @@ RoundReport Simulation::step() {
   report.activations = activations_this_round;
   report.deliveries = deliveries;
   report.broadcasters = broadcasters_total;
+  report.absences = absences_total;
   report.broadcast_weight = weight;
   return report;
 }

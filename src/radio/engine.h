@@ -12,6 +12,16 @@
 //   * the adversary activates nodes at arbitrary rounds (via an
 //     ActivationSchedule); nodes do not know the global round number.
 //
+// Two extensions ride on the same round loop:
+//   * whitespace availability (Azar et al.): an adversary may declare a
+//     channel absent for a particular node; a broadcast into an absent
+//     channel reaches nobody (and does not collide) and a listener on an
+//     absent channel hears nothing;
+//   * energy accounting (Bradonjić–Kohler–Ostrovsky): every node is charged
+//     exactly one of broadcast/listen/sleep per round into an EnergyLedger
+//     (inactive and crashed nodes sleep; a protocol may also return
+//     RoundAction::sleep() to power down for a round).
+//
 // Determinism: all randomness is derived from SimConfig::seed. Each node,
 // the adversary, and the activation schedule get independent forked streams,
 // so the same seed reproduces the same execution bit-for-bit.
@@ -27,6 +37,7 @@
 #include "src/common/types.h"
 #include "src/protocol/protocol.h"
 #include "src/radio/activation.h"
+#include "src/radio/energy.h"
 #include "src/radio/engine_view.h"
 #include "src/radio/message.h"
 #include "src/radio/trace.h"
@@ -47,6 +58,7 @@ struct RoundReport {
   int activations = 0;          ///< nodes woken this round
   int deliveries = 0;           ///< listener receptions this round
   int broadcasters = 0;         ///< nodes that chose to broadcast
+  int absences = 0;             ///< choices voided by a whitespace mask
   double broadcast_weight = 0;  ///< W(r): sum of planned broadcast probs
 };
 
@@ -110,6 +122,11 @@ class Simulation {
 
   const EngineView& view() const { return view_; }
 
+  /// Per-node radio-use accounting: exactly one of broadcast/listen/sleep
+  /// per node per round (inactive and crashed nodes sleep). See
+  /// src/radio/energy.h for the model.
+  const EnergyLedger& energy() const { return energy_; }
+
  private:
   struct NodeSlot {
     std::unique_ptr<Protocol> protocol;
@@ -120,8 +137,9 @@ class Simulation {
     RoundId sync_round = -1;
     SyncOutput last_output;
     // scratch, valid within one step():
-    Frequency freq = kNoFrequency;
+    Frequency freq = kNoFrequency;  ///< kNoFrequency = sleeping this round
     bool broadcast = false;
+    bool reached_channel = false;   ///< availability mask allowed the choice
   };
 
   void activate_pending(RoundId r);
@@ -143,6 +161,7 @@ class Simulation {
   int crashed_count_ = 0;
 
   EngineView view_;
+  EnergyLedger energy_;
 
   // per-round scratch buffers, reused across rounds
   std::vector<int> broadcaster_count_;      // per frequency

@@ -15,10 +15,14 @@
 
 namespace wsync {
 
-/// Per-frequency outcome of one completed round.
+/// Per-frequency outcome of one completed round. Broadcasters/listeners
+/// count only nodes that actually reached the channel: a node whose
+/// whitespace availability mask excludes the frequency is tallied in
+/// `absent` instead (its transmission neither delivers nor collides).
 struct FreqRoundStats {
   int broadcasters = 0;
   int listeners = 0;
+  int absent = 0;          ///< choices voided by a whitespace mask
   bool disrupted = false;
   bool delivered = false;  ///< exactly one broadcaster and not disrupted
 };

@@ -1,0 +1,73 @@
+#include "src/scenario/report.h"
+
+namespace wsync {
+
+const std::vector<std::string>& result_columns() {
+  static const std::vector<std::string> columns = {
+      "protocol",      "adversary",      "activation",   "F",
+      "t",             "t_actual",       "N",            "n",
+      "runs",          "synced",         "timeout",      "p50_rounds",
+      "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
+      "awake_max",     "bcast_rounds",   "listen_rounds",
+      "energy_budget", "energy_viol"};
+  return columns;
+}
+
+namespace {
+
+/// Fills the result_columns() cells of the already-opened current row.
+void fill_point_cells(Table& table, const ExperimentPoint& p,
+                      const PointResult& r) {
+  const int jam = p.jam_count < 0 ? p.t : p.jam_count;
+  table.cell(std::string(to_string(p.protocol)))
+      .cell(std::string(to_string(p.adversary)))
+      .cell(std::string(to_string(p.activation)))
+      .cell(static_cast<int64_t>(p.F))
+      .cell(static_cast<int64_t>(p.t))
+      .cell(static_cast<int64_t>(jam))
+      .cell(p.N)
+      .cell(static_cast<int64_t>(p.n))
+      .cell(static_cast<int64_t>(r.runs))
+      .cell(static_cast<int64_t>(r.synced_runs))
+      .cell(static_cast<int64_t>(r.timeout_runs))
+      .cell(r.synced_runs > 0 ? r.rounds_to_live.p50 : -1.0, 1)
+      .cell(r.synced_runs > 0 ? r.rounds_to_live.p90 : -1.0, 1)
+      .cell(r.agreement_violations)
+      .cell(static_cast<int64_t>(r.max_leaders))
+      .cell(r.max_awake_rounds.p50, 1)
+      .cell(r.max_awake_rounds.max, 0)
+      .cell(r.broadcast_rounds)
+      .cell(r.listen_rounds)
+      .cell(p.energy_budget)
+      .cell(static_cast<int64_t>(r.energy_budget_violations));
+}
+
+}  // namespace
+
+Table results_table(const Scenario& scenario,
+                    const std::vector<PointResult>& results) {
+  Table table(result_columns());
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.row();
+    fill_point_cells(table, scenario.grid[i], results[i]);
+  }
+  return table;
+}
+
+CsvReport::CsvReport()
+    : table_([] {
+        std::vector<std::string> columns = {"scenario"};
+        columns.insert(columns.end(), result_columns().begin(),
+                       result_columns().end());
+        return columns;
+      }()) {}
+
+void CsvReport::add(const Scenario& scenario,
+                    const std::vector<PointResult>& results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    table_.row().cell(scenario.name);
+    fill_point_cells(table_, scenario.grid[i], results[i]);
+  }
+}
+
+}  // namespace wsync

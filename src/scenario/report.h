@@ -1,0 +1,47 @@
+// Scenario result rendering, shared by wsync_run and the tests.
+//
+// One Table schema serves three sinks: the CLI's stdout markdown, the
+// per-scenario JSON summaries, and the catalog-wide CSV export. Keeping the
+// schema here (instead of inside the tool) lets the test suite pin the
+// header and assert that rendered rows are bit-identical across worker
+// counts — the same determinism contract CI enforces end to end by diffing
+// wsync_run's JSON and CSV outputs between --workers 1 and --workers 4.
+#ifndef WSYNC_SCENARIO_REPORT_H_
+#define WSYNC_SCENARIO_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/stats/table.h"
+
+namespace wsync {
+
+/// Column names of results_table(), in order. The CSV/JSON consumers treat
+/// this as a stable interface; tests pin it.
+const std::vector<std::string>& result_columns();
+
+/// Per-point result rows for one scenario, one row per grid point. All
+/// cells are deterministic aggregates (never wall-clock or worker counts).
+Table results_table(const Scenario& scenario,
+                    const std::vector<PointResult>& results);
+
+/// Accumulates every selected scenario's rows into one catalog-wide CSV
+/// ("scenario" prepended to result_columns()).
+class CsvReport {
+ public:
+  CsvReport();
+
+  /// Appends one row per grid point of `scenario`.
+  void add(const Scenario& scenario, const std::vector<PointResult>& results);
+
+  /// The full CSV document (header line always present).
+  std::string str() const { return table_.csv(); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_SCENARIO_REPORT_H_

@@ -34,6 +34,16 @@ void validate_point(const Scenario& scenario, size_t index,
        point.duty_on > point.duty_period)) {
     fail(scenario, where + "need 0 <= duty_on <= duty_period");
   }
+  if (point.adversary == AdversaryKind::kWhitespace) {
+    const int available = effective_whitespace_available(point);
+    if (available > point.F) {
+      fail(scenario, where + "whitespace_available must not exceed F");
+    }
+    if (point.whitespace_shared < 1 || point.whitespace_shared > available) {
+      fail(scenario,
+           where + "need 1 <= whitespace_shared <= whitespace_available");
+    }
+  }
   int crash_total = 0;
   for (const CrashWave& wave : point.crash_waves) {
     if (wave.round < 0 || wave.count < 1) {
@@ -100,6 +110,15 @@ std::vector<std::string> check_expectations(
     if (scenario.expect_agreement_clean && r.agreement_violations != 0) {
       complain(i, std::to_string(r.agreement_violations) +
                       " agreement violations");
+    }
+    // An energy budget is an explicit per-point opt-in, so a violation is
+    // always a failure — no scenario-level flag can excuse it.
+    if (r.point.energy_budget >= 0 && r.energy_budget_violations != 0) {
+      complain(i, std::to_string(r.energy_budget_violations) + " of " +
+                      std::to_string(r.runs) +
+                      " runs exceeded the energy budget of " +
+                      std::to_string(r.point.energy_budget) +
+                      " awake rounds");
     }
   }
   return failures;

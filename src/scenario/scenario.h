@@ -30,7 +30,8 @@ struct Scenario {
   int default_seeds = 4;
 
   // --- expected-invariant metadata ----------------------------------------
-  // Synch commit (no retraction to ⊥) is always expected to hold; these
+  // Synch commit (no retraction to ⊥) is always expected to hold, and any
+  // point that sets an energy_budget expects zero budget violations; these
   // flags cover the outcome claims that legitimately vary by scenario.
 
   /// Every run reaches liveness within its budget. False for stress

@@ -154,17 +154,41 @@ std::string Table::json(int indent) const {
   return os.str();
 }
 
+namespace {
+
+/// RFC 4180 quoting: a field containing a comma, quote, or line break is
+/// wrapped in quotes with embedded quotes doubled; everything else passes
+/// through unchanged (so numeric cells stay bare).
+void append_csv_field(std::ostringstream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (const char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
 std::string Table::csv() const {
+  if (!rows_.empty()) {
+    WSYNC_REQUIRE(rows_.back().size() == columns_.size(),
+                  "last row is incomplete");
+  }
   std::ostringstream os;
   for (size_t c = 0; c < columns_.size(); ++c) {
     if (c > 0) os << ",";
-    os << columns_[c];
+    append_csv_field(os, columns_[c]);
   }
   os << "\n";
   for (const auto& r : rows_) {
     for (size_t c = 0; c < r.size(); ++c) {
       if (c > 0) os << ",";
-      os << r[c];
+      append_csv_field(os, r[c]);
     }
     os << "\n";
   }

@@ -35,7 +35,10 @@ class Table {
   /// width). Verifies all rows are complete.
   std::string markdown() const;
 
-  /// Renders comma-separated values with a header line.
+  /// Renders comma-separated values with a header line. Fields containing
+  /// commas, quotes, or line breaks are RFC 4180-quoted (embedded quotes
+  /// doubled); all other fields are emitted bare. Verifies all rows are
+  /// complete.
   std::string csv() const;
 
   /// Renders a JSON array with one object per row, keyed by column name.

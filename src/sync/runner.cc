@@ -71,6 +71,7 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
 
   outcome.properties = verifier.report();
   outcome.max_broadcast_weight = max_weight;
+  outcome.energy = sim.energy().totals();
   return outcome;
 }
 

@@ -46,6 +46,9 @@ struct RunOutcome {
   std::vector<RoundId> sync_latency;
   SyncVerifier::Report properties;
   double max_broadcast_weight = 0.0;
+  /// Whole-run radio-use totals from the engine's EnergyLedger (awake =
+  /// broadcast + listen; timeouts spend energy too, so this is always set).
+  RunEnergy energy;
 };
 
 /// Runs one seeded experiment to completion.

@@ -1,0 +1,56 @@
+// Shared helpers for the golden-snapshot suites: printf-style line
+// rendering and byte-exact comparison against checked-in files under
+// tests/golden/ (WSYNC_GOLDEN_DIR), with the WSYNC_REGEN_GOLDEN=1
+// regeneration path.
+#ifndef WSYNC_TESTS_GOLDEN_GOLDEN_COMPARE_H_
+#define WSYNC_TESTS_GOLDEN_GOLDEN_COMPARE_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace wsync::testing {
+
+inline void append_line(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+  *out += '\n';
+}
+
+inline std::string golden_path(const std::string& file) {
+  return std::string(WSYNC_GOLDEN_DIR) + "/" + file;
+}
+
+/// Byte-exact comparison with the checked-in snapshot; with
+/// WSYNC_REGEN_GOLDEN=1 set, rewrites the file and skips instead.
+inline void compare_with_golden(const std::string& file,
+                                const std::string& rendered) {
+  const std::string path = golden_path(file);
+  if (std::getenv("WSYNC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with WSYNC_REGEN_GOLDEN=1 to create it)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << "output drifted from " << path
+      << "; if intentional, regenerate with WSYNC_REGEN_GOLDEN=1";
+}
+
+}  // namespace wsync::testing
+
+#endif  // WSYNC_TESTS_GOLDEN_GOLDEN_COMPARE_H_

@@ -1,0 +1,196 @@
+// Golden-trace regression for the energy-accounting and whitespace
+// subsystems: full seeded engine executions rendered byte-for-byte.
+//
+// (a) An energy-budgeted Trapdoor run under a random jammer with a
+//     mid-run crash: per-round radio states (B/L/S per node) and the final
+//     EnergyLedger — any change to energy charging, crash accounting, or
+//     the engine's round loop shows up as a diff here.
+// (b) A whitespace rendezvous run: the per-node availability masks drawn
+//     from the seeded stream, per-round delivery/absence counts, and the
+//     sync rounds — pins both the mask derivation and the channel-absent
+//     delivery semantics.
+//
+// After an INTENTIONAL change, regenerate with
+//   WSYNC_REGEN_GOLDEN=1 ctest -R Golden
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adversary/basic.h"
+#include "src/adversary/whitespace.h"
+#include "src/radio/engine.h"
+#include "src/trapdoor/trapdoor.h"
+#include "tests/golden/golden_compare.h"
+
+namespace wsync {
+namespace {
+
+using testing::append_line;
+using testing::compare_with_golden;
+
+constexpr uint64_t kRunSeed = 0xE17;
+
+/// One char per node: Broadcast / Listen / Sleep this round, derived by
+/// diffing the ledger across the step.
+std::string state_chars(const EnergyLedger& ledger,
+                        const std::vector<NodeEnergy>& before) {
+  std::string out;
+  for (NodeId id = 0; id < ledger.n(); ++id) {
+    const NodeEnergy& now = ledger.node(id);
+    const NodeEnergy& prev = before[static_cast<size_t>(id)];
+    if (now.broadcast_rounds > prev.broadcast_rounds) {
+      out += 'B';
+    } else if (now.listen_rounds > prev.listen_rounds) {
+      out += 'L';
+    } else {
+      out += 'S';
+    }
+  }
+  return out;
+}
+
+void append_ledger(std::string* out, const EnergyLedger& ledger) {
+  append_line(out, "");
+  append_line(out, "energy ledger after %lld rounds:",
+              static_cast<long long>(ledger.rounds()));
+  for (NodeId id = 0; id < ledger.n(); ++id) {
+    const NodeEnergy& node = ledger.node(id);
+    append_line(out, "node %d: broadcast %3lld listen %3lld sleep %3lld "
+                     "awake %3lld",
+                id, static_cast<long long>(node.broadcast_rounds),
+                static_cast<long long>(node.listen_rounds),
+                static_cast<long long>(node.sleep_rounds),
+                static_cast<long long>(node.awake_rounds()));
+  }
+  const RunEnergy totals = ledger.totals();
+  append_line(out,
+              "totals: max_awake %lld mean_awake %.4f broadcast %lld "
+              "listen %lld sleep %lld",
+              static_cast<long long>(totals.max_awake_rounds),
+              totals.mean_awake_rounds,
+              static_cast<long long>(totals.broadcast_rounds),
+              static_cast<long long>(totals.listen_rounds),
+              static_cast<long long>(totals.sleep_rounds));
+}
+
+std::string render_energy_run() {
+  constexpr int kRounds = 48;
+  constexpr NodeId kCrashTarget = 2;
+  constexpr RoundId kCrashRound = 24;
+
+  std::string out;
+  append_line(&out,
+              "# Energy golden: Trapdoor F=4 t=1 N=8 n=3, random jammer, "
+              "crash node %d at round %lld, seed %llu",
+              kCrashTarget, static_cast<long long>(kCrashRound),
+              static_cast<unsigned long long>(kRunSeed));
+
+  SimConfig config;
+  config.F = 4;
+  config.t = 1;
+  config.N = 8;
+  config.n = 3;
+  config.seed = kRunSeed;
+  Simulation sim(config, TrapdoorProtocol::factory(),
+                 std::make_unique<RandomSubsetAdversary>(1),
+                 std::make_unique<SequentialActivation>(3, 2));
+
+  append_line(&out, "");
+  append_line(&out, "rounds (round, states per node, deliveries, jammed):");
+  for (RoundId r = 0; r < kRounds; ++r) {
+    if (r == kCrashRound) sim.crash(kCrashTarget);
+    std::vector<NodeEnergy> before;
+    for (NodeId id = 0; id < config.n; ++id) before.push_back(sim.energy().node(id));
+    const RoundReport report = sim.step();
+    std::string jammed;
+    for (const FreqRoundStats& fs : sim.view().last_round().per_freq) {
+      jammed += fs.disrupted ? 'x' : '.';
+    }
+    append_line(&out, "round %2lld: %s deliveries %d jam %s",
+                static_cast<long long>(r),
+                state_chars(sim.energy(), before).c_str(), report.deliveries,
+                jammed.c_str());
+  }
+  append_ledger(&out, sim.energy());
+  return out;
+}
+
+std::string render_whitespace_run() {
+  constexpr int kRounds = 64;
+  constexpr int kF = 8;
+  constexpr int kN = 3;
+
+  std::string out;
+  append_line(&out,
+              "# Whitespace golden: full-band Trapdoor F=%d t=0 n=%d, "
+              "available=4 shared=2, seed %llu",
+              kF, kN, static_cast<unsigned long long>(kRunSeed));
+
+  SimConfig config;
+  config.F = kF;
+  config.t = 0;
+  config.N = 8;
+  config.n = kN;
+  config.seed = kRunSeed;
+  TrapdoorConfig trapdoor;
+  trapdoor.restrict_to_fprime = false;
+  auto adversary = std::make_unique<WhitespaceAdversary>(
+      WhitespaceAdversary::Params{kN, 4, 2, 0});
+  const WhitespaceAdversary* whitespace = adversary.get();
+  Simulation sim(config, TrapdoorProtocol::factory(trapdoor),
+                 std::move(adversary),
+                 std::make_unique<SimultaneousActivation>(kN));
+
+  sim.step();  // materializes the masks
+  append_line(&out, "");
+  append_line(&out, "masks (node, available channels as a bit row):");
+  for (NodeId id = 0; id < kN; ++id) {
+    std::string row;
+    for (Frequency f = 0; f < kF; ++f) {
+      row += whitespace->channel_available(id, f) ? '1' : '0';
+    }
+    append_line(&out, "node %d: %s", id, row.c_str());
+  }
+  std::string shared;
+  for (const Frequency f : whitespace->shared_channels()) {
+    if (!shared.empty()) shared += ' ';
+    shared += std::to_string(f);
+  }
+  append_line(&out, "shared channels: %s", shared.c_str());
+
+  append_line(&out, "");
+  append_line(&out, "rounds (round, deliveries, absences):");
+  for (RoundId r = 1; r < kRounds; ++r) {
+    const RoundReport report = sim.step();
+    append_line(&out, "round %2lld: deliveries %d absences %d",
+                static_cast<long long>(r), report.deliveries,
+                report.absences);
+  }
+
+  append_line(&out, "");
+  append_line(&out, "outcome (node, sync round, output):");
+  for (NodeId id = 0; id < kN; ++id) {
+    const SyncOutput output = sim.output(id);
+    append_line(&out, "node %d: sync_round %3lld output %s", id,
+                static_cast<long long>(sim.sync_round(id)),
+                output.has_number() ? std::to_string(output.value).c_str()
+                                    : "bottom");
+  }
+  append_ledger(&out, sim.energy());
+  return out;
+}
+
+TEST(GoldenRunTest, EnergyBudgetedTrapdoorRun) {
+  compare_with_golden("energy_trapdoor_run.golden", render_energy_run());
+}
+
+TEST(GoldenRunTest, WhitespaceRendezvousRun) {
+  compare_with_golden("whitespace_rendezvous_run.golden",
+                      render_whitespace_run());
+}
+
+}  // namespace
+}  // namespace wsync

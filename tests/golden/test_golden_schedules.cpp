@@ -12,11 +12,6 @@
 // and review the diff like any other code change.
 #include <gtest/gtest.h>
 
-#include <cstdarg>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "src/common/rng.h"
@@ -24,22 +19,16 @@
 #include "src/samaritan/schedule.h"
 #include "src/trapdoor/schedule.h"
 #include "src/trapdoor/trapdoor.h"
+#include "tests/golden/golden_compare.h"
 
 namespace wsync {
 namespace {
 
+using testing::append_line;
+using testing::compare_with_golden;
+
 constexpr RoundId kSnapshotRounds = 64;
 constexpr uint64_t kTraceSeed = 0xF16;
-
-void append_line(std::string* out, const char* format, ...) {
-  char buffer[256];
-  va_list args;
-  va_start(args, format);
-  std::vsnprintf(buffer, sizeof(buffer), format, args);
-  va_end(args);
-  *out += buffer;
-  *out += '\n';
-}
 
 /// 64 rounds of one node's (frequency, action) decisions, isolated from the
 /// engine: the node never receives anything, so the trace depends only on
@@ -134,29 +123,6 @@ std::string render_fig2_samaritan(int F, int t, int64_t N) {
   GoodSamaritanProtocol protocol(env);
   append_decision_trace(&out, protocol);
   return out;
-}
-
-std::string golden_path(const std::string& file) {
-  return std::string(WSYNC_GOLDEN_DIR) + "/" + file;
-}
-
-void compare_with_golden(const std::string& file,
-                         const std::string& rendered) {
-  const std::string path = golden_path(file);
-  if (std::getenv("WSYNC_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(path);
-    ASSERT_TRUE(out) << "cannot write " << path;
-    out << rendered;
-    GTEST_SKIP() << "regenerated " << path;
-  }
-  std::ifstream in(path);
-  ASSERT_TRUE(in) << "missing golden file " << path
-                  << " (run with WSYNC_REGEN_GOLDEN=1 to create it)";
-  std::stringstream expected;
-  expected << in.rdbuf();
-  EXPECT_EQ(expected.str(), rendered)
-      << "schedule drifted from " << path
-      << "; if intentional, regenerate with WSYNC_REGEN_GOLDEN=1";
 }
 
 TEST(GoldenScheduleTest, Fig1TrapdoorSchedule) {

@@ -32,6 +32,13 @@ void expect_same_result(const PointResult& a, const PointResult& b) {
   EXPECT_EQ(a.max_broadcast_weight, b.max_broadcast_weight);
   expect_same_summary(a.rounds_to_live, b.rounds_to_live);
   expect_same_summary(a.max_node_latency, b.max_node_latency);
+  // The energy ledger totals are part of the determinism contract too.
+  EXPECT_EQ(a.broadcast_rounds, b.broadcast_rounds);
+  EXPECT_EQ(a.listen_rounds, b.listen_rounds);
+  EXPECT_EQ(a.sleep_rounds, b.sleep_rounds);
+  EXPECT_EQ(a.energy_budget_violations, b.energy_budget_violations);
+  expect_same_summary(a.max_awake_rounds, b.max_awake_rounds);
+  expect_same_summary(a.mean_awake_rounds, b.mean_awake_rounds);
 }
 
 class RegistryRoundTripTest
@@ -55,6 +62,10 @@ TEST_P(RegistryRoundTripTest, RunsOneSeedIdenticallyAcrossWorkerCounts) {
     EXPECT_EQ(r.runs, 1);
     EXPECT_EQ(r.synced_runs + r.timeout_runs, r.runs);
     EXPECT_EQ(r.commit_violations, 0);
+    // Energy was measured on every run: always-on protocols burn at least
+    // one awake round, and the split sums to n x observed rounds.
+    EXPECT_GT(r.max_awake_rounds.max, 0.0);
+    EXPECT_GT(r.broadcast_rounds + r.listen_rounds, 0);
   }
 
   const ScenarioResult four = run_scenario(scenario, /*seeds=*/1,

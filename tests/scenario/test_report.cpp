@@ -1,0 +1,110 @@
+// The scenario report layer behind `wsync_run --csv` / --json: a pinned
+// header, deterministic rows across worker counts (the contract CI enforces
+// end to end by diffing wsync_run outputs between --workers 1 and 4), and
+// the energy columns that make budget gating visible in exports.
+#include "src/scenario/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/registry.h"
+
+namespace wsync {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.name = "report_test_scenario";
+  s.summary = "one trapdoor point with an energy budget";
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.N = 16;
+  point.n = 4;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.energy_budget = 100000;  // generous: never violated here
+  s.grid.push_back(point);
+  return s;
+}
+
+TEST(ReportTest, ColumnSchemaIsPinned) {
+  // CSV/JSON consumers key on these names; changing them is a breaking
+  // change to the export format and must be deliberate.
+  const std::vector<std::string> expected = {
+      "protocol",      "adversary",      "activation",   "F",
+      "t",             "t_actual",       "N",            "n",
+      "runs",          "synced",         "timeout",      "p50_rounds",
+      "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
+      "awake_max",     "bcast_rounds",   "listen_rounds",
+      "energy_budget", "energy_viol"};
+  EXPECT_EQ(result_columns(), expected);
+}
+
+TEST(ReportTest, CsvHeaderIsScenarioPlusResultColumns) {
+  const CsvReport report;
+  const std::string csv = report.str();
+  EXPECT_EQ(csv,
+            "scenario,protocol,adversary,activation,F,t,t_actual,N,n,runs,"
+            "synced,timeout,p50_rounds,p90_rounds,agreement_viol,"
+            "max_leaders,awake_p50,awake_max,bcast_rounds,listen_rounds,"
+            "energy_budget,energy_viol\n");
+}
+
+TEST(ReportTest, RowsAreIdenticalAcrossWorkerCounts) {
+  const Scenario s = small_scenario();
+  const ScenarioResult one = run_scenario(s, /*seeds=*/2, /*workers=*/1);
+  const ScenarioResult four = run_scenario(s, /*seeds=*/2, /*workers=*/4);
+
+  CsvReport csv_one;
+  csv_one.add(s, one.points);
+  CsvReport csv_four;
+  csv_four.add(s, four.points);
+  EXPECT_EQ(csv_one.str(), csv_four.str());
+
+  const Table table_one = results_table(s, one.points);
+  const Table table_four = results_table(s, four.points);
+  EXPECT_EQ(table_one.json(), table_four.json());
+  EXPECT_EQ(table_one.markdown(), table_four.markdown());
+}
+
+TEST(ReportTest, EnergyColumnsSurfaceTheLedger) {
+  const Scenario s = small_scenario();
+  const ScenarioResult result = run_scenario(s, /*seeds=*/2, /*workers=*/2);
+  const Table table = results_table(s, result.points);
+  const std::string csv = [&] {
+    CsvReport report;
+    report.add(s, result.points);
+    return report.str();
+  }();
+  // The budget is generous, so the run passes and the violation column is
+  // zero while the awake/broadcast/listen columns carry real totals.
+  EXPECT_TRUE(result.ok());
+  EXPECT_NE(csv.find("report_test_scenario,trapdoor,random_subset"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",100000,0\n"), std::string::npos)
+      << "energy_budget/energy_viol tail missing from: " << csv;
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(ReportTest, WholeCatalogRendersCompleteRows) {
+  // Every registry scenario must be renderable without tripping the
+  // incomplete-row checks (grid size == result size is the caller's
+  // contract; cells-per-row is the report's).
+  for (const Scenario& scenario : ScenarioRegistry::all()) {
+    const std::vector<PointResult> empty_results(
+        scenario.grid.size(), PointResult{});
+    std::vector<PointResult> results = empty_results;
+    for (size_t i = 0; i < results.size(); ++i) {
+      results[i].point = scenario.grid[i];
+    }
+    const Table table = results_table(scenario, results);
+    EXPECT_EQ(table.num_rows(), scenario.grid.size()) << scenario.name;
+    EXPECT_NO_THROW(table.csv()) << scenario.name;
+    EXPECT_NO_THROW(table.json()) << scenario.name;
+  }
+}
+
+}  // namespace
+}  // namespace wsync

@@ -69,6 +69,25 @@ TEST(ScenarioValidateTest, RejectsModelViolations) {
   EXPECT_THROW(validate(s), std::invalid_argument);
 }
 
+TEST(ScenarioValidateTest, RejectsBadWhitespaceParameters) {
+  Scenario s = minimal_scenario();
+  s.grid[0].adversary = AdversaryKind::kWhitespace;
+  EXPECT_NO_THROW(validate(s));  // defaults: half the band, 1 shared
+
+  s.grid[0].whitespace_available = s.grid[0].F + 1;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s.grid[0].whitespace_available = 4;
+  s.grid[0].whitespace_shared = 5;  // shared > available
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s.grid[0].whitespace_shared = 0;  // intersection could be empty
+  EXPECT_THROW(validate(s), std::invalid_argument);
+
+  s.grid[0].whitespace_shared = 4;  // shared == available: identical masks
+  EXPECT_NO_THROW(validate(s));
+}
+
 TEST(ScenarioValidateTest, RejectsCrashWavesThatKillEveryone) {
   Scenario s = minimal_scenario();
   s.grid[0].crash_waves = {{10, 2}, {20, 2}};  // n = 4: nobody left
@@ -125,6 +144,39 @@ TEST(ScenarioExpectationsTest, FlagsGateTheSoftProperties) {
   EXPECT_TRUE(check_expectations(s, {r}).empty());
 }
 
+TEST(ScenarioExpectationsTest, EnergyBudgetViolationsAlwaysFail) {
+  // An energy budget is a per-point opt-in; no expect_* flag can excuse a
+  // violation — this is what makes `wsync_run` exit non-zero on it.
+  Scenario s = minimal_scenario();
+  s.grid[0].energy_budget = 100;
+  s.expect_all_synced = false;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  PointResult r = clean_result(s.grid[0], 3);
+  r.energy_budget_violations = 2;
+  const std::vector<std::string> failures = check_expectations(s, {r});
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("energy budget"), std::string::npos);
+
+  // Without a budget the same counter is inert.
+  s.grid[0].energy_budget = -1;
+  r = clean_result(s.grid[0], 3);
+  r.energy_budget_violations = 2;
+  EXPECT_TRUE(check_expectations(s, {r}).empty());
+}
+
+TEST(ScenarioExpectationsTest, ImpossibleEnergyBudgetFailsARealRun) {
+  // End-to-end: an awake-round cap of 0 cannot hold for an always-on
+  // protocol, so the run must report (and wsync_run would exit 1 on) a
+  // budget failure.
+  Scenario s = minimal_scenario();
+  s.grid[0].energy_budget = 0;
+  const ScenarioResult result = run_scenario(s, 1, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.failures[0].find("energy budget"), std::string::npos);
+  EXPECT_EQ(result.points[0].energy_budget_violations, 1);
+}
+
 TEST(ScenarioRunTest, RunScenarioProducesGridOrderedResults) {
   Scenario s = minimal_scenario();
   ExperimentPoint second = s.grid[0];
@@ -163,12 +215,18 @@ TEST(RegistryTest, CatalogCoversEveryAxisValue) {
   std::set<AdversaryKind> adversaries;
   std::set<ActivationKind> activations;
   bool any_crash_waves = false;
+  bool any_energy_budget = false;
+  bool whitespace_with_crash_waves = false;
   for (const Scenario& scenario : ScenarioRegistry::all()) {
     for (const ExperimentPoint& point : scenario.grid) {
       protocols.insert(point.protocol);
       adversaries.insert(point.adversary);
       activations.insert(point.activation);
       any_crash_waves |= !point.crash_waves.empty();
+      any_energy_budget |= point.energy_budget >= 0;
+      whitespace_with_crash_waves |=
+          point.adversary == AdversaryKind::kWhitespace &&
+          !point.crash_waves.empty();
     }
   }
   for (const ProtocolKind kind :
@@ -181,7 +239,8 @@ TEST(RegistryTest, CatalogCoversEveryAxisValue) {
        {AdversaryKind::kNone, AdversaryKind::kFixedFirst,
         AdversaryKind::kRandomSubset, AdversaryKind::kSweep,
         AdversaryKind::kGilbertElliott, AdversaryKind::kGreedyDelivery,
-        AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle}) {
+        AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle,
+        AdversaryKind::kWhitespace}) {
     EXPECT_TRUE(adversaries.count(kind)) << to_string(kind);
   }
   for (const ActivationKind kind :
@@ -191,6 +250,9 @@ TEST(RegistryTest, CatalogCoversEveryAxisValue) {
     EXPECT_TRUE(activations.count(kind)) << to_string(kind);
   }
   EXPECT_TRUE(any_crash_waves) << "no scenario exercises crash waves";
+  EXPECT_TRUE(any_energy_budget) << "no scenario sets an energy budget";
+  EXPECT_TRUE(whitespace_with_crash_waves)
+      << "no scenario combines whitespace masks with crash waves";
 }
 
 TEST(RegistryTest, FindAndGet) {
@@ -208,7 +270,7 @@ TEST(RegistryTest, BenchScenariosExist) {
   // single-source-of-truth contract.
   for (const char* name :
        {"thm10_trapdoor_n_scaling", "thm18_samaritan_adaptive",
-        "baseline_comparison"}) {
+        "baseline_comparison", "energy_vs_contention"}) {
     EXPECT_NE(ScenarioRegistry::find(name), nullptr) << name;
   }
 }

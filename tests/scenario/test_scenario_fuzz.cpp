@@ -10,13 +10,22 @@
 //   * active_count() + crashed_count() conservation against the activation
 //     totals;
 //   * all_synced() ⇒ every surviving node outputs a number, and for the
-//     paper's protocols those numbers agree (verifier agreement).
+//     paper's protocols those numbers agree (verifier agreement);
+//   * energy conservation: every node has exactly one of
+//     broadcast/listen/sleep per round (counters sum to the round count)
+//     and awake-rounds never exceed total rounds;
+//   * whitespace masks: no delivery ever crosses a frequency excluded by
+//     the sender's or the receiver's availability mask;
+//   * energy budgets: aggregate_point flags a violation iff some node's
+//     awake-rounds exceeded the tuple's drawn budget.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/adversary/whitespace.h"
 #include "src/common/rng.h"
 #include "src/radio/engine.h"
 #include "src/radio/trace.h"
@@ -35,7 +44,8 @@ constexpr AdversaryKind kAdversaries[] = {
     AdversaryKind::kNone,          AdversaryKind::kFixedFirst,
     AdversaryKind::kRandomSubset,  AdversaryKind::kSweep,
     AdversaryKind::kGilbertElliott, AdversaryKind::kGreedyDelivery,
-    AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle};
+    AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle,
+    AdversaryKind::kWhitespace};
 constexpr ActivationKind kActivations[] = {
     ActivationKind::kSimultaneous, ActivationKind::kStaggeredUniform,
     ActivationKind::kSequential,   ActivationKind::kTwoBatch,
@@ -69,6 +79,16 @@ std::vector<FuzzTuple> draw_tuples(int count, uint64_t master_seed) {
     if (p.adversary == AdversaryKind::kDutyCycle) {
       p.duty_period = rng.uniform_int(1, 12);
       p.duty_on = rng.uniform_int(0, p.duty_period);
+    }
+    if (p.adversary == AdversaryKind::kWhitespace) {
+      p.whitespace_available = static_cast<int>(rng.uniform_int(1, p.F));
+      p.whitespace_shared =
+          static_cast<int>(rng.uniform_int(1, p.whitespace_available));
+    }
+    // Sometimes draw an awake-rounds budget; its accounting is asserted
+    // against the ledger either way (violation iff actually exceeded).
+    if (rng.bernoulli(0.4)) {
+      p.energy_budget = rng.uniform_int(0, 700);
     }
     tuple.seed = rng.next_u64();
     tuple.inject_crash = p.n >= 2 && rng.bernoulli(0.3);
@@ -112,7 +132,14 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
   spec.sim.seed = tuple.seed;
 
   MemoryTrace trace;
-  Simulation sim(spec.sim, spec.factory, spec.make_adversary(),
+  // Keep a typed handle on whitespace adversaries so the delivery/mask law
+  // can be asserted against the materialized masks (the sim owns it).
+  std::unique_ptr<Adversary> adversary = spec.make_adversary();
+  const auto* whitespace =
+      dynamic_cast<const WhitespaceAdversary*>(adversary.get());
+  ASSERT_EQ(whitespace != nullptr,
+            tuple.point.adversary == AdversaryKind::kWhitespace);
+  Simulation sim(spec.sim, spec.factory, std::move(adversary),
                  spec.make_activation(), &trace);
   SyncVerifier verifier(spec.verifier);
 
@@ -159,6 +186,36 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
     ASSERT_EQ(sim.crashed_count(), expected_crashes);
     ASSERT_LE(sim.activated_total(), tuple.point.n);
 
+    // Invariant: energy conservation. Exactly one radio state per node per
+    // round, so the three counters sum to the rounds executed and
+    // awake-rounds can never exceed them.
+    const EnergyLedger& ledger = sim.energy();
+    ASSERT_EQ(ledger.rounds(), r + 1);
+    for (NodeId id = 0; id < tuple.point.n; ++id) {
+      const NodeEnergy& energy = ledger.node(id);
+      ASSERT_EQ(energy.total_rounds(), r + 1) << "node " << id;
+      ASSERT_LE(energy.awake_rounds(), r + 1);
+      ASSERT_GE(energy.broadcast_rounds, 0);
+      ASSERT_GE(energy.listen_rounds, 0);
+      ASSERT_GE(energy.sleep_rounds, 0);
+    }
+
+    // Invariant: no delivery crosses an excluded whitespace channel, on
+    // either end.
+    if (whitespace != nullptr) {
+      for (const DeliveryTraceEvent& delivery : trace.deliveries()) {
+        if (delivery.round != r) continue;
+        ASSERT_TRUE(whitespace->channel_available(delivery.from,
+                                                  delivery.frequency))
+            << "sender " << delivery.from << " delivered on a frequency "
+            << "its mask excludes";
+        ASSERT_TRUE(whitespace->channel_available(delivery.to,
+                                                  delivery.frequency))
+            << "receiver " << delivery.to << " heard a frequency its mask "
+            << "excludes";
+      }
+    }
+
     if (sim.all_synced()) break;
   }
 
@@ -186,10 +243,26 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
   if (expected_crashes > 0) {
     EXPECT_EQ(sim.crashed_count(), expected_crashes);
   }
+
+  // Energy-budget accounting: aggregate_point must flag a violation
+  // exactly when some node's awake-rounds exceeded the drawn budget.
+  RunOutcome outcome;
+  outcome.energy = sim.energy().totals();
+  const PointResult aggregated = aggregate_point(tuple.point, {outcome});
+  if (tuple.point.energy_budget >= 0) {
+    const bool exceeded =
+        outcome.energy.max_awake_rounds > tuple.point.energy_budget;
+    EXPECT_EQ(aggregated.energy_budget_violations, exceeded ? 1 : 0);
+  } else {
+    EXPECT_EQ(aggregated.energy_budget_violations, 0);
+  }
+  EXPECT_EQ(aggregated.broadcast_rounds + aggregated.listen_rounds +
+                aggregated.sleep_rounds,
+            static_cast<int64_t>(tuple.point.n) * outcome.energy.rounds);
 }
 
 INSTANTIATE_TEST_SUITE_P(Axes, ScenarioFuzz,
-                         ::testing::ValuesIn(draw_tuples(50, 0xF0220)),
+                         ::testing::ValuesIn(draw_tuples(60, 0xF0220)),
                          tuple_name);
 
 }  // namespace

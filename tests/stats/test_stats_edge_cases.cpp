@@ -229,5 +229,46 @@ TEST(TableJsonTest, RejectsIncompleteLastRow) {
   EXPECT_THROW(table.json(), std::invalid_argument);
 }
 
+TEST(TableCsvTest, PlainCellsStayBare) {
+  Table table({"name", "count"});
+  table.row().cell("alpha").cell(int64_t{42});
+  table.row().cell("beta").cell(int64_t{-7});
+  EXPECT_EQ(table.csv(), "name,count\nalpha,42\nbeta,-7\n");
+}
+
+TEST(TableCsvTest, QuotesCommasQuotesAndLineBreaks) {
+  Table table({"v"});
+  table.row().cell("a,b");
+  table.row().cell("say \"hi\"");
+  table.row().cell("line\nbreak");
+  table.row().cell("cr\rhere");
+  EXPECT_EQ(table.csv(),
+            "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n"
+            "\"cr\rhere\"\n");
+}
+
+TEST(TableCsvTest, QuotesHeadersToo) {
+  Table table({"plain", "with,comma"});
+  table.row().cell("x").cell("y");
+  EXPECT_EQ(table.csv(), "plain,\"with,comma\"\nx,y\n");
+}
+
+TEST(TableCsvTest, EmptyTableIsHeaderOnly) {
+  Table table({"a", "b"});
+  EXPECT_EQ(table.csv(), "a,b\n");
+}
+
+TEST(TableCsvTest, EmptyCellsRoundTrip) {
+  Table table({"a", "b"});
+  table.row().cell("").cell("");
+  EXPECT_EQ(table.csv(), "a,b\n,\n");
+}
+
+TEST(TableCsvTest, RejectsIncompleteLastRow) {
+  Table table({"a", "b"});
+  table.row().cell("only");
+  EXPECT_THROW(table.csv(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace wsync

@@ -1,24 +1,30 @@
 // wsync_run — the scenario catalog driver.
 //
 //   wsync_run --list                     # catalog overview
-//   wsync_run --all [--seeds K] [--workers W] [--json PATH]
+//   wsync_run --all [--seeds K] [--workers W] [--json PATH] [--csv PATH]
 //   wsync_run NAME [NAME...] [options]   # run a subset by name
+//   wsync_run ... --max-rounds [NAME=]K  # override per-point round budgets
 //
 // Every selected scenario runs its grid through run_points_parallel on one
 // shared pool; stdout gets a markdown table per scenario, --json gets a
-// machine-readable summary. The JSON contains only deterministic aggregates
-// (never worker counts or wall-clock), so two runs at different --workers
-// must produce byte-identical files — CI diffs exactly that. Exit status: 0
-// when every scenario met its expected invariants, 1 otherwise, 2 on usage
-// errors.
+// machine-readable summary, --csv a catalog-wide flat table. Both exports
+// contain only deterministic aggregates (never worker counts or
+// wall-clock), so two runs at different --workers must produce
+// byte-identical files — CI diffs exactly that. --max-rounds overrides the
+// liveness budget of every point (bare K) or of one scenario's points
+// (NAME=K, repeatable; the per-scenario form wins). Exit status: 0 when
+// every scenario met its expected invariants (including per-point energy
+// budgets), 1 otherwise, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/scenario/registry.h"
+#include "src/scenario/report.h"
 #include "src/scenario/scenario.h"
 #include "src/stats/table.h"
 
@@ -31,21 +37,42 @@ struct Options {
   int seeds = 0;    // 0 = per-scenario default
   int workers = 0;  // 0 = ThreadPool::default_workers()
   std::string json_path;
+  std::string csv_path;
   std::vector<std::string> names;
+  long default_max_rounds = 0;  // 0 = no override
+  std::map<std::string, long> max_rounds_overrides;  // per scenario
 };
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: wsync_run --list\n"
                "       wsync_run (--all | NAME...) [--seeds K] [--workers W]"
-               " [--json PATH]\n"
+               " [--json PATH] [--csv PATH]\n"
+               "                 [--max-rounds [NAME=]K]...\n"
                "\n"
                "  --list       list the scenario catalog and exit\n"
                "  --all        run every scenario in the catalog\n"
                "  --seeds K    seeds per experiment point"
                " (default: each scenario's own)\n"
                "  --workers W  thread-pool size (default: hardware)\n"
-               "  --json PATH  write per-scenario JSON summaries to PATH\n");
+               "  --json PATH  write per-scenario JSON summaries to PATH\n"
+               "  --csv PATH   write one flat CSV row per grid point to"
+               " PATH\n"
+               "  --max-rounds [NAME=]K\n"
+               "               override every point's liveness budget (bare"
+               " K),\n"
+               "               or one scenario's (NAME=K; repeatable,"
+               " wins)\n");
+}
+
+bool parse_positive_long(const char* text, long* out) {
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || parsed < 1 || parsed > (1L << 40)) {
+    return false;
+  }
+  *out = parsed;
+  return true;
 }
 
 bool parse_int_flag(const std::string& flag, const char* value, int min,
@@ -62,6 +89,33 @@ bool parse_int_flag(const std::string& flag, const char* value, int min,
     return false;
   }
   *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_max_rounds(const char* value, Options* options) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "wsync_run: --max-rounds needs a value\n");
+    return false;
+  }
+  const std::string text = value;
+  const size_t eq = text.find('=');
+  long rounds = 0;
+  if (eq == std::string::npos) {
+    if (!parse_positive_long(text.c_str(), &rounds)) {
+      std::fprintf(stderr, "wsync_run: bad value for --max-rounds: '%s'\n",
+                   value);
+      return false;
+    }
+    options->default_max_rounds = rounds;
+    return true;
+  }
+  const std::string name = text.substr(0, eq);
+  if (name.empty() || !parse_positive_long(text.c_str() + eq + 1, &rounds)) {
+    std::fprintf(stderr, "wsync_run: bad value for --max-rounds: '%s'\n",
+                 value);
+    return false;
+  }
+  options->max_rounds_overrides[name] = rounds;
   return true;
 }
 
@@ -89,6 +143,16 @@ bool parse_args(int argc, char** argv, Options* options) {
       }
       options->json_path = next;
       ++i;
+    } else if (arg == "--csv") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --csv needs a path\n");
+        return false;
+      }
+      options->csv_path = next;
+      ++i;
+    } else if (arg == "--max-rounds") {
+      if (!parse_max_rounds(next, options)) return false;
+      ++i;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "wsync_run: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -102,6 +166,15 @@ bool parse_args(int argc, char** argv, Options* options) {
                  "wsync_run: pass either --all or scenario names (see "
                  "--list)\n");
     return false;
+  }
+  for (const auto& [name, rounds] : options->max_rounds_overrides) {
+    if (ScenarioRegistry::find(name) == nullptr) {
+      std::fprintf(stderr,
+                   "wsync_run: --max-rounds names unknown scenario '%s' "
+                   "(see --list)\n",
+                   name.c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -130,38 +203,37 @@ int list_catalog() {
               table.markdown().c_str());
   std::printf(
       "\nAll scenarios additionally expect zero synch-commit violations\n"
-      "(no output is ever retracted to bottom).\n");
+      "(no output is ever retracted to bottom) and zero energy-budget\n"
+      "violations on points that set one.\n");
   return 0;
 }
 
-/// Per-point result rows; shared by the stdout table and the JSON summary.
-Table results_table(const Scenario& scenario,
-                    const std::vector<PointResult>& results) {
-  Table table({"protocol", "adversary", "activation", "F", "t", "t_actual",
-               "N", "n", "runs", "synced", "timeout", "p50_rounds",
-               "p90_rounds", "agreement_viol", "max_leaders"});
-  for (size_t i = 0; i < results.size(); ++i) {
-    const PointResult& r = results[i];
-    const ExperimentPoint& p = scenario.grid[i];
-    const int jam = p.jam_count < 0 ? p.t : p.jam_count;
-    table.row()
-        .cell(std::string(to_string(p.protocol)))
-        .cell(std::string(to_string(p.adversary)))
-        .cell(std::string(to_string(p.activation)))
-        .cell(static_cast<int64_t>(p.F))
-        .cell(static_cast<int64_t>(p.t))
-        .cell(static_cast<int64_t>(jam))
-        .cell(p.N)
-        .cell(static_cast<int64_t>(p.n))
-        .cell(static_cast<int64_t>(r.runs))
-        .cell(static_cast<int64_t>(r.synced_runs))
-        .cell(static_cast<int64_t>(r.timeout_runs))
-        .cell(r.synced_runs > 0 ? r.rounds_to_live.p50 : -1.0, 1)
-        .cell(r.synced_runs > 0 ? r.rounds_to_live.p90 : -1.0, 1)
-        .cell(r.agreement_violations)
-        .cell(static_cast<int64_t>(r.max_leaders));
+/// The scenario with any --max-rounds override applied to every point.
+Scenario with_round_budget(const Scenario& scenario,
+                           const Options& options) {
+  long rounds = options.default_max_rounds;
+  if (const auto it = options.max_rounds_overrides.find(scenario.name);
+      it != options.max_rounds_overrides.end()) {
+    rounds = it->second;
   }
-  return table;
+  if (rounds == 0) return scenario;
+  Scenario overridden = scenario;
+  for (ExperimentPoint& point : overridden.grid) {
+    point.max_rounds = rounds;
+  }
+  return overridden;
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "wsync_run: cannot write %s '%s'\n", what,
+                 path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 int run_scenarios(const Options& options) {
@@ -185,9 +257,10 @@ int run_scenarios(const Options& options) {
 
   ThreadPool pool(options.workers);
   std::string json = "{\n  \"scenarios\": [";
+  CsvReport csv;
   int failed_scenarios = 0;
   for (size_t s = 0; s < selected.size(); ++s) {
-    const Scenario& scenario = *selected[s];
+    const Scenario scenario = with_round_budget(*selected[s], options);
     const int seeds =
         options.seeds > 0 ? options.seeds : scenario.default_seeds;
     std::printf("## %s — %s\n\n", scenario.name.c_str(),
@@ -202,6 +275,8 @@ int run_scenarios(const Options& options) {
     }
     std::printf("%s\n\n", result.ok() ? "ok" : "FAILED");
     if (!result.ok()) ++failed_scenarios;
+
+    csv.add(scenario, result.points);
 
     json += s == 0 ? "\n" : ",\n";
     json += "    {\"name\": " + json_escaped(scenario.name);
@@ -218,14 +293,13 @@ int run_scenarios(const Options& options) {
   }
   json += selected.empty() ? "]\n}\n" : "\n  ]\n}\n";
 
-  if (!options.json_path.empty()) {
-    std::ofstream out(options.json_path);
-    if (!out) {
-      std::fprintf(stderr, "wsync_run: cannot write '%s'\n",
-                   options.json_path.c_str());
-      return 2;
-    }
-    out << json;
+  if (!options.json_path.empty() &&
+      !write_file(options.json_path, json, "--json")) {
+    return 2;
+  }
+  if (!options.csv_path.empty() &&
+      !write_file(options.csv_path, csv.str(), "--csv")) {
+    return 2;
   }
 
   std::printf("%zu scenario(s), %d failed\n", selected.size(),
