@@ -34,6 +34,9 @@ double WakeupBaseline::current_prob() const {
 
 RoundAction WakeupBaseline::act(Rng& rng) {
   WSYNC_CHECK(role_ != Role::kInactive, "act() before activation");
+  if (config_.sleep_after_sync && role_ == Role::kSynced) {
+    return RoundAction::sleep();  // hard sleep: first contact was enough
+  }
   const auto f = static_cast<Frequency>(
       rng.next_below(static_cast<uint64_t>(env_.F)));
   switch (role_) {

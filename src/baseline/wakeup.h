@@ -27,9 +27,13 @@ struct WakeupBaselineConfig {
   /// Epoch length multiplier: every epoch has ceil(c * lgN) rounds.
   double epoch_constant = 4.0;
   double leader_broadcast_prob = 0.5;
+  /// Power the radio down permanently once a numbering is adopted (the
+  /// output keeps incrementing while asleep). Off for the plain baseline;
+  /// the energy oracle (src/dutycycle/oracle.h) turns it on.
+  bool sleep_after_sync = false;
 };
 
-class WakeupBaseline final : public Protocol {
+class WakeupBaseline : public Protocol {
  public:
   WakeupBaseline(const ProtocolEnv& env,
                  const WakeupBaselineConfig& config = {});

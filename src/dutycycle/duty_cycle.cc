@@ -1,0 +1,180 @@
+#include "src/dutycycle/duty_cycle.h"
+
+#include <algorithm>
+
+#include "src/common/require.h"
+
+namespace wsync {
+
+DutyCycleProtocol::DutyCycleProtocol(const ProtocolEnv& env,
+                                     const DutyCycleConfig& config)
+    : env_(env), config_(config) {
+  WSYNC_REQUIRE(env.F >= 1 && env.t >= 0 && env.t < env.F,
+                "invalid (F, t) for DutyCycleProtocol");
+  WSYNC_REQUIRE(env.N >= 1, "invalid N for DutyCycleProtocol");
+  WSYNC_REQUIRE(config.contender_broadcast_prob >= 0.0 &&
+                    config.contender_broadcast_prob <= 1.0 &&
+                    config.leader_broadcast_prob >= 0.0 &&
+                    config.leader_broadcast_prob <= 1.0 &&
+                    config.relay_broadcast_prob >= 0.0 &&
+                    config.relay_broadcast_prob <= 1.0,
+                "broadcast probabilities must lie in [0, 1]");
+  WSYNC_REQUIRE(config.promote_extra_awake_slots >= 1 &&
+                    config.relay_awake_slots >= 0 &&
+                    config.revive_awake_slots >= 1,
+                "need promote/revive thresholds >= 1 and relay slots >= 0");
+  band_ = band_for(env.F, env.t, config.restrict_to_fprime);
+}
+
+int DutyCycleProtocol::band_for(int F, int t, bool restrict_to_fprime) {
+  return restrict_to_fprime ? std::max(1, std::min(F, 2 * t)) : F;
+}
+
+void DutyCycleProtocol::on_activate(Rng& rng) {
+  role_ = Role::kContender;
+  age_ = 0;
+  schedule_.emplace(env_.N, rng);
+  promote_at_slots_ =
+      schedule_->ladder_awake_rounds() + config_.promote_extra_awake_slots;
+}
+
+const WakeSchedule& DutyCycleProtocol::schedule() const {
+  WSYNC_REQUIRE(schedule_.has_value(), "schedule exists only after activation");
+  return *schedule_;
+}
+
+bool DutyCycleProtocol::awake_next() const {
+  if (dormant_) return false;
+  return schedule_->awake(age_);
+}
+
+RoundAction DutyCycleProtocol::act(Rng& rng) {
+  WSYNC_CHECK(role_ != Role::kInactive, "act() before activation");
+  was_awake_ = awake_next();
+  if (!was_awake_) return RoundAction::sleep();
+
+  const auto f = static_cast<Frequency>(
+      rng.next_below(static_cast<uint64_t>(band_)));
+  switch (role_) {
+    case Role::kContender: {
+      if (rng.bernoulli(config_.contender_broadcast_prob)) {
+        ContenderMsg msg;
+        msg.ts = timestamp();
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    case Role::kLeader: {
+      if (rng.bernoulli(config_.leader_broadcast_prob)) {
+        LeaderMsg msg;
+        msg.leader_uid = env_.uid;
+        msg.round_number = sync_value_ + 1;
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    case Role::kSynced: {
+      if (rng.bernoulli(config_.relay_broadcast_prob)) {
+        LeaderMsg msg;
+        msg.leader_uid = adopted_leader_uid_;
+        msg.round_number = sync_value_ + 1;
+        return RoundAction::send(f, msg);
+      }
+      return RoundAction::listen(f);
+    }
+    default:  // knocked out: duty-cycled listening
+      return RoundAction::listen(f);
+  }
+}
+
+void DutyCycleProtocol::adopt(const LeaderMsg& msg) {
+  has_sync_ = true;
+  sync_value_ = msg.round_number;
+  adopted_leader_uid_ = msg.leader_uid;
+  role_ = Role::kSynced;
+}
+
+void DutyCycleProtocol::on_round_end(const std::optional<Message>& received,
+                                     Rng& /*rng*/) {
+  WSYNC_CHECK(role_ != Role::kInactive, "on_round_end() before activation");
+  const bool was_synced = has_sync_;
+  bool adopted = false;
+
+  if (received.has_value()) {
+    if (const auto* leader = std::get_if<LeaderMsg>(&received->payload)) {
+      if (role_ == Role::kLeader) {
+        // Leader merge: the larger uid keeps the crown; the smaller one
+        // adopts and relays the winner's numbering.
+        if (leader->leader_uid > env_.uid) {
+          adopt(*leader);
+          relay_slots_ = 0;
+          adopted = true;
+        }
+      } else {
+        const bool fresh = role_ != Role::kSynced;
+        adopt(*leader);
+        if (fresh) relay_slots_ = 0;
+        adopted = true;
+      }
+      quiet_slots_ = 0;
+    } else if (role_ == Role::kContender) {
+      if (const auto* c = std::get_if<ContenderMsg>(&received->payload)) {
+        if (c->ts > timestamp()) {
+          role_ = Role::kKnockedOut;
+          quiet_slots_ = 0;
+        }
+      }
+    } else if (role_ == Role::kKnockedOut) {
+      // Any reception proves the competition is still live.
+      quiet_slots_ = 0;
+    }
+  }
+
+  ++age_;
+  if (was_awake_) {
+    ++awake_slots_;
+    if (role_ == Role::kKnockedOut && !received.has_value()) ++quiet_slots_;
+    if (role_ == Role::kSynced) ++relay_slots_;
+  }
+
+  if (role_ == Role::kContender && awake_slots_ >= promote_at_slots_) {
+    role_ = Role::kLeader;
+    has_sync_ = true;
+    sync_value_ = age_;
+  } else if (role_ == Role::kKnockedOut &&
+             quiet_slots_ >= config_.revive_awake_slots) {
+    // Silence revival: the node that knocked us out is gone (crashed or
+    // itself knocked out by a now-dead winner). Re-enter the competition.
+    role_ = Role::kContender;
+    quiet_slots_ = 0;
+    promote_at_slots_ = awake_slots_ + config_.promote_extra_awake_slots;
+  } else if (role_ == Role::kSynced && !dormant_ &&
+             relay_slots_ >= config_.relay_awake_slots) {
+    dormant_ = true;  // numbering spread done: power down for good
+  }
+
+  if (was_synced && !adopted) ++sync_value_;
+}
+
+SyncOutput DutyCycleProtocol::output() const {
+  if (!has_sync_) return SyncOutput{};
+  return SyncOutput{sync_value_};
+}
+
+double DutyCycleProtocol::broadcast_probability() const {
+  if (role_ == Role::kInactive || !awake_next()) return 0.0;
+  switch (role_) {
+    case Role::kContender: return config_.contender_broadcast_prob;
+    case Role::kLeader: return config_.leader_broadcast_prob;
+    case Role::kSynced: return config_.relay_broadcast_prob;
+    default: return 0.0;
+  }
+}
+
+ProtocolFactory DutyCycleProtocol::factory(const DutyCycleConfig& config) {
+  return [config](const ProtocolEnv& env) {
+    return std::make_unique<DutyCycleProtocol>(env, config);
+  };
+}
+
+}  // namespace wsync

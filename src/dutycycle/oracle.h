@@ -1,0 +1,63 @@
+// Energy-oracle baseline: always-on until first contact, then hard sleep.
+//
+// The naive way to save radio energy: run a full-power wakeup-style
+// competition (doubling broadcast probabilities over the whole band,
+// timestamp knockouts, self-promotion after a clean cycle) and the moment
+// a node adopts a leader's numbering, power the radio down FOREVER. The
+// local output keeps incrementing while asleep, so Correctness holds; the
+// leader alone stays always-on to serve latecomers.
+//
+// The competition is exactly the wakeup baseline's — this is deliberately
+// a one-flag specialization of WakeupBaseline (sleep_after_sync), so the
+// two can never drift apart and every energy delta against the duty-cycled
+// synchronizer is attributable to the sleep policy alone.
+//
+// Energy shape, as a comparison point for the duty-cycled synchronizer:
+//   * mean awake-rounds is low — most nodes stop burning at adoption;
+//   * max awake-rounds is as bad as the always-on protocols — the leader
+//     (and the last node to sync) pay rounds-to-liveness in full.
+// The duty-cycle scenarios pit exactly this max against the WakeSchedule's
+// bounded duty fraction.
+#ifndef WSYNC_DUTYCYCLE_ORACLE_H_
+#define WSYNC_DUTYCYCLE_ORACLE_H_
+
+#include "src/baseline/wakeup.h"
+#include "src/protocol/protocol.h"
+
+namespace wsync {
+
+struct EnergyOracleConfig {
+  /// Epoch length multiplier for the doubling cycle (cf. WakeupBaseline).
+  double epoch_constant = 4.0;
+  double leader_broadcast_prob = 0.5;
+};
+
+class EnergyOracleProtocol final : public WakeupBaseline {
+ public:
+  explicit EnergyOracleProtocol(const ProtocolEnv& env,
+                                const EnergyOracleConfig& config = {})
+      : WakeupBaseline(env, to_wakeup_config(config)) {}
+
+  /// True once the node has adopted a numbering and powered down.
+  bool dormant() const { return role() == Role::kSynced; }
+
+  static ProtocolFactory factory(const EnergyOracleConfig& config = {}) {
+    return [config](const ProtocolEnv& env) {
+      return std::make_unique<EnergyOracleProtocol>(env, config);
+    };
+  }
+
+ private:
+  static WakeupBaselineConfig to_wakeup_config(
+      const EnergyOracleConfig& config) {
+    WakeupBaselineConfig wakeup;
+    wakeup.epoch_constant = config.epoch_constant;
+    wakeup.leader_broadcast_prob = config.leader_broadcast_prob;
+    wakeup.sleep_after_sync = true;
+    return wakeup;
+  }
+};
+
+}  // namespace wsync
+
+#endif  // WSYNC_DUTYCYCLE_ORACLE_H_

@@ -1,0 +1,85 @@
+#include "src/dutycycle/wake_schedule.h"
+
+#include <algorithm>
+
+#include "src/common/math_util.h"
+#include "src/common/require.h"
+
+namespace wsync {
+
+int WakeSchedule::grid_side_for(int64_t N) {
+  WSYNC_REQUIRE(N >= 1, "N must be positive");
+  return static_cast<int>(next_pow2(std::max<int64_t>(4, lg_ceil(N))));
+}
+
+int64_t WakeSchedule::overlap_window(int64_t N) {
+  const int64_t s = grid_side_for(N);
+  return s * s;
+}
+
+WakeSchedule::WakeSchedule(int64_t N, Rng& rng) {
+  side_ = grid_side_for(N);
+  period_ = static_cast<int64_t>(side_) * side_;
+  const int rungs = lg_floor(side_);  // s = 2^rungs
+
+  // Rung k spans s·2^k rounds at density 2^-k; phase drawn per rung.
+  rung_phase_.resize(static_cast<size_t>(rungs) + 1);
+  ladder_rounds_ = 0;
+  for (int k = 0; k <= rungs; ++k) {
+    rung_phase_[static_cast<size_t>(k)] =
+        static_cast<int64_t>(rng.next_below(static_cast<uint64_t>(pow2(k))));
+    ladder_rounds_ += static_cast<int64_t>(side_) * pow2(k);
+  }
+  ladder_awake_ = static_cast<int64_t>(side_) * (rungs + 1);
+
+  row_ = static_cast<int>(rng.next_below(static_cast<uint64_t>(side_)));
+  col_ = static_cast<int>(rng.next_below(static_cast<uint64_t>(side_)));
+}
+
+bool WakeSchedule::awake(int64_t age) const {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  if (age < ladder_rounds_) {
+    // Find the rung: rung k starts at s·(2^k − 1).
+    int64_t start = 0;
+    for (size_t k = 0; k < rung_phase_.size(); ++k) {
+      const int64_t len = static_cast<int64_t>(side_) * pow2(static_cast<int>(k));
+      if (age < start + len) {
+        const int64_t stride = pow2(static_cast<int>(k));
+        return (age - start) % stride == rung_phase_[k];
+      }
+      start += len;
+    }
+    WSYNC_CHECK(false, "ladder rung lookup fell through");
+  }
+  const int64_t pos = (age - ladder_rounds_) % period_;
+  return pos / side_ == row_ || pos % side_ == col_;
+}
+
+int64_t WakeSchedule::awake_rounds_before(int64_t age) const {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  int64_t awake = 0;
+  // Ladder contribution: rung k has one awake slot per 2^k rounds.
+  int64_t start = 0;
+  for (size_t k = 0; k < rung_phase_.size(); ++k) {
+    const int64_t stride = pow2(static_cast<int>(k));
+    const int64_t len = static_cast<int64_t>(side_) * stride;
+    if (age <= start) return awake;
+    const int64_t span = std::min(age, start + len) - start;
+    // Awake slots in [0, span) of this rung: positions ≡ phase (mod stride).
+    const int64_t phase = rung_phase_[k];
+    if (span > phase) awake += (span - phase - 1) / stride + 1;
+    start += len;
+  }
+  if (age <= ladder_rounds_) return awake;
+  // Steady contribution: full periods plus a partial tail.
+  const int64_t steady = age - ladder_rounds_;
+  const int64_t full = steady / period_;
+  awake += full * slots_per_period();
+  const int64_t tail = steady % period_;
+  for (int64_t pos = 0; pos < tail; ++pos) {
+    if (pos / side_ == row_ || pos % side_ == col_) ++awake;
+  }
+  return awake;
+}
+
+}  // namespace wsync

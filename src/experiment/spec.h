@@ -19,6 +19,8 @@ enum class ProtocolKind {
   kWakeupBaseline,
   kAloha,
   kFaultTolerantTrapdoor,
+  kDutyCycle,      ///< BKO-style duty-cycled synchronizer (sleeps most rounds)
+  kEnergyOracle,   ///< always-on until first contact, then hard sleep
 };
 
 enum class AdversaryKind {

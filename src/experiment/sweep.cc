@@ -9,6 +9,9 @@
 #include "src/adversary/whitespace.h"
 #include "src/baseline/aloha.h"
 #include "src/baseline/wakeup.h"
+#include "src/dutycycle/duty_cycle.h"
+#include "src/dutycycle/oracle.h"
+#include "src/dutycycle/wake_schedule.h"
 #include "src/common/math_util.h"
 #include "src/common/require.h"
 #include "src/samaritan/good_samaritan.h"
@@ -25,6 +28,8 @@ const char* to_string(ProtocolKind kind) {
     case ProtocolKind::kWakeupBaseline: return "wakeup_baseline";
     case ProtocolKind::kAloha: return "aloha";
     case ProtocolKind::kFaultTolerantTrapdoor: return "ft_trapdoor";
+    case ProtocolKind::kDutyCycle: return "duty_cycle";
+    case ProtocolKind::kEnergyOracle: return "energy_oracle";
   }
   return "unknown";
 }
@@ -74,6 +79,17 @@ ProtocolFactory make_factory(const ExperimentPoint& point) {
       return AlohaSync::factory();
     case ProtocolKind::kFaultTolerantTrapdoor:
       return FaultTolerantTrapdoor::factory();
+    case ProtocolKind::kDutyCycle: {
+      DutyCycleConfig config;
+      // Whitespace masks can miss the narrow F' band entirely (the same
+      // reason whitespace scenarios run the full-band Trapdoor), so the
+      // duty-cycled synchronizer hops the whole band under that adversary.
+      config.restrict_to_fprime =
+          point.adversary != AdversaryKind::kWhitespace;
+      return DutyCycleProtocol::factory(config);
+    }
+    case ProtocolKind::kEnergyOracle:
+      return EnergyOracleProtocol::factory();
   }
   WSYNC_CHECK(false, "unknown protocol kind");
   return {};
@@ -210,7 +226,8 @@ RoundId auto_round_budget(const ExperimentPoint& point) {
                            (schedule.lg_n() + 1);
       break;
     }
-    case ProtocolKind::kWakeupBaseline: {
+    case ProtocolKind::kWakeupBaseline:
+    case ProtocolKind::kEnergyOracle: {  // same doubling cycle by design
       const int lg_n = std::max(1, lg_ceil(point.N));
       schedule_total = static_cast<RoundId>(4 * lg_n) * lg_n;
       break;
@@ -218,6 +235,22 @@ RoundId auto_round_budget(const ExperimentPoint& point) {
     case ProtocolKind::kAloha:
       schedule_total = 256;
       break;
+    case ProtocolKind::kDutyCycle: {
+      // Sleeping stretches wall-clock time: budget the ladder plus several
+      // guaranteed-overlap windows per band frequency (each window costs
+      // only ~2·grid_side awake rounds, but a full period of wall-clock).
+      // Band via the shared rule, with make_factory's whitespace
+      // full-band exception.
+      const int side = WakeSchedule::grid_side_for(point.N);
+      const int64_t ladder =
+          static_cast<int64_t>(side) * (2 * side - 1);
+      const int band = DutyCycleProtocol::band_for(
+          point.F, point.t,
+          point.adversary != AdversaryKind::kWhitespace);
+      schedule_total =
+          ladder + 4 * WakeSchedule::overlap_window(point.N) * band;
+      break;
+    }
   }
   RoundId budget = 16 * schedule_total +
                    8 * std::max<RoundId>(1, point.activation_window) + 1024;
@@ -271,6 +304,7 @@ PointResult aggregate_point(const ExperimentPoint& point,
   std::vector<double> latencies;
   std::vector<double> max_awake;
   std::vector<double> mean_awake;
+  std::vector<double> awake_fraction;
   for (const RunOutcome& outcome : outcomes) {
     if (outcome.synced) {
       ++result.synced_runs;
@@ -299,6 +333,7 @@ PointResult aggregate_point(const ExperimentPoint& point,
     // use summaries cover every run (unlike rounds_to_live).
     max_awake.push_back(static_cast<double>(outcome.energy.max_awake_rounds));
     mean_awake.push_back(outcome.energy.mean_awake_rounds);
+    awake_fraction.push_back(outcome.energy.awake_fraction());
     result.broadcast_rounds += outcome.energy.broadcast_rounds;
     result.listen_rounds += outcome.energy.listen_rounds;
     result.sleep_rounds += outcome.energy.sleep_rounds;
@@ -311,6 +346,7 @@ PointResult aggregate_point(const ExperimentPoint& point,
   result.max_node_latency = summarize(latencies);
   result.max_awake_rounds = summarize(max_awake);
   result.mean_awake_rounds = summarize(mean_awake);
+  result.awake_fraction = summarize(awake_fraction);
   return result;
 }
 

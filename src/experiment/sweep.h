@@ -44,6 +44,10 @@ struct PointResult {
   // --- radio use (energy) over ALL runs, timeouts included ---------------
   Summary max_awake_rounds;     ///< per-run max over nodes of awake rounds
   Summary mean_awake_rounds;    ///< per-run mean over nodes of awake rounds
+  /// Per-run awake share of post-activation node-rounds (RunEnergy::
+  /// awake_fraction): 1.0 for always-on protocols, the duty fraction for
+  /// protocols that sleep.
+  Summary awake_fraction;
   int64_t broadcast_rounds = 0; ///< node-rounds spent broadcasting, summed
   int64_t listen_rounds = 0;    ///< node-rounds spent listening, summed
   int64_t sleep_rounds = 0;     ///< node-rounds spent asleep, summed

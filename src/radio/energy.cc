@@ -10,6 +10,14 @@ EnergyLedger::EnergyLedger(int n) {
   WSYNC_REQUIRE(n >= 0, "node count must be non-negative");
   nodes_.resize(static_cast<size_t>(n));
   recorded_.assign(static_cast<size_t>(n), 0);
+  active_.assign(static_cast<size_t>(n), 0);
+}
+
+void EnergyLedger::activate(NodeId id) {
+  WSYNC_REQUIRE(id >= 0 && id < n(), "node id out of range");
+  const auto i = static_cast<size_t>(id);
+  WSYNC_CHECK(active_[i] == 0, "node activated twice");
+  active_[i] = 1;
 }
 
 void EnergyLedger::record(NodeId id, RadioState state) {
@@ -18,6 +26,7 @@ void EnergyLedger::record(NodeId id, RadioState state) {
   WSYNC_CHECK(recorded_[i] == 0, "node recorded twice in one round");
   recorded_[i] = 1;
   ++records_this_round_;
+  if (active_[i] != 0) ++nodes_[i].active_rounds;
   switch (state) {
     case RadioState::kSleep: ++nodes_[i].sleep_rounds; break;
     case RadioState::kListen: ++nodes_[i].listen_rounds; break;
@@ -62,6 +71,7 @@ RunEnergy EnergyLedger::totals() const {
     totals.broadcast_rounds += node.broadcast_rounds;
     totals.listen_rounds += node.listen_rounds;
     totals.sleep_rounds += node.sleep_rounds;
+    totals.active_node_rounds += node.active_rounds;
   }
   return totals;
 }

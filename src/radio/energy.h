@@ -42,10 +42,22 @@ struct NodeEnergy {
   int64_t broadcast_rounds = 0;
   int64_t listen_rounds = 0;
   int64_t sleep_rounds = 0;
+  /// Rounds since the node was activated (0 while still inactive). Crashed
+  /// nodes keep counting: they are activated participants whose radio
+  /// happens to stay off.
+  int64_t active_rounds = 0;
 
   /// Rounds the radio was on — the Bradonjić–Kohler–Ostrovsky cost.
   int64_t awake_rounds() const { return broadcast_rounds + listen_rounds; }
   int64_t total_rounds() const { return awake_rounds() + sleep_rounds; }
+  /// Awake share of the rounds the node has been a participant — 1.0 for
+  /// the always-on protocols, the duty fraction for sleeping ones.
+  double awake_fraction() const {
+    return active_rounds > 0
+               ? static_cast<double>(awake_rounds()) /
+                     static_cast<double>(active_rounds)
+               : 0.0;
+  }
 
   friend constexpr bool operator==(const NodeEnergy&,
                                    const NodeEnergy&) = default;
@@ -60,6 +72,17 @@ struct RunEnergy {
   int64_t broadcast_rounds = 0;  ///< summed over nodes
   int64_t listen_rounds = 0;     ///< summed over nodes
   int64_t sleep_rounds = 0;      ///< summed over nodes
+  int64_t active_node_rounds = 0;  ///< Σ per-node rounds since activation
+
+  /// Mean per-node awake share of post-activation rounds (node-round
+  /// weighted): awake / active. 1.0 for always-on protocols; 0 when no
+  /// node was ever activated.
+  double awake_fraction() const {
+    return active_node_rounds > 0
+               ? static_cast<double>(broadcast_rounds + listen_rounds) /
+                     static_cast<double>(active_node_rounds)
+               : 0.0;
+  }
 
   friend constexpr bool operator==(const RunEnergy&,
                                    const RunEnergy&) = default;
@@ -72,6 +95,11 @@ class EnergyLedger {
   EnergyLedger() = default;
   /// A ledger for nodes {0, ..., n-1}.
   explicit EnergyLedger(int n);
+
+  /// Marks node `id` activated from the round in progress on: its
+  /// active_rounds counter starts with this round. Called by the engine at
+  /// activation time; idempotent calls throw (a node activates once).
+  void activate(NodeId id);
 
   /// Records node `id`'s state for the round in progress. The engine calls
   /// this exactly once per node per round; a second record for the same node
@@ -99,6 +127,7 @@ class EnergyLedger {
  private:
   std::vector<NodeEnergy> nodes_;
   std::vector<char> recorded_;  ///< per node: recorded this round?
+  std::vector<char> active_;    ///< per node: activated (counts active_rounds)
   int records_this_round_ = 0;
   RoundId rounds_ = 0;
 };

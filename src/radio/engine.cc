@@ -78,6 +78,7 @@ void Simulation::activate_pending(RoundId r) {
     WSYNC_CHECK(slot.protocol != nullptr, "factory returned null protocol");
     slot.active = true;
     slot.activation_round = r;
+    energy_.activate(id);
     slot.protocol->on_activate(slot.rng);
     ++active_count_;
     ++activated_total_;

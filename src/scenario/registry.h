@@ -30,6 +30,12 @@ class ScenarioRegistry {
   /// when absent.
   static const Scenario& get(std::string_view name);
 
+  /// Catalog entries whose name matches `pattern` (ECMAScript regex,
+  /// unanchored search — anchor with ^/$ for exact matches), in catalog
+  /// order; empty when nothing matches. Throws std::invalid_argument on a
+  /// malformed pattern. Backs `wsync_run --filter`.
+  static std::vector<const Scenario*> matching(const std::string& pattern);
+
   /// Catalog names, in catalog order.
   static std::vector<std::string> names();
 };

@@ -8,7 +8,7 @@ const std::vector<std::string>& result_columns() {
       "t",             "t_actual",       "N",            "n",
       "runs",          "synced",         "timeout",      "p50_rounds",
       "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
-      "awake_max",     "bcast_rounds",   "listen_rounds",
+      "awake_max",     "awake_frac",     "bcast_rounds", "listen_rounds",
       "energy_budget", "energy_viol"};
   return columns;
 }
@@ -36,6 +36,7 @@ void fill_point_cells(Table& table, const ExperimentPoint& p,
       .cell(static_cast<int64_t>(r.max_leaders))
       .cell(r.max_awake_rounds.p50, 1)
       .cell(r.max_awake_rounds.max, 0)
+      .cell(r.awake_fraction.p50, 4)
       .cell(r.broadcast_rounds)
       .cell(r.listen_rounds)
       .cell(p.energy_budget)

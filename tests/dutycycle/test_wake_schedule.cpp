@@ -1,0 +1,141 @@
+// WakeSchedule in isolation: ladder shape, steady-state quorum structure,
+// determinism from the seeding stream, and — the load-bearing property —
+// the deterministic overlap guarantee for EVERY activation offset, checked
+// exhaustively over a full period (the adversary controls activation times,
+// so a probabilistic spot-check would miss exactly the offsets that break).
+#include "src/dutycycle/wake_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace wsync {
+namespace {
+
+TEST(WakeScheduleTest, GridSideTracksLgN) {
+  EXPECT_EQ(WakeSchedule::grid_side_for(1), 4);    // floor at 4
+  EXPECT_EQ(WakeSchedule::grid_side_for(16), 4);
+  EXPECT_EQ(WakeSchedule::grid_side_for(64), 8);   // lg 64 = 6 -> 8
+  EXPECT_EQ(WakeSchedule::grid_side_for(256), 8);
+  EXPECT_EQ(WakeSchedule::grid_side_for(1024), 16);  // lg 1024 = 10 -> 16
+  EXPECT_EQ(WakeSchedule::overlap_window(64), 64);
+  EXPECT_EQ(WakeSchedule::overlap_window(1024), 256);
+}
+
+TEST(WakeScheduleTest, DeterministicFromSeed) {
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{42}, uint64_t{0xABC}}) {
+    Rng a(seed);
+    Rng b(seed);
+    const WakeSchedule sa(64, a);
+    const WakeSchedule sb(64, b);
+    EXPECT_EQ(sa.row(), sb.row());
+    EXPECT_EQ(sa.col(), sb.col());
+    for (int64_t age = 0; age < 4 * sa.period() + sa.ladder_rounds(); ++age) {
+      ASSERT_EQ(sa.awake(age), sb.awake(age)) << "age " << age;
+    }
+  }
+}
+
+TEST(WakeScheduleTest, LadderDensitiesHalveRungByRung) {
+  Rng rng(7);
+  const WakeSchedule schedule(64, rng);
+  const int s = schedule.grid_side();  // 8 -> rungs 0..3
+  // Rung k spans s * 2^k rounds at density 2^-k: exactly s awake slots.
+  int64_t start = 0;
+  for (int k = 0; (1 << k) <= s; ++k) {
+    const int64_t len = static_cast<int64_t>(s) << k;
+    int awake = 0;
+    for (int64_t age = start; age < start + len; ++age) {
+      if (schedule.awake(age)) ++awake;
+    }
+    EXPECT_EQ(awake, s) << "rung " << k;
+    start += len;
+  }
+  EXPECT_EQ(start, schedule.ladder_rounds());
+  // Rung 0 is fully awake: co-activated nodes meet immediately.
+  for (int64_t age = 0; age < s; ++age) EXPECT_TRUE(schedule.awake(age));
+}
+
+TEST(WakeScheduleTest, SteadyStateIsRowPlusColumnOfTheGrid) {
+  Rng rng(11);
+  const WakeSchedule schedule(64, rng);
+  const int s = schedule.grid_side();
+  const int64_t ladder = schedule.ladder_rounds();
+  int awake = 0;
+  for (int64_t pos = 0; pos < schedule.period(); ++pos) {
+    const bool is_row = pos / s == schedule.row();
+    const bool is_col = pos % s == schedule.col();
+    EXPECT_EQ(schedule.awake(ladder + pos), is_row || is_col) << pos;
+    if (is_row || is_col) ++awake;
+  }
+  EXPECT_EQ(awake, schedule.slots_per_period());
+  EXPECT_EQ(awake, 2 * s - 1);
+}
+
+TEST(WakeScheduleTest, AwakeRoundsBeforeMatchesBruteForce) {
+  Rng rng(3);
+  const WakeSchedule schedule(256, rng);
+  int64_t count = 0;
+  const int64_t horizon = schedule.ladder_rounds() + 3 * schedule.period();
+  for (int64_t age = 0; age < horizon; ++age) {
+    ASSERT_EQ(schedule.awake_rounds_before(age), count) << "age " << age;
+    if (schedule.awake(age)) ++count;
+  }
+  EXPECT_EQ(schedule.ladder_awake_rounds(),
+            schedule.awake_rounds_before(schedule.ladder_rounds()));
+}
+
+/// The proven window: two schedules for the same N, ANY activation offset,
+/// both past their ladders — every span of period() rounds contains a
+/// common awake round. Exhaustive over all offsets in one period (offsets
+/// beyond that repeat mod P) and over several window alignments.
+TEST(WakeScheduleTest, OverlapGuaranteeHoldsForEveryActivationOffset) {
+  for (const int64_t N : {int64_t{16}, int64_t{64}, int64_t{1024}}) {
+    for (const uint64_t seed : {uint64_t{0xA}, uint64_t{0xB5}}) {
+      Rng ra(seed);
+      Rng rb(seed ^ 0xDEADBEEF);
+      const WakeSchedule a(N, ra);
+      const WakeSchedule b(N, rb);
+      const int64_t P = a.period();
+      ASSERT_EQ(P, WakeSchedule::overlap_window(N));
+      for (int64_t offset = 0; offset < P; ++offset) {
+        // Node A activates at global round 0, node B at `offset`. From
+        // global round `start` on, both are past their ladders.
+        const int64_t start = offset + b.ladder_rounds();
+        ASSERT_GE(start, a.ladder_rounds());
+        // Both patterns are periodic with period P from `start` on, so
+        // checking one window pinned at `start` covers every alignment.
+        int common = 0;
+        for (int64_t g = start; g < start + P; ++g) {
+          if (a.awake(g) && b.awake(g - offset)) ++common;
+        }
+        ASSERT_GE(common, 1)
+            << "N " << N << " seed " << seed << " offset " << offset;
+      }
+    }
+  }
+}
+
+/// Same guarantee when the two nodes drew identical coordinates (a node
+/// always overlaps a copy of itself) and for huge offsets.
+TEST(WakeScheduleTest, OverlapSurvivesIdenticalSchedulesAndHugeOffsets) {
+  Rng ra(99);
+  Rng rb(99);
+  const WakeSchedule a(64, ra);
+  const WakeSchedule b(64, rb);  // identical coordinates
+  const int64_t P = a.period();
+  for (const int64_t offset : {int64_t{0}, int64_t{1}, int64_t{1000003},
+                               int64_t{1} << 40}) {
+    const int64_t start = offset + b.ladder_rounds();
+    int common = 0;
+    for (int64_t g = start; g < start + P; ++g) {
+      if (a.awake(g) && b.awake(g - offset)) ++common;
+    }
+    EXPECT_GE(common, 1) << "offset " << offset;
+  }
+}
+
+}  // namespace
+}  // namespace wsync

@@ -18,6 +18,8 @@ TEST(SweepTest, MakeSeedsIsDeterministicAndDistinct) {
 TEST(SweepTest, EnumNamesAreStable) {
   EXPECT_STREQ(to_string(ProtocolKind::kTrapdoor), "trapdoor");
   EXPECT_STREQ(to_string(ProtocolKind::kGoodSamaritan), "good_samaritan");
+  EXPECT_STREQ(to_string(ProtocolKind::kDutyCycle), "duty_cycle");
+  EXPECT_STREQ(to_string(ProtocolKind::kEnergyOracle), "energy_oracle");
   EXPECT_STREQ(to_string(AdversaryKind::kRandomSubset), "random_subset");
   EXPECT_STREQ(to_string(AdversaryKind::kDutyCycle), "duty_cycle");
   EXPECT_STREQ(to_string(ActivationKind::kStaggeredUniform), "staggered");
@@ -76,7 +78,8 @@ TEST(SweepTest, EveryProtocolKindRunsAtSmallScale) {
   for (const ProtocolKind kind :
        {ProtocolKind::kTrapdoor, ProtocolKind::kTrapdoorFullBand,
         ProtocolKind::kWakeupBaseline, ProtocolKind::kAloha,
-        ProtocolKind::kFaultTolerantTrapdoor}) {
+        ProtocolKind::kFaultTolerantTrapdoor, ProtocolKind::kDutyCycle,
+        ProtocolKind::kEnergyOracle}) {
     ExperimentPoint point;
     point.F = 4;
     point.t = 1;

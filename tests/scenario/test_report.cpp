@@ -37,7 +37,7 @@ TEST(ReportTest, ColumnSchemaIsPinned) {
       "t",             "t_actual",       "N",            "n",
       "runs",          "synced",         "timeout",      "p50_rounds",
       "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
-      "awake_max",     "bcast_rounds",   "listen_rounds",
+      "awake_max",     "awake_frac",     "bcast_rounds", "listen_rounds",
       "energy_budget", "energy_viol"};
   EXPECT_EQ(result_columns(), expected);
 }
@@ -48,8 +48,8 @@ TEST(ReportTest, CsvHeaderIsScenarioPlusResultColumns) {
   EXPECT_EQ(csv,
             "scenario,protocol,adversary,activation,F,t,t_actual,N,n,runs,"
             "synced,timeout,p50_rounds,p90_rounds,agreement_viol,"
-            "max_leaders,awake_p50,awake_max,bcast_rounds,listen_rounds,"
-            "energy_budget,energy_viol\n");
+            "max_leaders,awake_p50,awake_max,awake_frac,bcast_rounds,"
+            "listen_rounds,energy_budget,energy_viol\n");
 }
 
 TEST(ReportTest, RowsAreIdenticalAcrossWorkerCounts) {

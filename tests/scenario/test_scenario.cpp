@@ -232,7 +232,8 @@ TEST(RegistryTest, CatalogCoversEveryAxisValue) {
   for (const ProtocolKind kind :
        {ProtocolKind::kTrapdoor, ProtocolKind::kTrapdoorFullBand,
         ProtocolKind::kGoodSamaritan, ProtocolKind::kWakeupBaseline,
-        ProtocolKind::kAloha, ProtocolKind::kFaultTolerantTrapdoor}) {
+        ProtocolKind::kAloha, ProtocolKind::kFaultTolerantTrapdoor,
+        ProtocolKind::kDutyCycle, ProtocolKind::kEnergyOracle}) {
     EXPECT_TRUE(protocols.count(kind)) << to_string(kind);
   }
   for (const AdversaryKind kind :
@@ -253,6 +254,28 @@ TEST(RegistryTest, CatalogCoversEveryAxisValue) {
   EXPECT_TRUE(any_energy_budget) << "no scenario sets an energy budget";
   EXPECT_TRUE(whitespace_with_crash_waves)
       << "no scenario combines whitespace masks with crash waves";
+}
+
+TEST(RegistryTest, MatchingSelectsByRegex) {
+  // Prefix search: the duty-cycle family, in catalog order.
+  const auto duty = ScenarioRegistry::matching("^dutycycle_");
+  ASSERT_EQ(duty.size(), 4u);
+  EXPECT_EQ(duty[0]->name, "dutycycle_jamming");
+  EXPECT_EQ(duty[1]->name, "dutycycle_whitespace");
+  EXPECT_EQ(duty[2]->name, "dutycycle_crash_waves");
+  EXPECT_EQ(duty[3]->name, "dutycycle_awake_scaling");
+
+  // Unanchored search matches substrings; anchors make it exact.
+  EXPECT_GE(ScenarioRegistry::matching("energy").size(), 3u);
+  const auto exact = ScenarioRegistry::matching("^baseline_comparison$");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0]->name, "baseline_comparison");
+
+  // ".*" is everything, a miss is empty, a malformed pattern throws.
+  EXPECT_EQ(ScenarioRegistry::matching(".*").size(),
+            ScenarioRegistry::all().size());
+  EXPECT_TRUE(ScenarioRegistry::matching("^no_such_scenario$").empty());
+  EXPECT_THROW(ScenarioRegistry::matching("(["), std::invalid_argument);
 }
 
 TEST(RegistryTest, FindAndGet) {

@@ -1,8 +1,9 @@
 // ScenarioFuzz: property-based sweep over the registry's axes.
 //
-// Draws ~50 random (protocol, adversary, activation, n, F, t) tuples from
-// the same enum axes the catalog is built on, runs a short execution for
-// each (some with crash injection), and asserts the engine invariants that
+// Draws random (protocol, adversary, activation, n, F, t) tuples from
+// the same enum axes the catalog is built on — including the duty-cycled
+// kinds, whose nodes genuinely sleep — runs a short execution for each
+// (some with crash injection), and asserts the engine invariants that
 // must hold for EVERY pairing, not just the curated scenarios:
 //   * at most t frequencies disrupted per round;
 //   * no reception on a disrupted frequency (delivered ⇒ clean and a sole
@@ -39,7 +40,8 @@ namespace {
 constexpr ProtocolKind kProtocols[] = {
     ProtocolKind::kTrapdoor,        ProtocolKind::kTrapdoorFullBand,
     ProtocolKind::kGoodSamaritan,   ProtocolKind::kWakeupBaseline,
-    ProtocolKind::kAloha,           ProtocolKind::kFaultTolerantTrapdoor};
+    ProtocolKind::kAloha,           ProtocolKind::kFaultTolerantTrapdoor,
+    ProtocolKind::kDutyCycle,       ProtocolKind::kEnergyOracle};
 constexpr AdversaryKind kAdversaries[] = {
     AdversaryKind::kNone,          AdversaryKind::kFixedFirst,
     AdversaryKind::kRandomSubset,  AdversaryKind::kSweep,
@@ -119,6 +121,10 @@ bool agreement_guaranteed(ProtocolKind kind) {
       return true;
     case ProtocolKind::kWakeupBaseline:
     case ProtocolKind::kAloha:
+    // The duty-cycled protocols trade agreement down to whp (two sleepy
+    // leaders can coexist until their wake slots collide and they merge).
+    case ProtocolKind::kDutyCycle:
+    case ProtocolKind::kEnergyOracle:
       return false;
   }
   return false;
@@ -198,6 +204,13 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
       ASSERT_GE(energy.broadcast_rounds, 0);
       ASSERT_GE(energy.listen_rounds, 0);
       ASSERT_GE(energy.sleep_rounds, 0);
+      // Active-rounds accounting: rounds since activation, and a node can
+      // only be awake while active (the duty-cycled protocols sleep part
+      // of their active rounds; the always-on ones all of none).
+      const RoundId woke_at = sim.activation_round(id);
+      ASSERT_EQ(energy.active_rounds, woke_at >= 0 ? r + 1 - woke_at : 0)
+          << "node " << id;
+      ASSERT_LE(energy.awake_rounds(), energy.active_rounds) << "node " << id;
     }
 
     // Invariant: no delivery crosses an excluded whitespace channel, on

@@ -1,8 +1,9 @@
 // wsync_run — the scenario catalog driver.
 //
-//   wsync_run --list                     # catalog overview
+//   wsync_run --list [--filter REGEX]    # catalog overview
 //   wsync_run --all [--seeds K] [--workers W] [--json PATH] [--csv PATH]
 //   wsync_run NAME [NAME...] [options]   # run a subset by name
+//   wsync_run --filter REGEX [options]   # run scenarios matching a pattern
 //   wsync_run ... --max-rounds [NAME=]K  # override per-point round budgets
 //
 // Every selected scenario runs its grid through run_points_parallel on one
@@ -19,6 +20,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,7 @@ struct Options {
   int workers = 0;  // 0 = ThreadPool::default_workers()
   std::string json_path;
   std::string csv_path;
+  std::string filter;  // regex over scenario names; empty = unused
   std::vector<std::string> names;
   long default_max_rounds = 0;  // 0 = no override
   std::map<std::string, long> max_rounds_overrides;  // per scenario
@@ -45,13 +49,17 @@ struct Options {
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: wsync_run --list\n"
-               "       wsync_run (--all | NAME...) [--seeds K] [--workers W]"
-               " [--json PATH] [--csv PATH]\n"
-               "                 [--max-rounds [NAME=]K]...\n"
+               "usage: wsync_run --list [--filter REGEX]\n"
+               "       wsync_run (--all | --filter REGEX | NAME...)"
+               " [--seeds K] [--workers W]\n"
+               "                 [--json PATH] [--csv PATH]"
+               " [--max-rounds [NAME=]K]...\n"
                "\n"
                "  --list       list the scenario catalog and exit\n"
                "  --all        run every scenario in the catalog\n"
+               "  --filter REGEX\n"
+               "               select scenarios whose name matches REGEX\n"
+               "               (unanchored search; anchor with ^/$)\n"
                "  --seeds K    seeds per experiment point"
                " (default: each scenario's own)\n"
                "  --workers W  thread-pool size (default: hardware)\n"
@@ -150,6 +158,13 @@ bool parse_args(int argc, char** argv, Options* options) {
       }
       options->csv_path = next;
       ++i;
+    } else if (arg == "--filter") {
+      if (next == nullptr || *next == '\0') {
+        std::fprintf(stderr, "wsync_run: --filter needs a regex\n");
+        return false;
+      }
+      options->filter = next;
+      ++i;
     } else if (arg == "--max-rounds") {
       if (!parse_max_rounds(next, options)) return false;
       ++i;
@@ -161,10 +176,13 @@ bool parse_args(int argc, char** argv, Options* options) {
     }
   }
   if (options->list) return true;
-  if (options->all == !options->names.empty()) {
+  const int selectors = (options->all ? 1 : 0) +
+                        (options->names.empty() ? 0 : 1) +
+                        (options->filter.empty() ? 0 : 1);
+  if (selectors != 1) {
     std::fprintf(stderr,
-                 "wsync_run: pass either --all or scenario names (see "
-                 "--list)\n");
+                 "wsync_run: pass exactly one of --all, --filter REGEX, or "
+                 "scenario names (see --list)\n");
     return false;
   }
   for (const auto& [name, rounds] : options->max_rounds_overrides) {
@@ -179,9 +197,41 @@ bool parse_args(int argc, char** argv, Options* options) {
   return true;
 }
 
-int list_catalog() {
+/// The --filter selection, or nullopt after printing an error (bad regex or
+/// nothing matched).
+std::optional<std::vector<const Scenario*>> filtered_selection(
+    const std::string& filter) {
+  std::vector<const Scenario*> selected;
+  try {
+    selected = ScenarioRegistry::matching(filter);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "wsync_run: %s\n", error.what());
+    return std::nullopt;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "wsync_run: --filter '%s' matches no scenario (see "
+                 "--list)\n",
+                 filter.c_str());
+    return std::nullopt;
+  }
+  return selected;
+}
+
+int list_catalog(const Options& options) {
+  std::vector<const Scenario*> listed;
+  if (!options.filter.empty()) {
+    const auto selected = filtered_selection(options.filter);
+    if (!selected.has_value()) return 2;
+    listed = *selected;
+  } else {
+    for (const Scenario& scenario : ScenarioRegistry::all()) {
+      listed.push_back(&scenario);
+    }
+  }
   Table table({"name", "points", "seeds", "expects", "summary"});
-  for (const Scenario& scenario : ScenarioRegistry::all()) {
+  for (const Scenario* scenario_ptr : listed) {
+    const Scenario& scenario = *scenario_ptr;
     std::string expects;
     auto expect = [&expects](bool on, const char* what) {
       if (!on) return;
@@ -199,7 +249,7 @@ int list_catalog() {
         .cell(expects)
         .cell(scenario.summary);
   }
-  std::printf("%zu scenarios:\n\n%s", ScenarioRegistry::all().size(),
+  std::printf("%zu scenarios:\n\n%s", listed.size(),
               table.markdown().c_str());
   std::printf(
       "\nAll scenarios additionally expect zero synch-commit violations\n"
@@ -242,6 +292,10 @@ int run_scenarios(const Options& options) {
     for (const Scenario& scenario : ScenarioRegistry::all()) {
       selected.push_back(&scenario);
     }
+  } else if (!options.filter.empty()) {
+    const auto filtered = filtered_selection(options.filter);
+    if (!filtered.has_value()) return 2;
+    selected = *filtered;
   } else {
     for (const std::string& name : options.names) {
       const Scenario* scenario = ScenarioRegistry::find(name);
@@ -316,6 +370,6 @@ int main(int argc, char** argv) {
     wsync::print_usage(stderr);
     return 2;
   }
-  if (options.list) return wsync::list_catalog();
+  if (options.list) return wsync::list_catalog(options);
   return wsync::run_scenarios(options);
 }
