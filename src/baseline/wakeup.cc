@@ -112,6 +112,23 @@ double WakeupBaseline::broadcast_probability() const {
   }
 }
 
+std::optional<int64_t> WakeupBaseline::asleep_for() const {
+  // Only the sleep-after-sync variant (the energy oracle) ever sleeps; the
+  // plain baseline stays on the dense-equivalent always-visited path.
+  if (!config_.sleep_after_sync) return std::nullopt;
+  return role_ == Role::kSynced ? kAsleepForever : int64_t{0};
+}
+
+void WakeupBaseline::skip_rounds(int64_t rounds) {
+  WSYNC_CHECK(config_.sleep_after_sync && role_ == Role::kSynced,
+              "skip_rounds() outside the hard-sleep state");
+  // Asleep rounds are act() -> sleep (no rng draw) plus on_round_end(nullopt)
+  // doing ++age_ and ++sync_value_ (kSynced can neither self-promote nor
+  // adopt while hearing nothing), so the block collapses to two additions.
+  age_ += rounds;
+  sync_value_ += rounds;
+}
+
 ProtocolFactory WakeupBaseline::factory(const WakeupBaselineConfig& config) {
   return [config](const ProtocolEnv& env) {
     return std::make_unique<WakeupBaseline>(env, config);

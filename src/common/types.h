@@ -89,6 +89,30 @@ struct CrashWave {
                                    const CrashWave&) = default;
 };
 
+/// Which round-loop implementation the simulation engine runs.
+///
+/// kDense is the reference loop: every node is visited every round. kSparse
+/// drives a wake-event queue so per-round cost scales with the awake cohort;
+/// it is required to be bit-identical to kDense for every execution (the
+/// dense↔sparse equivalence contract in docs/ARCHITECTURE.md). kAuto picks
+/// the sparse engine, which transparently degrades to a dense-equivalent
+/// walk for always-on protocols.
+enum class EngineMode : uint8_t {
+  kAuto,    ///< sparse machinery; dense-equivalent for always-on protocols
+  kDense,   ///< reference per-node round loop
+  kSparse,  ///< wake-event queue over SoA node state
+};
+
+/// Printable name for an engine mode (stable, for CLI flags and tests).
+constexpr const char* to_string(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kAuto: return "auto";
+    case EngineMode::kDense: return "dense";
+    case EngineMode::kSparse: return "sparse";
+  }
+  return "unknown";
+}
+
 /// A node's per-round output: either bottom (not yet synchronized) or a round
 /// number. Encoded as int64_t with kBottom standing in for the paper's ⊥.
 struct SyncOutput {

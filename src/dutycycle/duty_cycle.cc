@@ -171,6 +171,24 @@ double DutyCycleProtocol::broadcast_probability() const {
   }
 }
 
+std::optional<int64_t> DutyCycleProtocol::asleep_for() const {
+  if (role_ == Role::kInactive) return 0;  // probed at activation
+  if (dormant_) return kAsleepForever;
+  return schedule_->next_awake(age_) - age_;
+}
+
+void DutyCycleProtocol::skip_rounds(int64_t rounds) {
+  WSYNC_CHECK(role_ != Role::kInactive, "skip_rounds() before activation");
+  // An asleep round is act() -> sleep (no rng draw) plus on_round_end(nullopt)
+  // doing ++age_ and, once synced, ++sync_value_. No slot counter moves and
+  // no role transition can fire (their thresholds are only reachable on the
+  // awake round that increments the corresponding counter), so a block of
+  // asleep rounds collapses to two additions.
+  age_ += rounds;
+  if (has_sync_) sync_value_ += rounds;
+  if (rounds > 0) was_awake_ = false;
+}
+
 ProtocolFactory DutyCycleProtocol::factory(const DutyCycleConfig& config) {
   return [config](const ProtocolEnv& env) {
     return std::make_unique<DutyCycleProtocol>(env, config);

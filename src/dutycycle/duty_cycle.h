@@ -77,6 +77,8 @@ class DutyCycleProtocol final : public Protocol {
   SyncOutput output() const override;
   Role role() const override { return role_; }
   double broadcast_probability() const override;
+  std::optional<int64_t> asleep_for() const override;
+  void skip_rounds(int64_t rounds) override;
 
   static ProtocolFactory factory(const DutyCycleConfig& config = {});
 

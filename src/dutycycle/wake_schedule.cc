@@ -55,6 +55,47 @@ bool WakeSchedule::awake(int64_t age) const {
   return pos / side_ == row_ || pos % side_ == col_;
 }
 
+int64_t WakeSchedule::next_awake(int64_t age) const {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  // The sparse engine calls this once per node per awake round, so it is
+  // closed-form rather than a scan over awake(). Within one phase the asleep
+  // gap is bounded by the stride (<= s for every rung and for the steady
+  // column); across a rung boundary it can stretch to the old stride plus
+  // the next rung's phase — still < 3s.
+  const int64_t s = side_;
+  // Steady grid: distance to the column residue or to the row block start,
+  // whichever comes first. Both are > 0 when `pos` itself is asleep.
+  const auto steady_next = [&](int64_t pos) -> int64_t {
+    if (pos / s == row_ || pos % s == col_) return pos;
+    const int64_t to_col = (col_ - pos % s + s) % s;
+    const int64_t to_row = (static_cast<int64_t>(row_) * s - pos + period_) %
+                           period_;
+    return pos + std::min(to_col, to_row);
+  };
+  if (age >= ladder_rounds_) {
+    const int64_t pos = (age - ladder_rounds_) % period_;
+    return age + (steady_next(pos) - pos);
+  }
+  // Ladder: jump to the rung's next residue slot, or — when the rung ends
+  // first — to the next rung's phase (or the steady grid's first slot).
+  int64_t start = 0;
+  for (size_t k = 0; k < rung_phase_.size(); ++k) {
+    const int64_t stride = pow2(static_cast<int>(k));
+    const int64_t len = s * stride;
+    if (age < start + len) {
+      const int64_t offset = (age - start) % stride;
+      const int64_t delta = (rung_phase_[k] - offset + stride) % stride;
+      if (age + delta < start + len) return age + delta;
+      const int64_t next_start = start + len;
+      if (k + 1 < rung_phase_.size()) return next_start + rung_phase_[k + 1];
+      return next_start + steady_next(0);
+    }
+    start += len;
+  }
+  WSYNC_CHECK(false, "ladder rung lookup fell through");
+  return age;  // unreachable
+}
+
 int64_t WakeSchedule::awake_rounds_before(int64_t age) const {
   WSYNC_REQUIRE(age >= 0, "age must be non-negative");
   int64_t awake = 0;

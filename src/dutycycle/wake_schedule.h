@@ -69,6 +69,11 @@ class WakeSchedule {
   /// it follows the schedule exactly.
   int64_t awake_rounds_before(int64_t age) const;
 
+  /// Smallest age' >= age with awake(age') — the sparse engine's wake-event
+  /// horizon. Always within 3·grid_side() rounds of `age`: every stride is
+  /// at most s, and a rung boundary adds at most stride + next phase.
+  int64_t next_awake(int64_t age) const;
+
   /// The proven rendezvous window: any two schedules built for this N,
   /// with ANY activation offset, share >= 1 common awake round in every
   /// span of this many consecutive rounds during which both nodes are past

@@ -95,6 +95,11 @@ struct ExperimentPoint {
   /// The waves must leave at least one node alive for liveness to remain
   /// achievable.
   std::vector<CrashWave> crash_waves;
+
+  /// Round-loop implementation (kAuto = sparse). Bit-identical results by
+  /// the engine equivalence contract, so exports never mention it — the
+  /// differential wall diffs dense vs sparse byte-for-byte.
+  EngineMode engine = EngineMode::kAuto;
 };
 
 }  // namespace wsync

@@ -274,6 +274,7 @@ RunSpec make_run_spec(const ExperimentPoint& point) {
   spec.sim.t = point.t;
   spec.sim.N = point.N;
   spec.sim.n = point.n;
+  spec.sim.engine = point.engine;
   spec.factory = make_factory(point);
   spec.make_adversary = make_adversary_producer(point);
   spec.make_activation = make_activation_producer(point);

@@ -8,16 +8,23 @@
 #ifndef WSYNC_PROTOCOL_PROTOCOL_H_
 #define WSYNC_PROTOCOL_PROTOCOL_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 
+#include "src/common/require.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/protocol/round_action.h"
 #include "src/radio/message.h"
 
 namespace wsync {
+
+/// Sentinel for Protocol::asleep_for(): the radio is off permanently (the
+/// node will sleep every remaining round unless it is observed mid-run).
+inline constexpr int64_t kAsleepForever = std::numeric_limits<int64_t>::max();
 
 /// Immutable environment handed to a protocol at construction. Matches the
 /// paper's knowledge model: nodes know F, t and the upper bound N, but not
@@ -64,6 +71,34 @@ class Protocol {
   /// W(r) = sum_u p_u^r (Lemma 9 / Lemma 13); never used by the engine for
   /// resolution.
   virtual double broadcast_probability() const { return 0.0; }
+
+  // --- sparse-engine contract ----------------------------------------------
+  // A duty-cycled protocol can tell the engine, after every processed round,
+  // how long it is certain to sleep, and can fast-forward through a block of
+  // asleep rounds without being driven round-by-round. The dense↔sparse
+  // equivalence contract (docs/ARCHITECTURE.md) requires of an implementer:
+  //   * whenever asleep_for() > 0, the next act() would return
+  //     RoundAction::sleep() WITHOUT drawing from its rng, and
+  //     broadcast_probability() returns exactly 0.0;
+  //   * skip_rounds(k), for any k <= asleep_for(), mutates state exactly as
+  //     k iterations of act()+on_round_end(nullopt) would — same output(),
+  //     same role(), and output().has_number() may not change while asleep;
+  //   * whether asleep_for() returns a value is a constant property of the
+  //     instance (probed once at activation).
+
+  /// How many upcoming rounds (starting with the round the next act() would
+  /// serve) the node is certain to sleep: 0 = may be awake next round,
+  /// k > 0 = asleep for the next k rounds, kAsleepForever = dormant for
+  /// good. nullopt (the default) = no prediction; the engine keeps the node
+  /// on the dense-equivalent always-visited path.
+  virtual std::optional<int64_t> asleep_for() const { return std::nullopt; }
+
+  /// Fast-forwards `rounds` asleep rounds (see contract above). Only called
+  /// by the sparse engine, and only with rounds <= the asleep_for() horizon.
+  virtual void skip_rounds(int64_t rounds) {
+    WSYNC_CHECK(rounds == 0, "skip_rounds() on a protocol without sparse "
+                             "support (asleep_for() returned nullopt)");
+  }
 
  protected:
   Protocol() = default;

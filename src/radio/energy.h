@@ -90,6 +90,14 @@ struct RunEnergy {
 
 /// Records one RadioState per node per round. Owned and driven by the
 /// Simulation; read by the runner, the verifier tests, and the goldens.
+///
+/// Two charging disciplines share one ledger:
+///   * strict (dense engine): record() every node every round, then
+///     end_round() — which enforces the conservation law at the source;
+///   * lazy (sparse engine): record() only the visited cohort, then
+///     end_round_lazy(); unrecorded rounds are implicit sleeps, settled
+///     per node the next time it is recorded or read. Counters after a
+///     settle are bit-identical to the strict discipline's.
 class EnergyLedger {
  public:
   EnergyLedger() = default;
@@ -102,14 +110,22 @@ class EnergyLedger {
   void activate(NodeId id);
 
   /// Records node `id`'s state for the round in progress. The engine calls
-  /// this exactly once per node per round; a second record for the same node
+  /// this at most once per node per round; a second record for the same node
   /// in one round throws.
   void record(NodeId id, RadioState state);
 
   /// Closes the round in progress. Throws unless every node was recorded
-  /// exactly once since the previous end_round() — the per-node per-round
+  /// exactly once since the previous round close — the per-node per-round
   /// broadcast/listen/sleep conservation law, enforced at the source.
   void end_round();
+
+  /// Closes the round in progress without the every-node check: nodes not
+  /// recorded this round slept implicitly (the sparse engine's discipline).
+  void end_round_lazy();
+
+  /// Fast-forwards `rounds` whole rounds in which no node was recorded —
+  /// everyone slept. Only valid between rounds (nothing recorded yet).
+  void skip_rounds(RoundId rounds);
 
   int n() const { return static_cast<int>(nodes_.size()); }
   /// Completed (closed) rounds.
@@ -125,9 +141,16 @@ class EnergyLedger {
   RunEnergy totals() const;
 
  private:
-  std::vector<NodeEnergy> nodes_;
-  std::vector<char> recorded_;  ///< per node: recorded this round?
-  std::vector<char> active_;    ///< per node: activated (counts active_rounds)
+  /// Accounts node `id`'s implicit sleeps for the closed rounds
+  /// [settled_[id], rounds_). Logically const: observable state after a
+  /// settle equals what strict round-by-round recording would have built.
+  void settle(NodeId id) const;
+
+  mutable std::vector<NodeEnergy> nodes_;
+  /// Per node: rounds accounted so far (== rounds_ + 1 right after an
+  /// explicit record for the round in progress).
+  mutable std::vector<RoundId> settled_;
+  std::vector<RoundId> active_from_;  ///< activation round, or -1
   int records_this_round_ = 0;
   RoundId rounds_ = 0;
 };

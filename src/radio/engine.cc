@@ -36,16 +36,29 @@ Simulation::Simulation(const SimConfig& config, ProtocolFactory factory,
   WSYNC_REQUIRE(adversary_ != nullptr, "adversary is required (use None)");
   WSYNC_REQUIRE(activation_ != nullptr, "activation schedule is required");
 
+  sparse_ = config_.engine != EngineMode::kDense;
+
   const Rng master(config_.seed);
   adversary_rng_ = master.fork(kAdversaryStream);
   activation_rng_ = master.fork(kActivationStream);
   uid_rng_ = master.fork(kUidStream);
 
-  nodes_.resize(static_cast<size_t>(config_.n));
+  const auto count = static_cast<size_t>(config_.n);
+  protocols_.resize(count);
+  node_rng_.reserve(count);
   for (int i = 0; i < config_.n; ++i) {
-    nodes_[static_cast<size_t>(i)].rng =
-        master.fork(kNodeStreamBase + static_cast<uint64_t>(i));
+    node_rng_.push_back(master.fork(kNodeStreamBase + static_cast<uint64_t>(i)));
   }
+  node_active_.assign(count, 0);
+  node_crashed_.assign(count, 0);
+  node_activation_round_.assign(count, -1);
+  node_sync_round_.assign(count, -1);
+  node_last_output_.assign(count, SyncOutput{});
+  node_freq_.assign(count, kNoFrequency);
+  node_broadcast_.assign(count, 0);
+  node_reached_.assign(count, 0);
+  node_sparse_.assign(count, 0);
+  node_settled_.assign(count, 0);
 
   view_.F_ = config_.F;
   view_.t_ = config_.t;
@@ -65,8 +78,8 @@ void Simulation::activate_pending(RoundId r) {
   const std::vector<NodeId> wake = activation_->activations(r, activation_rng_);
   for (NodeId id : wake) {
     WSYNC_REQUIRE(id >= 0 && id < config_.n, "activation id out of range");
-    NodeSlot& slot = nodes_[static_cast<size_t>(id)];
-    WSYNC_REQUIRE(!slot.active && slot.activation_round < 0,
+    const auto i = static_cast<size_t>(id);
+    WSYNC_REQUIRE(node_active_[i] == 0 && node_activation_round_[i] < 0,
                   "node activated twice");
     ProtocolEnv env;
     env.F = config_.F;
@@ -74,14 +87,30 @@ void Simulation::activate_pending(RoundId r) {
     env.N = config_.N;
     env.uid = uid_rng_.next_u64();
     env.node_id = id;
-    slot.protocol = factory_(env);
-    WSYNC_CHECK(slot.protocol != nullptr, "factory returned null protocol");
-    slot.active = true;
-    slot.activation_round = r;
+    protocols_[i] = factory_(env);
+    WSYNC_CHECK(protocols_[i] != nullptr, "factory returned null protocol");
+    node_active_[i] = 1;
+    node_activation_round_[i] = r;
     energy_.activate(id);
-    slot.protocol->on_activate(slot.rng);
+    protocols_[i]->on_activate(node_rng_[i]);
     ++active_count_;
     ++activated_total_;
+    if (sparse_) {
+      node_settled_[i] = r;
+      const std::optional<int64_t> horizon = protocols_[i]->asleep_for();
+      if (!horizon.has_value()) {
+        // No wake prediction: keep the node on the always-visited list
+        // (sorted by id; activations can arrive in any order).
+        always_awake_.insert(
+            std::lower_bound(always_awake_.begin(), always_awake_.end(), id),
+            id);
+      } else {
+        node_sparse_[i] = 1;
+        if (*horizon != kAsleepForever) {
+          wake_queue_.schedule(r, r + *horizon, id);
+        }
+      }
+    }
     if (trace_ != nullptr) trace_->on_activation(r, id);
   }
   view_.last_round_.activations = static_cast<int>(wake.size());
@@ -102,6 +131,10 @@ std::vector<Frequency> Simulation::validated_disruption() {
 }
 
 RoundReport Simulation::step() {
+  return sparse_ ? step_sparse() : step_dense();
+}
+
+RoundReport Simulation::step_dense() {
   const RoundId r = view_.round_;
 
   // (1) Adversary commits its disruption before seeing round-r choices.
@@ -134,17 +167,17 @@ RoundReport Simulation::step() {
   int broadcasters_total = 0;
   int absences_total = 0;
   for (int i = 0; i < config_.n; ++i) {
-    NodeSlot& slot = nodes_[static_cast<size_t>(i)];
-    slot.freq = kNoFrequency;
-    slot.broadcast = false;
-    slot.reached_channel = false;
-    if (!slot.active || slot.crashed) {
+    const auto ni = static_cast<size_t>(i);
+    node_freq_[ni] = kNoFrequency;
+    node_broadcast_[ni] = 0;
+    node_reached_[ni] = 0;
+    if (node_active_[ni] == 0 || node_crashed_[ni] != 0) {
       energy_.record(i, RadioState::kSleep);
       continue;
     }
 
-    weight += slot.protocol->broadcast_probability();
-    RoundAction action = slot.protocol->act(slot.rng);
+    weight += protocols_[ni]->broadcast_probability();
+    RoundAction action = protocols_[ni]->act(node_rng_[ni]);
     WSYNC_REQUIRE(action.broadcast == action.payload.has_value(),
                   "broadcast implies payload and listen implies none");
     if (action.is_sleep()) {
@@ -154,8 +187,8 @@ RoundReport Simulation::step() {
     }
     WSYNC_REQUIRE(action.frequency >= 0 && action.frequency < config_.F,
                   "protocol chose a frequency outside [0, F)");
-    slot.freq = action.frequency;
-    slot.broadcast = action.broadcast;
+    node_freq_[ni] = action.frequency;
+    node_broadcast_[ni] = action.broadcast ? 1 : 0;
     energy_.record(i, action.broadcast ? RadioState::kBroadcast
                                        : RadioState::kListen);
 
@@ -163,9 +196,10 @@ RoundReport Simulation::step() {
     FreqRoundStats& fs = stats.per_freq[fi];
     // Whitespace: a choice on a channel absent for this node burns energy
     // but never touches the channel — no collision, no reception.
-    slot.reached_channel =
-        !masked || adversary_->channel_available(i, action.frequency);
-    if (!slot.reached_channel) {
+    node_reached_[ni] =
+        (!masked || adversary_->channel_available(i, action.frequency)) ? 1
+                                                                        : 0;
+    if (node_reached_[ni] == 0) {
       ++fs.absent;
       ++absences_total;
       continue;
@@ -196,36 +230,37 @@ RoundReport Simulation::step() {
   // (5) Deliver and close the round for every active node.
   int deliveries = 0;
   for (int i = 0; i < config_.n; ++i) {
-    NodeSlot& slot = nodes_[static_cast<size_t>(i)];
-    if (!slot.active || slot.crashed) continue;
+    const auto ni = static_cast<size_t>(i);
+    if (node_active_[ni] == 0 || node_crashed_[ni] != 0) continue;
 
     std::optional<Message> received;
     // Reception needs a listener that actually reached its channel (neither
     // sleeping nor excluded by a whitespace mask).
-    if (!slot.broadcast && slot.freq != kNoFrequency && slot.reached_channel) {
-      const auto fi = static_cast<size_t>(slot.freq);
+    if (node_broadcast_[ni] == 0 && node_freq_[ni] != kNoFrequency &&
+        node_reached_[ni] != 0) {
+      const auto fi = static_cast<size_t>(node_freq_[ni]);
       if (stats.per_freq[fi].delivered) {
         Message m;
         m.sender = sole_broadcaster_[fi];
-        m.frequency = slot.freq;
+        m.frequency = node_freq_[ni];
         m.payload = pending_payload_[fi];
         received = std::move(m);
         ++deliveries;
         ++view_.deliveries_per_freq_[fi];
         if (trace_ != nullptr) {
-          trace_->on_delivery(DeliveryTraceEvent{r, slot.freq,
+          trace_->on_delivery(DeliveryTraceEvent{r, node_freq_[ni],
                                                  sole_broadcaster_[fi], i});
         }
       }
     }
-    slot.protocol->on_round_end(received, slot.rng);
+    protocols_[ni]->on_round_end(received, node_rng_[ni]);
 
-    const SyncOutput out = slot.protocol->output();
-    if (out.has_number() && slot.sync_round < 0) {
-      slot.sync_round = r;
+    const SyncOutput out = protocols_[ni]->output();
+    if (out.has_number() && node_sync_round_[ni] < 0) {
+      node_sync_round_[ni] = r;
       if (trace_ != nullptr) trace_->on_synchronized(r, i, out.value);
     }
-    slot.last_output = out;
+    node_last_output_[ni] = out;
   }
   stats.deliveries = deliveries;
   energy_.end_round();
@@ -255,9 +290,258 @@ RoundReport Simulation::step() {
   return report;
 }
 
+void Simulation::build_cohort(RoundId r) {
+  // Due wake events, minus events orphaned by crashes, plus the always-
+  // visited nodes — in ascending node id, because dense iterates nodes in id
+  // order and bit-identity needs the same float-summation order, the same
+  // first-broadcaster payload capture, and the same trace-event order.
+  due_.clear();
+  wake_queue_.collect(r, &due_);
+  due_.erase(std::remove_if(
+                 due_.begin(), due_.end(),
+                 [&](NodeId id) {
+                   return node_crashed_[static_cast<size_t>(id)] != 0;
+                 }),
+             due_.end());
+  // Buckets accumulate ascending runs (each source round reschedules in id
+  // order), so they are often already sorted.
+  if (!std::is_sorted(due_.begin(), due_.end())) {
+    std::sort(due_.begin(), due_.end());
+  }
+  cohort_.clear();
+  cohort_.resize(due_.size() + always_awake_.size());
+  std::merge(due_.begin(), due_.end(), always_awake_.begin(),
+             always_awake_.end(), cohort_.begin());
+}
+
+RoundReport Simulation::step_sparse() {
+  const RoundId r = view_.round_;
+
+  // Phases mirror step_dense() exactly; only the iteration domain changes —
+  // the awake cohort instead of all n nodes. Everything a non-cohort node
+  // would have done this round (sleep action, ++age, implicit sleep charge)
+  // is replayed bit-identically when the node is next visited or observed.
+
+  // (1) Adversary commits its disruption before seeing round-r choices.
+  std::vector<Frequency> disrupted = validated_disruption();
+
+  // (2) Adversary activates nodes for this round (may schedule wake events
+  // for this very round — build_cohort() below picks them up).
+  activate_pending(r);
+  const int activations_this_round = view_.last_round_.activations;
+
+  // (3) Collect actions from the awake cohort.
+  std::fill(broadcaster_count_.begin(), broadcaster_count_.end(), 0);
+  std::fill(sole_broadcaster_.begin(), sole_broadcaster_.end(), kNoNode);
+  std::fill(disrupted_flag_.begin(), disrupted_flag_.end(), 0);
+  for (Frequency f : disrupted) disrupted_flag_[static_cast<size_t>(f)] = 1;
+
+  RoundStats stats;
+  stats.round = r;
+  stats.per_freq.assign(static_cast<size_t>(config_.F), FreqRoundStats{});
+  for (int f = 0; f < config_.F; ++f) {
+    stats.per_freq[static_cast<size_t>(f)].disrupted =
+        disrupted_flag_[static_cast<size_t>(f)] != 0;
+  }
+  stats.activations = activations_this_round;
+
+  const bool masked = adversary_->restricts_availability();
+
+  build_cohort(r);
+
+  double weight = 0.0;
+  int broadcasters_total = 0;
+  int absences_total = 0;
+  for (NodeId i : cohort_) {
+    const auto ni = static_cast<size_t>(i);
+    node_freq_[ni] = kNoFrequency;
+    node_broadcast_[ni] = 0;
+    node_reached_[ni] = 0;
+    // Replay the asleep span since the node was last visited. Asleep rounds
+    // contribute exactly +0.0 broadcast weight and no rng draws, so the
+    // cohort-only walk stays bit-identical to the dense one.
+    if (node_settled_[ni] < r) {
+      protocols_[ni]->skip_rounds(r - node_settled_[ni]);
+      node_settled_[ni] = r;
+      // node_last_output_ still holds the pre-sleep value; has_number() is
+      // invariant across asleep rounds, so the synced_live_ comparison in
+      // phase (5) below stays exact, and the value itself is refreshed there.
+    }
+
+    weight += protocols_[ni]->broadcast_probability();
+    RoundAction action = protocols_[ni]->act(node_rng_[ni]);
+    WSYNC_REQUIRE(action.broadcast == action.payload.has_value(),
+                  "broadcast implies payload and listen implies none");
+    if (action.is_sleep()) {
+      energy_.record(i, RadioState::kSleep);
+      continue;
+    }
+    WSYNC_REQUIRE(action.frequency >= 0 && action.frequency < config_.F,
+                  "protocol chose a frequency outside [0, F)");
+    node_freq_[ni] = action.frequency;
+    node_broadcast_[ni] = action.broadcast ? 1 : 0;
+    energy_.record(i, action.broadcast ? RadioState::kBroadcast
+                                       : RadioState::kListen);
+
+    const auto fi = static_cast<size_t>(action.frequency);
+    FreqRoundStats& fs = stats.per_freq[fi];
+    node_reached_[ni] =
+        (!masked || adversary_->channel_available(i, action.frequency)) ? 1
+                                                                        : 0;
+    if (node_reached_[ni] == 0) {
+      ++fs.absent;
+      ++absences_total;
+      continue;
+    }
+    if (action.broadcast) {
+      ++broadcasters_total;
+      ++fs.broadcasters;
+      ++broadcaster_count_[fi];
+      if (broadcaster_count_[fi] == 1) {
+        sole_broadcaster_[fi] = i;
+        pending_payload_[fi] = std::move(*action.payload);
+      } else {
+        sole_broadcaster_[fi] = kNoNode;  // collision
+      }
+    } else {
+      ++fs.listeners;
+      ++view_.listens_per_freq_[fi];
+    }
+  }
+
+  // (4) Per-frequency resolution: exactly one broadcaster, not disrupted.
+  for (int f = 0; f < config_.F; ++f) {
+    const auto fi = static_cast<size_t>(f);
+    FreqRoundStats& fs = stats.per_freq[fi];
+    fs.delivered = fs.broadcasters == 1 && !fs.disrupted;
+  }
+
+  // (5) Deliver, close the round for the cohort, requeue its wake events.
+  int deliveries = 0;
+  for (NodeId i : cohort_) {
+    const auto ni = static_cast<size_t>(i);
+
+    std::optional<Message> received;
+    if (node_broadcast_[ni] == 0 && node_freq_[ni] != kNoFrequency &&
+        node_reached_[ni] != 0) {
+      const auto fi = static_cast<size_t>(node_freq_[ni]);
+      if (stats.per_freq[fi].delivered) {
+        Message m;
+        m.sender = sole_broadcaster_[fi];
+        m.frequency = node_freq_[ni];
+        m.payload = pending_payload_[fi];
+        received = std::move(m);
+        ++deliveries;
+        ++view_.deliveries_per_freq_[fi];
+        if (trace_ != nullptr) {
+          trace_->on_delivery(DeliveryTraceEvent{r, node_freq_[ni],
+                                                 sole_broadcaster_[fi], i});
+        }
+      }
+    }
+    protocols_[ni]->on_round_end(received, node_rng_[ni]);
+
+    const SyncOutput out = protocols_[ni]->output();
+    if (out.has_number() && node_sync_round_[ni] < 0) {
+      node_sync_round_[ni] = r;
+      if (trace_ != nullptr) trace_->on_synchronized(r, i, out.value);
+    }
+    if (out.has_number() != node_last_output_[ni].has_number()) {
+      synced_live_ += out.has_number() ? 1 : -1;
+    }
+    node_last_output_[ni] = out;
+    node_settled_[ni] = r + 1;
+
+    if (node_sparse_[ni] != 0) {
+      const std::optional<int64_t> horizon = protocols_[ni]->asleep_for();
+      WSYNC_CHECK(horizon.has_value(),
+                  "asleep_for() support must be a constant property of a "
+                  "protocol instance");
+      if (*horizon != kAsleepForever) {
+        wake_queue_.schedule(r, r + 1 + *horizon, i);
+      }
+    }
+  }
+  stats.deliveries = deliveries;
+  energy_.end_round_lazy();
+
+  // (6) Publish history for the adversary and the trace.
+  view_.last_round_ = stats;
+  view_.round_ = r + 1;
+  view_.active_count_ = active_count_ - crashed_count_;
+
+  if (trace_ != nullptr) {
+    RoundTraceEvent event;
+    event.round = r;
+    event.disrupted = std::move(disrupted);
+    event.stats = stats;
+    event.broadcast_weight = weight;
+    event.active_nodes = active_count_ - crashed_count_;
+    trace_->on_round(event);
+  }
+
+  RoundReport report;
+  report.round = r;
+  report.activations = activations_this_round;
+  report.deliveries = deliveries;
+  report.broadcasters = broadcasters_total;
+  report.absences = absences_total;
+  report.broadcast_weight = weight;
+  return report;
+}
+
+void Simulation::settle_node(NodeId id) const {
+  if (!sparse_) return;
+  const auto ni = static_cast<size_t>(id);
+  if (node_active_[ni] == 0 || node_crashed_[ni] != 0) return;
+  const RoundId now = view_.round_;
+  if (node_settled_[ni] >= now) return;
+  // Logically const: replaying asleep rounds reproduces exactly the state
+  // the dense engine would already have materialized.
+  auto* self = const_cast<Simulation*>(this);
+  self->protocols_[ni]->skip_rounds(now - node_settled_[ni]);
+  self->node_settled_[ni] = now;
+  const SyncOutput out = protocols_[ni]->output();
+  WSYNC_CHECK(out.has_number() == node_last_output_[ni].has_number(),
+              "output().has_number() changed across asleep rounds — the "
+              "protocol violates the sparse-engine contract");
+  self->node_last_output_[ni] = out;
+}
+
+void Simulation::maybe_fast_forward(RoundId max_rounds) {
+  // A window of rounds can be skipped wholesale only when each round is
+  // provably a no-op replayable later: nothing to trace, the adversary
+  // neither disrupts nor draws, no activation pending, no always-visited
+  // node, and no wake event due.
+  if (trace_ != nullptr || !adversary_->never_disrupts()) return;
+  if (activated_total_ < config_.n) return;
+  if (!always_awake_.empty()) return;
+  const RoundId now = view_.round_;
+  if (now >= max_rounds || !wake_queue_.empty_at(now)) return;
+  const std::optional<RoundId> next = wake_queue_.next_event_after(now);
+  const RoundId target =
+      next.has_value() ? std::min(*next, max_rounds) : max_rounds;
+  if (target <= now) return;
+
+  energy_.skip_rounds(target - now);
+  fast_forwarded_rounds_ += target - now;
+  view_.round_ = target;
+  // Publish what the last skipped round would have published: an idle round
+  // with no activations, no deliveries and a silent adversary.
+  RoundStats stats;
+  stats.round = target - 1;
+  stats.per_freq.assign(static_cast<size_t>(config_.F), FreqRoundStats{});
+  view_.last_round_ = stats;
+  view_.active_count_ = active_count_ - crashed_count_;
+}
+
 Simulation::RunResult Simulation::run_until_synced(RoundId max_rounds) {
   WSYNC_REQUIRE(max_rounds >= 0, "max_rounds must be non-negative");
   while (view_.round_ < max_rounds) {
+    if (sparse_) {
+      maybe_fast_forward(max_rounds);
+      if (view_.round_ >= max_rounds) break;
+    }
     step();
     if (all_synced()) return RunResult{true, view_.round_};
   }
@@ -266,69 +550,91 @@ Simulation::RunResult Simulation::run_until_synced(RoundId max_rounds) {
 
 bool Simulation::is_active(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  return nodes_[static_cast<size_t>(id)].active;
+  return node_active_[static_cast<size_t>(id)] != 0;
 }
 
 bool Simulation::is_crashed(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  return nodes_[static_cast<size_t>(id)].crashed;
+  return node_crashed_[static_cast<size_t>(id)] != 0;
 }
 
 RoundId Simulation::activation_round(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  return nodes_[static_cast<size_t>(id)].activation_round;
+  return node_activation_round_[static_cast<size_t>(id)];
 }
 
 RoundId Simulation::sync_round(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  return nodes_[static_cast<size_t>(id)].sync_round;
+  return node_sync_round_[static_cast<size_t>(id)];
 }
 
 SyncOutput Simulation::output(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  return nodes_[static_cast<size_t>(id)].last_output;
+  settle_node(id);
+  return node_last_output_[static_cast<size_t>(id)];
 }
 
 Role Simulation::role(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  const NodeSlot& slot = nodes_[static_cast<size_t>(id)];
-  if (slot.crashed) return Role::kCrashed;
-  if (!slot.active) return Role::kInactive;
-  return slot.protocol->role();
+  const auto ni = static_cast<size_t>(id);
+  if (node_crashed_[ni] != 0) return Role::kCrashed;
+  if (node_active_[ni] == 0) return Role::kInactive;
+  settle_node(id);
+  return protocols_[ni]->role();
 }
 
 Protocol& Simulation::protocol(NodeId id) {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  NodeSlot& slot = nodes_[static_cast<size_t>(id)];
-  WSYNC_REQUIRE(slot.active, "node has no protocol before activation");
-  return *slot.protocol;
+  const auto ni = static_cast<size_t>(id);
+  WSYNC_REQUIRE(node_active_[ni] != 0, "node has no protocol before activation");
+  settle_node(id);
+  return *protocols_[ni];
 }
 
 const Protocol& Simulation::protocol(NodeId id) const {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  const NodeSlot& slot = nodes_[static_cast<size_t>(id)];
-  WSYNC_REQUIRE(slot.active, "node has no protocol before activation");
-  return *slot.protocol;
+  const auto ni = static_cast<size_t>(id);
+  WSYNC_REQUIRE(node_active_[ni] != 0, "node has no protocol before activation");
+  settle_node(id);
+  return *protocols_[ni];
 }
 
 bool Simulation::all_synced() const {
   if (activated_total_ < config_.n) return false;
   // Liveness is a claim about surviving nodes; an execution where every
   // activated node has crashed has no witness and must not count as synced.
-  if (active_count_ - crashed_count_ == 0) return false;
-  for (const NodeSlot& slot : nodes_) {
-    if (!slot.active || slot.crashed) continue;
-    if (!slot.last_output.has_number()) return false;
+  const int live = active_count_ - crashed_count_;
+  if (live == 0) return false;
+  if (sparse_) {
+    // has_number() is invariant across asleep rounds (sparse contract), so
+    // the counter maintained at visit/crash time is exact.
+    return synced_live_ == live;
+  }
+  for (int i = 0; i < config_.n; ++i) {
+    const auto ni = static_cast<size_t>(i);
+    if (node_active_[ni] == 0 || node_crashed_[ni] != 0) continue;
+    if (!node_last_output_[ni].has_number()) return false;
   }
   return true;
 }
 
 void Simulation::crash(NodeId id) {
   WSYNC_REQUIRE(id >= 0 && id < config_.n, "node id out of range");
-  NodeSlot& slot = nodes_[static_cast<size_t>(id)];
-  WSYNC_REQUIRE(slot.active, "cannot crash a node before activation");
-  if (slot.crashed) return;
-  slot.crashed = true;
+  const auto ni = static_cast<size_t>(id);
+  WSYNC_REQUIRE(node_active_[ni] != 0, "cannot crash a node before activation");
+  if (node_crashed_[ni] != 0) return;
+  if (sparse_) {
+    // Freeze the protocol at the current round first, exactly where the
+    // dense engine stops driving it; any queued wake event is dropped
+    // lazily at collect time.
+    settle_node(id);
+    if (node_last_output_[ni].has_number()) --synced_live_;
+    if (node_sparse_[ni] == 0) {
+      always_awake_.erase(
+          std::lower_bound(always_awake_.begin(), always_awake_.end(), id));
+    }
+  }
+  node_crashed_[ni] = 1;
   ++crashed_count_;
   if (trace_ != nullptr) trace_->on_crash(view_.round_, id);
 }

@@ -22,12 +22,25 @@
 //     (inactive and crashed nodes sleep; a protocol may also return
 //     RoundAction::sleep() to power down for a round).
 //
+// Two interchangeable round loops execute this model (EngineMode):
+//   * dense — the reference loop, every node visited every round;
+//   * sparse — a wake-event queue over SoA node state: only the round's
+//     awake cohort is visited, asleep spans are replayed in O(1) via
+//     Protocol::skip_rounds(), and fully-idle windows are fast-forwarded.
+//     Protocols without a wake prediction (Protocol::asleep_for() ==
+//     nullopt) are kept on an always-visited list, so always-on protocols
+//     degrade transparently to dense-equivalent behavior.
+// The two are required to be bit-identical on every execution — reports,
+// traces, ledger, observers (the equivalence contract in
+// docs/ARCHITECTURE.md, enforced by the differential test wall).
+//
 // Determinism: all randomness is derived from SimConfig::seed. Each node,
 // the adversary, and the activation schedule get independent forked streams,
 // so the same seed reproduces the same execution bit-for-bit.
 #ifndef WSYNC_RADIO_ENGINE_H_
 #define WSYNC_RADIO_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -50,6 +63,8 @@ struct SimConfig {
   int64_t N = 1;     ///< known upper bound on participants, N >= n
   int n = 1;         ///< actual number of nodes that will be activated
   uint64_t seed = 1; ///< master seed for the whole execution
+  /// Round-loop implementation; kAuto resolves to the sparse engine.
+  EngineMode engine = EngineMode::kAuto;
 };
 
 /// What one engine round produced; returned by step().
@@ -60,6 +75,82 @@ struct RoundReport {
   int broadcasters = 0;         ///< nodes that chose to broadcast
   int absences = 0;             ///< choices voided by a whitespace mask
   double broadcast_weight = 0;  ///< W(r): sum of planned broadcast probs
+
+  friend constexpr bool operator==(const RoundReport&,
+                                   const RoundReport&) = default;
+};
+
+/// Bucketed round → awake-set index driving the sparse engine: a ring of
+/// near-horizon buckets (one vector of node ids per upcoming round) plus an
+/// ordered spill map for events beyond the horizon. Duty-cycled schedules
+/// sleep O(lg N) rounds at a time — far below the horizon — so the spill map
+/// is effectively never touched.
+class WakeEventQueue {
+ public:
+  /// Enqueues node `id` for round `round`; `now` is the round currently in
+  /// progress (or about to execute). Requires now <= round.
+  void schedule(RoundId now, RoundId round, NodeId id) {
+    if (round - now < kHorizon) {
+      ring_[static_cast<size_t>(round % kHorizon)].push_back(id);
+      ++near_events_;
+    } else {
+      far_[round].push_back(id);
+    }
+  }
+
+  /// Appends the ids due exactly in round `round` to *out (arbitrary order)
+  /// and removes them from the queue. Rounds must be collected in strictly
+  /// increasing order, with no event left behind in a skipped round.
+  void collect(RoundId round, std::vector<NodeId>* out) {
+    std::vector<NodeId>& bucket = ring_[static_cast<size_t>(round % kHorizon)];
+    near_events_ -= static_cast<int64_t>(bucket.size());
+    out->insert(out->end(), bucket.begin(), bucket.end());
+    bucket.clear();
+    if (!far_.empty() && far_.begin()->first == round) {
+      const std::vector<NodeId>& spill = far_.begin()->second;
+      out->insert(out->end(), spill.begin(), spill.end());
+      far_.erase(far_.begin());
+    }
+  }
+
+  /// True iff no event is pending for exactly `round`.
+  bool empty_at(RoundId round) const {
+    return ring_[static_cast<size_t>(round % kHorizon)].empty() &&
+           (far_.empty() || far_.begin()->first != round);
+  }
+
+  /// First round strictly after `round` with a pending event, or nullopt.
+  std::optional<RoundId> next_event_after(RoundId round) const {
+    std::optional<RoundId> next;
+    if (near_events_ > 0) {
+      for (RoundId j = 1; j < kHorizon; ++j) {
+        if (!ring_[static_cast<size_t>((round + j) % kHorizon)].empty()) {
+          next = round + j;
+          break;
+        }
+      }
+    }
+    if (!far_.empty() && (!next.has_value() || far_.begin()->first < *next)) {
+      next = far_.begin()->first;
+    }
+    return next;
+  }
+
+  int64_t pending_events() const {
+    int64_t far_events = 0;
+    for (const auto& [round, ids] : far_) {
+      far_events += static_cast<int64_t>(ids.size());
+    }
+    return near_events_ + far_events;
+  }
+
+ private:
+  static constexpr RoundId kHorizon = 4096;
+
+  std::vector<std::vector<NodeId>> ring_ =
+      std::vector<std::vector<NodeId>>(static_cast<size_t>(kHorizon));
+  std::map<RoundId, std::vector<NodeId>> far_;
+  int64_t near_events_ = 0;
 };
 
 class Simulation {
@@ -76,7 +167,9 @@ class Simulation {
 
   /// Runs until every node has been activated and every non-crashed active
   /// node outputs a round number, or until `max_rounds` total rounds have
-  /// been executed. Safe to call after step().
+  /// been executed. Safe to call after step(). The sparse engine
+  /// fast-forwards through windows where no node can act (no wake event, no
+  /// pending activation, nothing to trace, adversary provably silent).
   struct RunResult {
     bool synced = false;   ///< liveness reached within the budget
     RoundId rounds = 0;    ///< total rounds executed so far
@@ -86,6 +179,13 @@ class Simulation {
   // --- observers -----------------------------------------------------------
 
   const SimConfig& config() const { return config_; }
+  /// The resolved round loop: kDense or kSparse (never kAuto).
+  EngineMode engine_mode() const {
+    return sparse_ ? EngineMode::kSparse : EngineMode::kDense;
+  }
+  /// Rounds the sparse engine skipped wholesale in run_until_synced()
+  /// (0 under the dense engine).
+  RoundId fast_forwarded_rounds() const { return fast_forwarded_rounds_; }
   /// Number of completed rounds (== index of the next round to execute).
   RoundId round() const { return view_.round(); }
   /// Activated nodes still participating, i.e. excluding crashed nodes —
@@ -128,22 +228,20 @@ class Simulation {
   const EnergyLedger& energy() const { return energy_; }
 
  private:
-  struct NodeSlot {
-    std::unique_ptr<Protocol> protocol;
-    Rng rng{0};
-    bool active = false;
-    bool crashed = false;
-    RoundId activation_round = -1;
-    RoundId sync_round = -1;
-    SyncOutput last_output;
-    // scratch, valid within one step():
-    Frequency freq = kNoFrequency;  ///< kNoFrequency = sleeping this round
-    bool broadcast = false;
-    bool reached_channel = false;   ///< availability mask allowed the choice
-  };
-
   void activate_pending(RoundId r);
   std::vector<Frequency> validated_disruption();
+  RoundReport step_dense();
+  RoundReport step_sparse();
+  /// Replays node `id`'s pending asleep rounds up to the round in progress
+  /// (sparse engine only; no-op when already current, crashed or inactive).
+  void settle_node(NodeId id) const;
+  /// Builds this round's cohort (due wake events + always-visited nodes) in
+  /// ascending node-id order into cohort_.
+  void build_cohort(RoundId r);
+  /// Jumps over rounds in which provably nothing happens; leaves
+  /// view_.round_ at the first round that needs execution (capped at
+  /// `max_rounds`).
+  void maybe_fast_forward(RoundId max_rounds);
 
   SimConfig config_;
   ProtocolFactory factory_;
@@ -155,10 +253,35 @@ class Simulation {
   Rng activation_rng_{0};
   Rng uid_rng_{0};
 
-  std::vector<NodeSlot> nodes_;
+  // Node state, struct-of-arrays: the sparse engine touches only the awake
+  // cohort's entries per round, and the flat flag/round arrays keep the
+  // observers O(1) without walking protocol objects.
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<Rng> node_rng_;
+  std::vector<char> node_active_;
+  std::vector<char> node_crashed_;
+  std::vector<RoundId> node_activation_round_;
+  std::vector<RoundId> node_sync_round_;
+  std::vector<SyncOutput> node_last_output_;
+  // per-round scratch, valid within one step() for the nodes visited:
+  std::vector<Frequency> node_freq_;  ///< kNoFrequency = sleeping this round
+  std::vector<char> node_broadcast_;
+  std::vector<char> node_reached_;    ///< availability mask allowed the choice
+
   int active_count_ = 0;
   int activated_total_ = 0;
   int crashed_count_ = 0;
+
+  // Sparse-engine state (unused under kDense).
+  bool sparse_ = false;
+  std::vector<char> node_sparse_;      ///< protocol predicts wakes
+  std::vector<RoundId> node_settled_;  ///< rounds applied to the protocol
+  std::vector<NodeId> always_awake_;   ///< sorted live unpredictable nodes
+  WakeEventQueue wake_queue_;
+  int synced_live_ = 0;  ///< live nodes whose last output has a number
+  RoundId fast_forwarded_rounds_ = 0;
+  std::vector<NodeId> due_;     // scratch: events collected this round
+  std::vector<NodeId> cohort_;  // scratch: nodes visited this round
 
   EngineView view_;
   EnergyLedger energy_;

@@ -25,6 +25,9 @@ struct FreqRoundStats {
   int absent = 0;          ///< choices voided by a whitespace mask
   bool disrupted = false;
   bool delivered = false;  ///< exactly one broadcaster and not disrupted
+
+  friend constexpr bool operator==(const FreqRoundStats&,
+                                   const FreqRoundStats&) = default;
 };
 
 /// Summary of one completed round.
@@ -33,6 +36,8 @@ struct RoundStats {
   std::vector<FreqRoundStats> per_freq;
   int activations = 0;
   int deliveries = 0;  ///< number of listeners that received a message
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
 /// Read-only execution history handed to adversaries. Owned and updated by

@@ -22,6 +22,9 @@ struct RoundTraceEvent {
   RoundStats stats;                  // per-frequency outcomes
   double broadcast_weight = 0.0;     // W(r) = sum of planned broadcast probs
   int active_nodes = 0;
+
+  friend bool operator==(const RoundTraceEvent&,
+                         const RoundTraceEvent&) = default;
 };
 
 /// A single successful delivery (one broadcaster, >=1 listeners; one event
@@ -31,6 +34,9 @@ struct DeliveryTraceEvent {
   Frequency frequency = 0;
   NodeId from = kNoNode;
   NodeId to = kNoNode;
+
+  friend constexpr bool operator==(const DeliveryTraceEvent&,
+                                   const DeliveryTraceEvent&) = default;
 };
 
 class TraceSink {
@@ -57,11 +63,17 @@ class MemoryTrace final : public TraceSink {
   struct Activation {
     RoundId round;
     NodeId node;
+
+    friend constexpr bool operator==(const Activation&,
+                                     const Activation&) = default;
   };
   struct SyncEvent {
     RoundId round;
     NodeId node;
     int64_t number;
+
+    friend constexpr bool operator==(const SyncEvent&,
+                                     const SyncEvent&) = default;
   };
 
   const std::vector<RoundTraceEvent>& rounds() const { return rounds_; }

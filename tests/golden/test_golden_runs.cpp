@@ -83,7 +83,7 @@ void append_ledger(std::string* out, const EnergyLedger& ledger) {
               static_cast<long long>(totals.sleep_rounds));
 }
 
-std::string render_energy_run() {
+std::string render_energy_run(EngineMode engine) {
   constexpr int kRounds = 48;
   constexpr NodeId kCrashTarget = 2;
   constexpr RoundId kCrashRound = 24;
@@ -101,6 +101,7 @@ std::string render_energy_run() {
   config.N = 8;
   config.n = 3;
   config.seed = kRunSeed;
+  config.engine = engine;
   Simulation sim(config, TrapdoorProtocol::factory(),
                  std::make_unique<RandomSubsetAdversary>(1),
                  std::make_unique<SequentialActivation>(3, 2));
@@ -125,7 +126,7 @@ std::string render_energy_run() {
   return out;
 }
 
-std::string render_whitespace_run() {
+std::string render_whitespace_run(EngineMode engine) {
   constexpr int kRounds = 64;
   constexpr int kF = 8;
   constexpr int kN = 3;
@@ -142,6 +143,7 @@ std::string render_whitespace_run() {
   config.N = 8;
   config.n = kN;
   config.seed = kRunSeed;
+  config.engine = engine;
   TrapdoorConfig trapdoor;
   trapdoor.restrict_to_fprime = false;
   auto adversary = std::make_unique<WhitespaceAdversary>(
@@ -190,7 +192,7 @@ std::string render_whitespace_run() {
   return out;
 }
 
-std::string render_dutycycle_run() {
+std::string render_dutycycle_run(EngineMode engine) {
   constexpr int kF = 8;
   constexpr int kN = 3;
   // Picked so the rendered run elects a single leader and fully agrees —
@@ -210,6 +212,7 @@ std::string render_dutycycle_run() {
   config.N = 16;
   config.n = kN;
   config.seed = kDutySeed;
+  config.engine = engine;
   Simulation sim(config, DutyCycleProtocol::factory(),
                  std::make_unique<RandomSubsetAdversary>(1),
                  std::make_unique<SequentialActivation>(kN, 2));
@@ -273,17 +276,93 @@ std::string render_dutycycle_run() {
   return out;
 }
 
+std::string render_large_dutycycle_run(EngineMode engine) {
+  // Large-N wake-event ordering: n = 64 duty-cycled nodes under N = 4096
+  // (grid side 16, ladder 496 rounds), staggered activation, clean
+  // spectrum. Rendered as one awake-bitmap row per round ('#' = the node
+  // was charged broadcast or listen, '.' = it slept), which pins exactly
+  // which nodes the wake-event queue surfaced in which round — a
+  // reordering, a missed wake, or a spurious one flips a character.
+  constexpr int kN = 64;
+  constexpr int64_t kBigN = 4096;
+  constexpr RoundId kRounds = 640;  // the whole ladder plus steady entry
+  constexpr uint64_t kSeed = 0xB16D;
+
+  std::string out;
+  append_line(&out,
+              "# Large-N duty-cycle golden: F=4 t=0 N=%lld n=%d, staggered "
+              "activation, seed %llu",
+              static_cast<long long>(kBigN), kN,
+              static_cast<unsigned long long>(kSeed));
+
+  SimConfig config;
+  config.F = 4;
+  config.t = 0;
+  config.N = kBigN;
+  config.n = kN;
+  config.seed = kSeed;
+  config.engine = engine;
+  Simulation sim(config, DutyCycleProtocol::factory(),
+                 std::make_unique<NoneAdversary>(),
+                 std::make_unique<StaggeredUniformActivation>(kN, 96));
+
+  append_line(&out, "");
+  append_line(&out, "awake sets (round, one column per node, '#' = awake):");
+  std::vector<NodeEnergy> before(static_cast<size_t>(kN));
+  for (RoundId r = 0; r < kRounds; ++r) {
+    for (NodeId id = 0; id < kN; ++id) {
+      before[static_cast<size_t>(id)] = sim.energy().node(id);
+    }
+    sim.step();
+    std::string row;
+    for (NodeId id = 0; id < kN; ++id) {
+      const NodeEnergy& now = sim.energy().node(id);
+      const NodeEnergy& prev = before[static_cast<size_t>(id)];
+      const bool awake =
+          now.broadcast_rounds > prev.broadcast_rounds ||
+          now.listen_rounds > prev.listen_rounds;
+      row += awake ? '#' : '.';
+    }
+    append_line(&out, "round %3lld: %s", static_cast<long long>(r),
+                row.c_str());
+  }
+
+  append_line(&out, "");
+  append_line(&out, "outcome (node, activation round, role):");
+  for (NodeId id = 0; id < kN; ++id) {
+    append_line(&out, "node %2d: activated %3lld %s", id,
+                static_cast<long long>(sim.activation_round(id)),
+                to_string(sim.role(id)));
+  }
+  append_ledger(&out, sim.energy());
+  return out;
+}
+
+// Every golden is checked under BOTH engines against the same bytes: the
+// checked-in files are the dense reference, and the sparse engine must
+// reproduce them without a single regenerated character.
 TEST(GoldenRunTest, EnergyBudgetedTrapdoorRun) {
-  compare_with_golden("energy_trapdoor_run.golden", render_energy_run());
+  const std::string dense = render_energy_run(EngineMode::kDense);
+  ASSERT_EQ(dense, render_energy_run(EngineMode::kSparse));
+  compare_with_golden("energy_trapdoor_run.golden", dense);
 }
 
 TEST(GoldenRunTest, WhitespaceRendezvousRun) {
-  compare_with_golden("whitespace_rendezvous_run.golden",
-                      render_whitespace_run());
+  const std::string dense = render_whitespace_run(EngineMode::kDense);
+  ASSERT_EQ(dense, render_whitespace_run(EngineMode::kSparse));
+  compare_with_golden("whitespace_rendezvous_run.golden", dense);
 }
 
 TEST(GoldenRunTest, DutyCycleRun) {
-  compare_with_golden("dutycycle_run.golden", render_dutycycle_run());
+  const std::string dense = render_dutycycle_run(EngineMode::kDense);
+  ASSERT_EQ(dense, render_dutycycle_run(EngineMode::kSparse));
+  compare_with_golden("dutycycle_run.golden", dense);
+}
+
+TEST(GoldenRunTest, LargeDutyCycleWakeOrdering) {
+  const std::string dense = render_large_dutycycle_run(EngineMode::kDense);
+  ASSERT_EQ(dense, render_large_dutycycle_run(EngineMode::kSparse));
+  compare_with_golden("large_dutycycle_wake_ordering.golden", dense);
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 #include "src/adversary/basic.h"
 #include "src/radio/trace.h"
 #include "src/trapdoor/trapdoor.h"
-#include "tests/testing/fake_protocol.h"
+#include "tests/testing/sim_builder.h"
 
 namespace wsync {
 namespace {
@@ -15,26 +15,15 @@ namespace {
 using testing::FakeProtocol;
 using testing::test_payload;
 
-SimConfig basic_config(int F, int t, int n, uint64_t seed = 1) {
-  SimConfig config;
-  config.F = F;
-  config.t = t;
-  config.N = n;
-  config.n = n;
-  config.seed = seed;
-  return config;
-}
-
 std::unique_ptr<Simulation> make_sim(
-    const SimConfig& config, std::map<NodeId, FakeProtocol::Script> scripts,
+    testing::SimBuilder builder,
+    std::map<NodeId, FakeProtocol::Script> scripts,
     std::map<NodeId, FakeProtocol*>* registry,
-    std::unique_ptr<Adversary> adversary = nullptr,
+    std::function<std::unique_ptr<Adversary>()> adversary = nullptr,
     TraceSink* trace = nullptr) {
-  if (adversary == nullptr) adversary = std::make_unique<NoneAdversary>();
-  return std::make_unique<Simulation>(
-      config, FakeProtocol::factory(std::move(scripts), registry),
-      std::move(adversary),
-      std::make_unique<SimultaneousActivation>(config.n), trace);
+  builder.fake(std::move(scripts), registry).trace(trace);
+  if (adversary) builder.adversary(std::move(adversary));
+  return builder.build();
 }
 
 TEST(EngineTest, SoleBroadcasterDelivers) {
@@ -42,7 +31,7 @@ TEST(EngineTest, SoleBroadcasterDelivers) {
   scripts[0].actions = {RoundAction::send(3, test_payload(77))};
   scripts[1].actions = {RoundAction::listen(3)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 2), scripts, &nodes);
 
   const RoundReport report = sim->step();
   EXPECT_EQ(report.deliveries, 1);
@@ -58,7 +47,7 @@ TEST(EngineTest, BroadcasterNeverReceives) {
   scripts[0].actions = {RoundAction::send(3, test_payload(1))};
   scripts[1].actions = {RoundAction::send(4, test_payload(2))};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 2), scripts, &nodes);
 
   sim->step();
   EXPECT_FALSE(nodes[0]->receptions[0].has_value());
@@ -71,7 +60,7 @@ TEST(EngineTest, CollisionBlocksDelivery) {
   scripts[1].actions = {RoundAction::send(2, test_payload(2))};
   scripts[2].actions = {RoundAction::listen(2)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 0, 3), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 3), scripts, &nodes);
 
   const RoundReport report = sim->step();
   EXPECT_EQ(report.deliveries, 0);
@@ -83,7 +72,7 @@ TEST(EngineTest, ListenerOnOtherFrequencyHearsNothing) {
   scripts[0].actions = {RoundAction::send(2, test_payload(1))};
   scripts[1].actions = {RoundAction::listen(5)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 0, 2), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 2), scripts, &nodes);
 
   sim->step();
   EXPECT_FALSE(nodes[1]->receptions[0].has_value());
@@ -94,8 +83,8 @@ TEST(EngineTest, DisruptionBlocksDelivery) {
   scripts[0].actions = {RoundAction::send(0, test_payload(1))};
   scripts[1].actions = {RoundAction::listen(0)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 2, 2), scripts, &nodes,
-                      std::make_unique<FixedSubsetAdversary>(2));
+  auto sim = make_sim(testing::SimBuilder(8, 2, 2), scripts, &nodes,
+                      [] { return std::make_unique<FixedSubsetAdversary>(2); });
 
   sim->step();
   EXPECT_FALSE(nodes[1]->receptions[0].has_value());
@@ -106,8 +95,8 @@ TEST(EngineTest, UndisruptedFrequencyStillDelivers) {
   scripts[0].actions = {RoundAction::send(5, test_payload(9))};
   scripts[1].actions = {RoundAction::listen(5)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(8, 2, 2), scripts, &nodes,
-                      std::make_unique<FixedSubsetAdversary>(2));
+  auto sim = make_sim(testing::SimBuilder(8, 2, 2), scripts, &nodes,
+                      [] { return std::make_unique<FixedSubsetAdversary>(2); });
 
   sim->step();
   ASSERT_TRUE(nodes[1]->receptions[0].has_value());
@@ -121,7 +110,7 @@ TEST(EngineTest, MultipleListenersAllReceive) {
   scripts[2].actions = {RoundAction::listen(1)};
   scripts[3].actions = {RoundAction::listen(1)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(4, 0, 4), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(4, 0, 4), scripts, &nodes);
 
   const RoundReport report = sim->step();
   EXPECT_EQ(report.deliveries, 3);
@@ -137,7 +126,7 @@ TEST(EngineTest, ParallelFrequenciesDeliverIndependently) {
   scripts[2].actions = {RoundAction::send(1, test_payload(20))};
   scripts[3].actions = {RoundAction::listen(1)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(4, 0, 4), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(4, 0, 4), scripts, &nodes);
 
   sim->step();
   ASSERT_TRUE(nodes[1]->receptions[0].has_value());
@@ -167,7 +156,7 @@ TEST(EngineTest, RejectsInvalidConfig) {
 TEST(EngineTest, RejectsOutOfRangeFrequency) {
   std::map<NodeId, FakeProtocol::Script> scripts;
   scripts[0].actions = {RoundAction::listen(8)};  // F == 8, valid range [0,8)
-  auto sim = make_sim(basic_config(8, 0, 1), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 1), scripts, nullptr);
   EXPECT_THROW(sim->step(), std::invalid_argument);
 }
 
@@ -177,7 +166,7 @@ TEST(EngineTest, RejectsBroadcastWithoutPayload) {
   bad.frequency = 0;
   bad.broadcast = true;  // no payload
   scripts[0].actions = {bad};
-  auto sim = make_sim(basic_config(8, 0, 1), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(8, 0, 1), scripts, nullptr);
   EXPECT_THROW(sim->step(), std::invalid_argument);
 }
 
@@ -193,8 +182,8 @@ class OverBudgetAdversary final : public Adversary {
 
 TEST(EngineTest, RejectsAdversaryOverBudget) {
   std::map<NodeId, FakeProtocol::Script> scripts;
-  auto sim = make_sim(basic_config(8, 2, 1), scripts, nullptr,
-                      std::make_unique<OverBudgetAdversary>());
+  auto sim = make_sim(testing::SimBuilder(8, 2, 1), scripts, nullptr,
+                      [] { return std::make_unique<OverBudgetAdversary>(); });
   EXPECT_THROW(sim->step(), std::invalid_argument);
 }
 
@@ -202,7 +191,7 @@ TEST(EngineTest, AllSyncedTracksOutputs) {
   std::map<NodeId, FakeProtocol::Script> scripts;
   scripts[0].sync_at_age = 1;
   scripts[1].sync_at_age = 3;
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, nullptr);
 
   sim->step();  // ages become 1: node 0 outputs, node 1 does not
   EXPECT_FALSE(sim->all_synced());
@@ -221,7 +210,7 @@ TEST(EngineTest, RunUntilSyncedStopsEarly) {
   std::map<NodeId, FakeProtocol::Script> scripts;
   scripts[0].sync_at_age = 2;
   scripts[1].sync_at_age = 2;
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, nullptr);
 
   const Simulation::RunResult result = sim->run_until_synced(100);
   EXPECT_TRUE(result.synced);
@@ -230,7 +219,7 @@ TEST(EngineTest, RunUntilSyncedStopsEarly) {
 
 TEST(EngineTest, RunUntilSyncedHonorsBudget) {
   std::map<NodeId, FakeProtocol::Script> scripts;  // never sync
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, nullptr);
   const Simulation::RunResult result = sim->run_until_synced(50);
   EXPECT_FALSE(result.synced);
   EXPECT_EQ(result.rounds, 50);
@@ -241,7 +230,7 @@ TEST(EngineTest, CrashedNodeStopsParticipating) {
   scripts[0].actions = {RoundAction::send(0, test_payload(1))};
   scripts[1].actions = {RoundAction::listen(0)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, &nodes);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, &nodes);
 
   sim->step();
   ASSERT_TRUE(nodes[1]->receptions[0].has_value());
@@ -259,7 +248,7 @@ TEST(EngineTest, CrashedNodeExcludedFromLiveness) {
   std::map<NodeId, FakeProtocol::Script> scripts;
   scripts[0].sync_at_age = 1;
   // Node 1 never syncs.
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, nullptr);
   sim->step();
   EXPECT_FALSE(sim->all_synced());
   sim->crash(1);
@@ -273,8 +262,8 @@ TEST(EngineTest, ViewExposesLastRoundStats) {
   scripts[1].actions = {RoundAction::listen(1)};
   scripts[2].actions = {RoundAction::listen(2)};
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(4, 1, 3), scripts, &nodes,
-                      std::make_unique<FixedSubsetAdversary>(1));
+  auto sim = make_sim(testing::SimBuilder(4, 1, 3), scripts, &nodes,
+                      [] { return std::make_unique<FixedSubsetAdversary>(1); });
 
   EXPECT_FALSE(sim->view().has_last_round());
   sim->step();
@@ -297,20 +286,21 @@ TEST(EngineTest, BroadcastWeightIsSummedFromProtocols) {
   scripts[0].weight = 0.25;
   scripts[1].weight = 0.5;
   scripts[2].weight = 0.125;
-  auto sim = make_sim(basic_config(2, 0, 3), scripts, nullptr);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 3), scripts, nullptr);
   const RoundReport report = sim->step();
   EXPECT_DOUBLE_EQ(report.broadcast_weight, 0.875);
 }
 
 TEST(EngineTest, DeterministicAcrossIdenticalSeeds) {
   auto run = [](uint64_t seed) {
-    SimConfig config = basic_config(8, 2, 6, seed);
-    config.N = 64;
-    Simulation sim(config, TrapdoorProtocol::factory(),
-                   std::make_unique<RandomSubsetAdversary>(2),
-                   std::make_unique<SimultaneousActivation>(config.n));
+    auto sim = testing::SimBuilder(8, 2, 6)
+                   .N(64)
+                   .seed(seed)
+                   .protocol(TrapdoorProtocol::factory())
+                   .adversary<RandomSubsetAdversary>(2)
+                   .build();
     std::vector<int> deliveries;
-    for (int i = 0; i < 300; ++i) deliveries.push_back(sim.step().deliveries);
+    for (int i = 0; i < 300; ++i) deliveries.push_back(sim->step().deliveries);
     return deliveries;
   };
   EXPECT_EQ(run(123), run(123));
@@ -324,7 +314,7 @@ TEST(EngineTest, TraceSinkReceivesEvents) {
   scripts[1].sync_at_age = 2;
   std::map<NodeId, FakeProtocol*> nodes;
   MemoryTrace trace;
-  auto sim = make_sim(basic_config(2, 0, 2), scripts, &nodes, nullptr, &trace);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 2), scripts, &nodes, nullptr, &trace);
 
   sim->step();
   sim->step();
@@ -339,7 +329,7 @@ TEST(EngineTest, TraceSinkReceivesEvents) {
 
 TEST(EngineTest, UidsAreUniqueAcrossNodes) {
   std::map<NodeId, FakeProtocol*> nodes;
-  auto sim = make_sim(basic_config(2, 0, 16), {}, &nodes);
+  auto sim = make_sim(testing::SimBuilder(2, 0, 16), {}, &nodes);
   sim->step();
   std::set<uint64_t> uids;
   for (const auto& [id, protocol] : nodes) {

@@ -1,0 +1,266 @@
+// The dense↔sparse differential wall.
+//
+// The sparse wake-event engine must be bit-identical to the dense reference
+// loop on every execution — same seed in, same everything out. These tests
+// run the same spec under both engines in lockstep across the full
+// ProtocolKind / AdversaryKind / ActivationKind axes (plus crash injection)
+// and diff every observable surface:
+//   * the RoundReport stream, round by round;
+//   * the full trace (round events, activations, deliveries, sync events,
+//     crashes) via MemoryTrace;
+//   * every observer (outputs, roles, sync/activation rounds, counters);
+//   * the EnergyLedger, per node and in aggregate;
+//   * run_sync_experiment outcomes and PointResult aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/experiment/sweep.h"
+#include "src/radio/engine.h"
+#include "src/radio/trace.h"
+#include "src/sync/runner.h"
+#include "tests/testing/sim_builder.h"
+
+namespace wsync {
+namespace {
+
+using testing::EnginePair;
+
+struct DiffCase {
+  ExperimentPoint point;
+  uint64_t seed = 0x1D1FF;
+  RoundId rounds = 400;
+  bool crash = false;
+};
+
+/// One spec, both engines, with traces attached for stream diffing.
+struct TracedPair {
+  EnginePair sims;
+  MemoryTrace dense_trace;
+  MemoryTrace sparse_trace;
+};
+
+TracedPair make_pair(const DiffCase& c) {
+  TracedPair pair;
+  RunSpec spec = make_run_spec(c.point);
+  spec.sim.seed = c.seed;
+  auto build = [&](EngineMode mode, MemoryTrace* trace) {
+    SimConfig config = spec.sim;
+    config.engine = mode;
+    return std::make_unique<Simulation>(config, spec.factory,
+                                        spec.make_adversary(),
+                                        spec.make_activation(), trace);
+  };
+  pair.sims.dense = build(EngineMode::kDense, &pair.dense_trace);
+  pair.sims.sparse = build(EngineMode::kSparse, &pair.sparse_trace);
+  return pair;
+}
+
+/// Crashes the highest-id live node on both engines (same deterministic
+/// choice; the engines agree on liveness by induction).
+void crash_highest_live(EnginePair& sims) {
+  const int n = sims.dense->config().n;
+  for (NodeId id = n - 1; id >= 0; --id) {
+    if (sims.dense->is_active(id) && !sims.dense->is_crashed(id)) {
+      sims.dense->crash(id);
+      sims.sparse->crash(id);
+      return;
+    }
+  }
+}
+
+void run_differential(const DiffCase& c) {
+  TracedPair pair = make_pair(c);
+  for (RoundId r = 0; r < c.rounds; ++r) {
+    if (c.crash && r == c.rounds / 3 && pair.sims.dense->active_count() >= 2) {
+      crash_highest_live(pair.sims);
+    }
+    pair.sims.step();
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "engines diverged at round " << r;
+    }
+  }
+  pair.sims.expect_same_state();
+  // The full trace streams must match element for element.
+  EXPECT_EQ(pair.dense_trace.rounds(), pair.sparse_trace.rounds());
+  EXPECT_EQ(pair.dense_trace.activations(), pair.sparse_trace.activations());
+  EXPECT_EQ(pair.dense_trace.deliveries(), pair.sparse_trace.deliveries());
+  EXPECT_EQ(pair.dense_trace.sync_events(), pair.sparse_trace.sync_events());
+  EXPECT_EQ(pair.dense_trace.crashes(), pair.sparse_trace.crashes());
+}
+
+std::string case_name(const ::testing::TestParamInfo<DiffCase>& info) {
+  const ExperimentPoint& p = info.param.point;
+  std::string name = std::string(to_string(p.protocol)) + "_" +
+                     to_string(p.adversary) + "_" + to_string(p.activation) +
+                     (info.param.crash ? "_crash" : "") + "_i" +
+                     std::to_string(info.index);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+/// Every protocol kind (always-on and duty-cycled), every adversary kind,
+/// every activation kind — each axis swept with the others held at values
+/// that keep the execution busy (jamming on, staggered wakes).
+std::vector<DiffCase> all_axis_cases() {
+  std::vector<DiffCase> cases;
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kTrapdoor,        ProtocolKind::kTrapdoorFullBand,
+      ProtocolKind::kGoodSamaritan,   ProtocolKind::kWakeupBaseline,
+      ProtocolKind::kAloha,           ProtocolKind::kFaultTolerantTrapdoor,
+      ProtocolKind::kDutyCycle,       ProtocolKind::kEnergyOracle};
+  const AdversaryKind adversaries[] = {
+      AdversaryKind::kNone,           AdversaryKind::kFixedFirst,
+      AdversaryKind::kRandomSubset,   AdversaryKind::kSweep,
+      AdversaryKind::kGilbertElliott, AdversaryKind::kGreedyDelivery,
+      AdversaryKind::kGreedyListener, AdversaryKind::kDutyCycle,
+      AdversaryKind::kWhitespace};
+  const ActivationKind activations[] = {
+      ActivationKind::kSimultaneous, ActivationKind::kStaggeredUniform,
+      ActivationKind::kSequential,   ActivationKind::kTwoBatch,
+      ActivationKind::kPoisson};
+
+  uint64_t seed = 0xD1FF'0000;
+  for (const ProtocolKind protocol : protocols) {
+    DiffCase c;
+    c.point.F = 8;
+    c.point.t = 2;
+    c.point.n = 5;
+    c.point.N = 32;
+    c.point.protocol = protocol;
+    c.point.adversary = AdversaryKind::kRandomSubset;
+    c.point.activation = ActivationKind::kStaggeredUniform;
+    c.point.activation_window = 16;
+    c.seed = ++seed;
+    cases.push_back(c);
+    // The same spec again with a mid-run crash (sleeping victims included).
+    c.crash = true;
+    c.seed = ++seed;
+    cases.push_back(c);
+  }
+  for (const AdversaryKind adversary : adversaries) {
+    DiffCase c;
+    c.point.F = 8;
+    c.point.t = 3;
+    c.point.n = 4;
+    c.point.N = 32;
+    c.point.protocol = ProtocolKind::kDutyCycle;
+    c.point.adversary = adversary;
+    c.point.activation = ActivationKind::kStaggeredUniform;
+    c.point.activation_window = 12;
+    if (adversary == AdversaryKind::kWhitespace) {
+      c.point.whitespace_available = 5;
+      c.point.whitespace_shared = 2;
+    }
+    c.seed = ++seed;
+    cases.push_back(c);
+  }
+  for (const ActivationKind activation : activations) {
+    DiffCase c;
+    c.point.F = 6;
+    c.point.t = 1;
+    c.point.n = 6;
+    c.point.N = 48;
+    c.point.protocol = ProtocolKind::kDutyCycle;
+    c.point.adversary = AdversaryKind::kSweep;
+    c.point.activation = activation;
+    c.point.activation_window = 20;
+    c.seed = ++seed;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class EngineDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(EngineDifferential, DenseAndSparseAreBitIdentical) {
+  run_differential(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, EngineDifferential,
+                         ::testing::ValuesIn(all_axis_cases()), case_name);
+
+TEST(EngineDifferentialTest, RunnerOutcomesMatchThroughBothEngines) {
+  // The full experiment harness (run_until_synced under the hood, including
+  // the sparse engine's idle fast-forward) must land on the same outcome.
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.n = 4;
+  point.N = 32;
+  point.protocol = ProtocolKind::kDutyCycle;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 10;
+
+  const std::vector<uint64_t> seeds = make_seeds(3);
+  auto run_with = [&](EngineMode mode) {
+    ExperimentPoint p = point;
+    p.engine = mode;
+    return run_point(p, seeds);
+  };
+  const PointResult dense = run_with(EngineMode::kDense);
+  const PointResult sparse = run_with(EngineMode::kSparse);
+
+  EXPECT_EQ(dense.runs, sparse.runs);
+  EXPECT_EQ(dense.synced_runs, sparse.synced_runs);
+  EXPECT_EQ(dense.timeout_runs, sparse.timeout_runs);
+  EXPECT_EQ(dense.rounds_to_live.mean, sparse.rounds_to_live.mean);
+  EXPECT_EQ(dense.max_node_latency.max, sparse.max_node_latency.max);
+  EXPECT_EQ(dense.agreement_violations, sparse.agreement_violations);
+  EXPECT_EQ(dense.max_broadcast_weight, sparse.max_broadcast_weight);
+  EXPECT_EQ(dense.max_awake_rounds.max, sparse.max_awake_rounds.max);
+  EXPECT_EQ(dense.mean_awake_rounds.mean, sparse.mean_awake_rounds.mean);
+  EXPECT_EQ(dense.awake_fraction.mean, sparse.awake_fraction.mean);
+  EXPECT_EQ(dense.broadcast_rounds, sparse.broadcast_rounds);
+  EXPECT_EQ(dense.listen_rounds, sparse.listen_rounds);
+  EXPECT_EQ(dense.sleep_rounds, sparse.sleep_rounds);
+}
+
+TEST(EngineDifferentialTest, AutoResolvesToSparseAndDenseStaysDense) {
+  testing::SimBuilder builder(4, 0, 2);
+  EXPECT_EQ(builder.build(EngineMode::kAuto)->engine_mode(),
+            EngineMode::kSparse);
+  EXPECT_EQ(builder.build(EngineMode::kSparse)->engine_mode(),
+            EngineMode::kSparse);
+  EXPECT_EQ(builder.build(EngineMode::kDense)->engine_mode(),
+            EngineMode::kDense);
+  EXPECT_EQ(builder.build(EngineMode::kDense)->fast_forwarded_rounds(), 0);
+}
+
+TEST(EngineDifferentialTest, CrashWaveRunsMatchThroughRunner) {
+  // Crash waves fire by round index inside the runner; a wave landing in a
+  // window where every duty-cycled node sleeps is exactly the stale-count
+  // regime the sparse observers must get right.
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = 2;
+  point.n = 5;
+  point.N = 32;
+  point.protocol = ProtocolKind::kDutyCycle;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kSimultaneous;
+  point.crash_waves = {{40, 1}, {200, 1}};
+
+  auto outcome_with = [&](EngineMode mode) {
+    ExperimentPoint p = point;
+    p.engine = mode;
+    RunSpec spec = make_run_spec(p);
+    spec.sim.seed = 77;
+    return run_sync_experiment(spec);
+  };
+  const RunOutcome dense = outcome_with(EngineMode::kDense);
+  const RunOutcome sparse = outcome_with(EngineMode::kSparse);
+  EXPECT_EQ(dense.synced, sparse.synced);
+  EXPECT_EQ(dense.rounds, sparse.rounds);
+  EXPECT_EQ(dense.last_sync_round, sparse.last_sync_round);
+  EXPECT_EQ(dense.sync_latency, sparse.sync_latency);
+  EXPECT_EQ(dense.max_broadcast_weight, sparse.max_broadcast_weight);
+  EXPECT_EQ(dense.energy, sparse.energy);
+}
+
+}  // namespace
+}  // namespace wsync

@@ -18,7 +18,11 @@
 //   * whitespace masks: no delivery ever crosses a frequency excluded by
 //     the sender's or the receiver's availability mask;
 //   * energy budgets: aggregate_point flags a violation iff some node's
-//     awake-rounds exceeded the tuple's drawn budget.
+//     awake-rounds exceeded the tuple's drawn budget;
+//   * engine equivalence: every tuple also runs a dense-engine twin in
+//     lockstep with the (sparse-by-default) primary sim, asserting
+//     bit-identical RoundReports per round and identical ledger/observer
+//     state at the end — the fuzz arm of the differential wall.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -147,6 +151,13 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
             tuple.point.adversary == AdversaryKind::kWhitespace);
   Simulation sim(spec.sim, spec.factory, std::move(adversary),
                  spec.make_activation(), &trace);
+  ASSERT_EQ(sim.engine_mode(), EngineMode::kSparse);  // kAuto resolves sparse
+  // The differential wall rides along: a dense twin of the same spec runs
+  // in lockstep, and every tuple must produce a bit-identical execution.
+  SimConfig dense_config = spec.sim;
+  dense_config.engine = EngineMode::kDense;
+  Simulation dense(dense_config, spec.factory, spec.make_adversary(),
+                   spec.make_activation());
   SyncVerifier verifier(spec.verifier);
 
   const RoundId rounds =
@@ -160,12 +171,15 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
       for (NodeId id = tuple.point.n - 1; id >= 0; --id) {
         if (sim.is_active(id) && !sim.is_crashed(id)) {
           sim.crash(id);
+          dense.crash(id);
           ++expected_crashes;
           break;
         }
       }
     }
-    sim.step();
+    const RoundReport report = sim.step();
+    const RoundReport dense_report = dense.step();
+    ASSERT_EQ(report, dense_report) << "engines diverged at round " << r;
     verifier.observe(sim);
 
     const RoundTraceEvent& event = trace.rounds().back();
@@ -232,6 +246,23 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
     if (sim.all_synced()) break;
   }
 
+  // Differential wall: after the lockstep run, every observable surface of
+  // the two engines must agree — per-node ledger state included.
+  ASSERT_EQ(sim.round(), dense.round());
+  EXPECT_EQ(sim.all_synced(), dense.all_synced());
+  EXPECT_EQ(sim.active_count(), dense.active_count());
+  EXPECT_EQ(sim.crashed_count(), dense.crashed_count());
+  EXPECT_EQ(sim.activated_total(), dense.activated_total());
+  EXPECT_EQ(sim.energy().totals(), dense.energy().totals());
+  for (NodeId id = 0; id < tuple.point.n; ++id) {
+    EXPECT_EQ(sim.energy().node(id), dense.energy().node(id)) << "node " << id;
+    EXPECT_EQ(sim.output(id), dense.output(id)) << "node " << id;
+    EXPECT_EQ(sim.sync_round(id), dense.sync_round(id)) << "node " << id;
+    EXPECT_EQ(sim.activation_round(id), dense.activation_round(id))
+        << "node " << id;
+    EXPECT_EQ(sim.role(id), dense.role(id)) << "node " << id;
+  }
+
   // Invariant: all_synced() means every surviving node holds a number.
   if (sim.all_synced()) {
     int64_t first_output = SyncOutput::kBottom;
@@ -275,7 +306,7 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Axes, ScenarioFuzz,
-                         ::testing::ValuesIn(draw_tuples(60, 0xF0220)),
+                         ::testing::ValuesIn(draw_tuples(72, 0xF0220)),
                          tuple_name);
 
 }  // namespace

@@ -1,0 +1,168 @@
+// Shared Simulation-construction boilerplate for engine tests.
+//
+// Most engine tests build the same thing: a SimConfig (F, t, n, seed), a
+// protocol factory, an adversary, an activation schedule, maybe a trace
+// sink. SimBuilder collects those choices fluently; build() produces a
+// Simulation, and pair() produces the dense/sparse twin the differential
+// tests diff against each other — one spec, two engines, same seed.
+//
+// Adversaries and activation schedules are captured as producers (not
+// instances) because both are stateful: each build() call gets a fresh
+// one, which is what makes pair() runs independent and bit-comparable.
+#ifndef WSYNC_TESTS_TESTING_SIM_BUILDER_H_
+#define WSYNC_TESTS_TESTING_SIM_BUILDER_H_
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/adversary/basic.h"
+#include "src/radio/activation.h"
+#include "src/radio/engine.h"
+#include "tests/testing/fake_protocol.h"
+
+namespace wsync {
+namespace testing {
+
+/// A dense/sparse twin built from one spec; see SimBuilder::pair().
+struct EnginePair {
+  std::unique_ptr<Simulation> dense;
+  std::unique_ptr<Simulation> sparse;
+
+  /// Steps both engines one round and checks the reports match; returns the
+  /// dense report (== the sparse one when the expectation holds).
+  RoundReport step() {
+    const RoundReport a = dense->step();
+    const RoundReport b = sparse->step();
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.activations, b.activations) << "round " << a.round;
+    EXPECT_EQ(a.deliveries, b.deliveries) << "round " << a.round;
+    EXPECT_EQ(a.broadcasters, b.broadcasters) << "round " << a.round;
+    EXPECT_EQ(a.absences, b.absences) << "round " << a.round;
+    // Bit-identical, not approximately equal: both engines must sum the
+    // same weights in the same node order.
+    EXPECT_EQ(a.broadcast_weight, b.broadcast_weight) << "round " << a.round;
+    return a;
+  }
+
+  /// Checks every observer the engines expose agrees: per-node visible
+  /// state, ledger entries, and the aggregate counters.
+  void expect_same_state() const {
+    ASSERT_EQ(dense->round(), sparse->round());
+    EXPECT_EQ(dense->active_count(), sparse->active_count());
+    EXPECT_EQ(dense->crashed_count(), sparse->crashed_count());
+    EXPECT_EQ(dense->activated_total(), sparse->activated_total());
+    EXPECT_EQ(dense->all_synced(), sparse->all_synced());
+    EXPECT_EQ(dense->energy().totals(), sparse->energy().totals());
+    for (NodeId id = 0; id < dense->config().n; ++id) {
+      EXPECT_EQ(dense->is_active(id), sparse->is_active(id)) << "node " << id;
+      EXPECT_EQ(dense->is_crashed(id), sparse->is_crashed(id))
+          << "node " << id;
+      EXPECT_EQ(dense->activation_round(id), sparse->activation_round(id))
+          << "node " << id;
+      EXPECT_EQ(dense->sync_round(id), sparse->sync_round(id))
+          << "node " << id;
+      EXPECT_EQ(dense->output(id), sparse->output(id)) << "node " << id;
+      EXPECT_EQ(dense->role(id), sparse->role(id)) << "node " << id;
+      EXPECT_EQ(dense->energy().node(id), sparse->energy().node(id))
+          << "node " << id;
+    }
+  }
+};
+
+class SimBuilder {
+ public:
+  /// Starts from the parameters every test sets; N defaults to n.
+  SimBuilder(int F, int t, int n) {
+    config_.F = F;
+    config_.t = t;
+    config_.N = n;
+    config_.n = n;
+  }
+
+  SimBuilder& N(int64_t N) {
+    config_.N = N;
+    return *this;
+  }
+  SimBuilder& seed(uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+  SimBuilder& engine(EngineMode mode) {
+    config_.engine = mode;
+    return *this;
+  }
+  SimBuilder& protocol(ProtocolFactory factory) {
+    factory_ = std::move(factory);
+    return *this;
+  }
+  /// Shorthand for the scripted FakeProtocol used by the radio tests.
+  SimBuilder& fake(std::map<NodeId, FakeProtocol::Script> scripts,
+                   std::map<NodeId, FakeProtocol*>* registry = nullptr) {
+    factory_ = FakeProtocol::factory(std::move(scripts), registry);
+    return *this;
+  }
+  /// Installs `AdversaryT(args...)`, rebuilt fresh per build() call.
+  template <typename AdversaryT, typename... Args>
+  SimBuilder& adversary(Args... args) {
+    make_adversary_ = [args...] {
+      return std::make_unique<AdversaryT>(args...);
+    };
+    return *this;
+  }
+  SimBuilder& adversary(std::function<std::unique_ptr<Adversary>()> make) {
+    make_adversary_ = std::move(make);
+    return *this;
+  }
+  /// Installs `ScheduleT(args...)`, rebuilt fresh per build() call.
+  template <typename ScheduleT, typename... Args>
+  SimBuilder& activation(Args... args) {
+    make_activation_ = [args...] {
+      return std::make_unique<ScheduleT>(args...);
+    };
+    return *this;
+  }
+  SimBuilder& trace(TraceSink* sink) {
+    trace_ = sink;
+    return *this;
+  }
+
+  const SimConfig& config() const { return config_; }
+
+  /// Builds with the spec's engine mode (kAuto unless engine() was called).
+  std::unique_ptr<Simulation> build() const { return build(config_.engine); }
+
+  std::unique_ptr<Simulation> build(EngineMode mode) const {
+    SimConfig config = config_;
+    config.engine = mode;
+    return std::make_unique<Simulation>(
+        config,
+        factory_ ? factory_ : FakeProtocol::factory({}, nullptr),
+        make_adversary_ ? make_adversary_()
+                        : std::make_unique<NoneAdversary>(),
+        make_activation_
+            ? make_activation_()
+            : std::make_unique<SimultaneousActivation>(config.n),
+        trace_);
+  }
+
+  /// The differential one-liner: the same spec under both engines.
+  EnginePair pair() const {
+    return {build(EngineMode::kDense), build(EngineMode::kSparse)};
+  }
+
+ private:
+  SimConfig config_;
+  ProtocolFactory factory_;
+  std::function<std::unique_ptr<Adversary>()> make_adversary_;
+  std::function<std::unique_ptr<ActivationSchedule>()> make_activation_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace testing
+}  // namespace wsync
+
+#endif  // WSYNC_TESTS_TESTING_SIM_BUILDER_H_

@@ -45,6 +45,7 @@ struct Options {
   std::vector<std::string> names;
   long default_max_rounds = 0;  // 0 = no override
   std::map<std::string, long> max_rounds_overrides;  // per scenario
+  EngineMode engine = EngineMode::kAuto;
 };
 
 void print_usage(std::FILE* out) {
@@ -70,7 +71,13 @@ void print_usage(std::FILE* out) {
                "               override every point's liveness budget (bare"
                " K),\n"
                "               or one scenario's (NAME=K; repeatable,"
-               " wins)\n");
+               " wins)\n"
+               "  --engine dense|sparse|auto\n"
+               "               round-loop implementation (default auto ="
+               " sparse);\n"
+               "               results are bit-identical by contract, so"
+               " exports\n"
+               "               from the two engines must diff empty\n");
 }
 
 bool parse_positive_long(const char* text, long* out) {
@@ -168,6 +175,26 @@ bool parse_args(int argc, char** argv, Options* options) {
     } else if (arg == "--max-rounds") {
       if (!parse_max_rounds(next, options)) return false;
       ++i;
+    } else if (arg == "--engine") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --engine needs a value\n");
+        return false;
+      }
+      const std::string mode = next;
+      if (mode == "dense") {
+        options->engine = EngineMode::kDense;
+      } else if (mode == "sparse") {
+        options->engine = EngineMode::kSparse;
+      } else if (mode == "auto") {
+        options->engine = EngineMode::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "wsync_run: bad value for --engine: '%s' (want dense, "
+                     "sparse or auto)\n",
+                     next);
+        return false;
+      }
+      ++i;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "wsync_run: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -258,7 +285,8 @@ int list_catalog(const Options& options) {
   return 0;
 }
 
-/// The scenario with any --max-rounds override applied to every point.
+/// The scenario with any --max-rounds and --engine overrides applied to
+/// every point.
 Scenario with_round_budget(const Scenario& scenario,
                            const Options& options) {
   long rounds = options.default_max_rounds;
@@ -266,10 +294,11 @@ Scenario with_round_budget(const Scenario& scenario,
       it != options.max_rounds_overrides.end()) {
     rounds = it->second;
   }
-  if (rounds == 0) return scenario;
+  if (rounds == 0 && options.engine == EngineMode::kAuto) return scenario;
   Scenario overridden = scenario;
   for (ExperimentPoint& point : overridden.grid) {
-    point.max_rounds = rounds;
+    if (rounds != 0) point.max_rounds = rounds;
+    point.engine = options.engine;
   }
   return overridden;
 }
