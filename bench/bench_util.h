@@ -2,8 +2,10 @@
 #ifndef WSYNC_BENCH_BENCH_UTIL_H_
 #define WSYNC_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 namespace wsync::bench {
 
@@ -14,6 +16,44 @@ inline void section(const std::string& title) {
 
 inline void note(const std::string& text) {
   std::printf("%s\n", text.c_str());
+}
+
+/// The repo's single sanctioned wall-clock site (the `wallclock` rule in
+/// tools/wsync_lint): every bench measures elapsed time through this
+/// stopwatch, and nothing outside bench timing may read a clock at all —
+/// results must be a function of (spec, seed) only, never of wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Wall-clock milliseconds of one call to `fn`.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  Stopwatch watch;
+  std::forward<Fn>(fn)();
+  return watch.millis();
+}
+
+/// Compiler barrier: keeps `value` (and everything feeding it) alive in a
+/// timed loop without the cost of a volatile store.
+template <typename T>
+inline void keep(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
 }
 
 }  // namespace wsync::bench

@@ -15,7 +15,6 @@
 // Given an output path, writes BENCH_engine_scale.json. Timing numbers are
 // wall-clock and therefore machine-dependent; they are uploaded as an
 // artifact, never diffed.
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -50,17 +49,11 @@ std::unique_ptr<Simulation> make_sim(int64_t N, EngineMode engine) {
       std::make_unique<SimultaneousActivation>(static_cast<int>(N)));
 }
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 /// Executes `rounds` rounds and returns the wall-clock rate.
 double timed_rounds_per_sec(Simulation& sim, RoundId rounds) {
-  const auto start = std::chrono::steady_clock::now();
+  const bench::Stopwatch watch;
   for (RoundId r = 0; r < rounds; ++r) sim.step();
-  const double elapsed = seconds_since(start);
+  const double elapsed = watch.seconds();
   return elapsed > 0 ? static_cast<double>(rounds) / elapsed : 0.0;
 }
 

@@ -1,18 +1,33 @@
-// E13 — engine performance (google-benchmark): node-rounds per second of
-// the radio simulator under each protocol, so the scaling experiments'
-// costs are understood and regressions in the hot path are visible.
-#include <benchmark/benchmark.h>
-
+// E13 — engine performance: node-rounds per second of the radio simulator
+// under each protocol, so the scaling experiments' costs are understood and
+// regressions in the hot path are visible.
+//
+// Self-timed on bench/bench_util.h's Stopwatch (adaptive iteration count:
+// each case runs batches until it has accumulated a stable wall-clock
+// sample), so the bench always builds — no external benchmark library.
+// Given an output path, writes BENCH_engine_throughput.json. Timing numbers
+// are wall-clock and machine-dependent; they are archived for trend
+// watching, never diffed.
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "src/adversary/basic.h"
 #include "src/baseline/aloha.h"
+#include "src/common/rng.h"
 #include "src/radio/engine.h"
 #include "src/samaritan/good_samaritan.h"
+#include "src/stats/table.h"
 #include "src/trapdoor/trapdoor.h"
 
 namespace wsync {
 namespace {
+
+constexpr double kMinSampleSeconds = 0.2;
+constexpr int kBatch = 64;
 
 std::unique_ptr<Simulation> make_sim(ProtocolFactory factory, int F, int t,
                                      int n) {
@@ -27,62 +42,106 @@ std::unique_ptr<Simulation> make_sim(ProtocolFactory factory, int F, int t,
       std::make_unique<SimultaneousActivation>(n));
 }
 
-void BM_TrapdoorStep(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto sim = make_sim(TrapdoorProtocol::factory(), 16, 4, n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim->step());
-  }
-  state.counters["node_rounds/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * n,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_TrapdoorStep)->Arg(16)->Arg(64)->Arg(256);
+struct Measurement {
+  std::string name;
+  int n = 0;             ///< nodes per iteration (0 = not node-scaled)
+  int64_t iterations = 0;
+  double wall_ms = 0;
+  double iters_per_sec = 0;
+  double node_rounds_per_sec = 0;
+};
 
-void BM_GoodSamaritanStep(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto sim = make_sim(GoodSamaritanProtocol::factory(), 16, 4, n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim->step());
+/// Runs `body` in batches until the accumulated sample is long enough to
+/// trust, then converts to rates. One warm-up call precedes timing.
+template <typename Body>
+Measurement run_case(const std::string& name, int n, Body&& body) {
+  Measurement m;
+  m.name = name;
+  m.n = n;
+  body();  // warm-up: first-touch allocations stay out of the sample
+  bench::Stopwatch watch;
+  while (watch.seconds() < kMinSampleSeconds) {
+    for (int i = 0; i < kBatch; ++i) body();
+    m.iterations += kBatch;
   }
-  state.counters["node_rounds/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * n,
-      benchmark::Counter::kIsRate);
+  const double elapsed = watch.seconds();
+  m.wall_ms = elapsed * 1e3;
+  m.iters_per_sec =
+      elapsed > 0 ? static_cast<double>(m.iterations) / elapsed : 0;
+  m.node_rounds_per_sec = m.iters_per_sec * n;
+  return m;
 }
-BENCHMARK(BM_GoodSamaritanStep)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_AlohaStep(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto sim = make_sim(AlohaSync::factory(), 16, 4, n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim->step());
-  }
-  state.counters["node_rounds/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * n,
-      benchmark::Counter::kIsRate);
+Measurement step_case(const std::string& name, ProtocolFactory factory,
+                      int n) {
+  auto sim = make_sim(std::move(factory), 16, 4, n);
+  return run_case(name, n, [&sim] { bench::keep(sim->step()); });
 }
-BENCHMARK(BM_AlohaStep)->Arg(64);
-
-void BM_FullTrapdoorRun(benchmark::State& state) {
-  // End-to-end cost of one complete synchronization at a typical bench
-  // configuration.
-  for (auto _ : state) {
-    auto sim = make_sim(TrapdoorProtocol::factory(), 16, 8, 16);
-    const auto result = sim->run_until_synced(1000000);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_FullTrapdoorRun)->Unit(benchmark::kMillisecond);
-
-void BM_RngDraw(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_below(16));
-  }
-}
-BENCHMARK(BM_RngDraw);
 
 }  // namespace
 }  // namespace wsync
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace wsync;
+  bench::section(
+      "Engine throughput — node-rounds per second of the round loop under "
+      "each protocol (self-timed)");
+
+  std::vector<Measurement> results;
+  for (const int n : {16, 64, 256}) {
+    results.push_back(
+        step_case("trapdoor_step", TrapdoorProtocol::factory(), n));
+  }
+  for (const int n : {16, 64, 256}) {
+    results.push_back(step_case("good_samaritan_step",
+                                GoodSamaritanProtocol::factory(), n));
+  }
+  results.push_back(step_case("aloha_step", AlohaSync::factory(), 64));
+
+  // End-to-end cost of one complete synchronization at a typical bench
+  // configuration (iterations are whole runs, so node_rounds/s is 0).
+  results.push_back(run_case("full_trapdoor_run", 0, [] {
+    auto sim = make_sim(TrapdoorProtocol::factory(), 16, 8, 16);
+    bench::keep(sim->run_until_synced(1000000));
+  }));
+
+  {
+    Rng rng(1);
+    results.push_back(
+        run_case("rng_draw", 0, [&rng] { bench::keep(rng.next_below(16)); }));
+  }
+
+  Table table({"case", "n", "iterations", "wall ms", "iters/s",
+               "node_rounds/s"});
+  for (const Measurement& m : results) {
+    table.row()
+        .cell(m.name)
+        .cell(static_cast<int64_t>(m.n))
+        .cell(m.iterations)
+        .cell(m.wall_ms, 1)
+        .cell(m.iters_per_sec, 1)
+        .cell(m.node_rounds_per_sec, 1);
+  }
+  std::printf("%s", table.markdown().c_str());
+  bench::note(
+      "\nShape check: step cases scale sub-linearly in n (per-round work is "
+      "O(F + awake)),\nand rng_draw bounds the per-draw cost every hot path "
+      "pays.");
+
+  bool ok = true;
+  for (const Measurement& m : results) ok &= m.iters_per_sec > 0;
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "engine_throughput: cannot write '%s'\n",
+                   argv[1]);
+      return 2;
+    }
+    out << "{\n  \"bench\": \"engine_throughput\",\n  \"ok\": "
+        << (ok ? "true" : "false") << ",\n  \"cases\":\n" << table.json(2)
+        << "\n}\n";
+    std::printf("\nwrote %s\n", argv[1]);
+  }
+  return ok ? 0 : 1;
+}

@@ -6,7 +6,6 @@
 // overridable via argv[1]) so CI can track the perf trajectory from PR to
 // PR. The bench also re-verifies the determinism contract: every parallel
 // outcome vector must be bit-identical to the serial one.
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,13 +17,6 @@
 
 namespace wsync {
 namespace {
-
-double wall_ms(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(stop - start).count();
-}
 
 bool identical(const std::vector<RunOutcome>& a,
                const std::vector<RunOutcome>& b) {
@@ -84,7 +76,7 @@ int main(int argc, char** argv) {
 
   std::vector<RunOutcome> serial;
   const double serial_ms =
-      wall_ms([&] { serial = run_sync_experiments(spec, seeds); });
+      bench::time_ms([&] { serial = run_sync_experiments(spec, seeds); });
 
   struct Measurement {
     int workers;
@@ -95,7 +87,7 @@ int main(int argc, char** argv) {
   for (const int workers : {1, 2, 4, 8}) {
     ThreadPool pool(workers);  // pool construction is part of neither timing
     std::vector<RunOutcome> outcomes;
-    const double ms = wall_ms(
+    const double ms = bench::time_ms(
         [&] { outcomes = run_sync_experiments_parallel(spec, seeds, pool); });
     measurements.push_back({workers, ms, identical(serial, outcomes)});
   }

@@ -1,0 +1,27 @@
+// Fixture mirror of the real types.h EngineMode declaration + to_string.
+// EngineMode::kGhostMode is deliberately unwired: no to_string case, absent
+// from the wsync_run --engine wiring and from the differential wall.
+#ifndef WSYNC_LINT_FIXTURE_TYPES_H_
+#define WSYNC_LINT_FIXTURE_TYPES_H_
+
+#include <cstdint>
+
+namespace wsync {
+
+enum class EngineMode : uint8_t {
+  kAuto,
+  kDense,
+  kGhostMode,  ///< VIOLATION: declared but wired nowhere
+};
+
+constexpr const char* to_string(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kAuto: return "auto";
+    case EngineMode::kDense: return "dense";
+    default: return "unknown";
+  }
+}
+
+}  // namespace wsync
+
+#endif  // WSYNC_LINT_FIXTURE_TYPES_H_

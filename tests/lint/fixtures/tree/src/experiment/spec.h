@@ -1,0 +1,28 @@
+// Fixture mirror of the real spec.h enum declarations. ProtocolKind::kGhost
+// is deliberately unwired: no to_string case, no factory case, no fuzz-axis
+// entry — the exact "new enum kind is silently unreachable" bug class.
+#ifndef WSYNC_LINT_FIXTURE_SPEC_H_
+#define WSYNC_LINT_FIXTURE_SPEC_H_
+
+namespace wsync {
+
+enum class ProtocolKind {
+  kTrapdoor,
+  kGhost,  ///< VIOLATION: declared but wired nowhere
+};
+
+enum class AdversaryKind {
+  kNone,
+};
+
+enum class ActivationKind {
+  kSimultaneous,
+};
+
+const char* to_string(ProtocolKind kind);
+const char* to_string(AdversaryKind kind);
+const char* to_string(ActivationKind kind);
+
+}  // namespace wsync
+
+#endif  // WSYNC_LINT_FIXTURE_SPEC_H_

@@ -1,0 +1,38 @@
+// Fixture mirror of the real sweep.cc wiring sites: to_string switches and
+// the protocol/adversary/activation factories. ProtocolKind::kGhost is
+// missing from both — the lint must flag it twice against this file.
+#include "src/experiment/spec.h"
+
+namespace wsync {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kTrapdoor: return "trapdoor";
+  }
+  return "unknown";
+}
+
+const char* to_string(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+  }
+  return "unknown";
+}
+
+const char* to_string(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kSimultaneous: return "simultaneous";
+  }
+  return "unknown";
+}
+
+int make_factory_id(ProtocolKind protocol, AdversaryKind adversary,
+                    ActivationKind activation) {
+  int id = 0;
+  if (protocol == ProtocolKind::kTrapdoor) id += 1;
+  if (adversary == AdversaryKind::kNone) id += 2;
+  if (activation == ActivationKind::kSimultaneous) id += 4;
+  return id;
+}
+
+}  // namespace wsync

@@ -1,0 +1,31 @@
+// Suppressed violations: each offending line carries (or follows) a
+// `wsync-lint: allow(<rule>)` annotation, so the self-test must see ZERO
+// findings from this file.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace wsync::lintfix {
+
+unsigned annotated_entropy() {
+  std::random_device device;  // wsync-lint: allow(randomness)
+  return device();
+}
+
+double annotated_wallclock() {
+  // wsync-lint: allow(wallclock)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int annotated_iteration() {
+  std::unordered_map<int, int> histogram;
+  int total = 0;
+  // wsync-lint: allow(unordered-iteration)
+  for (const auto& [bucket, count] : histogram) {
+    total += bucket * count;
+  }
+  return total;
+}
+
+}  // namespace wsync::lintfix

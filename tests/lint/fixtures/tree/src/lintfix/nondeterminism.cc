@@ -1,0 +1,18 @@
+// Seeded violations: unseeded randomness sources. Every draw in wsync
+// must come from the per-run forked wsync::Rng streams.
+#include <cstdlib>
+#include <random>
+
+namespace wsync::lintfix {
+
+unsigned nondeterministic_seed() {
+  std::random_device device;  // VIOLATION: hardware entropy
+  return device();
+}
+
+int global_prng_draw() {
+  std::srand(42);        // VIOLATION: reseeds the global PRNG
+  return std::rand();    // VIOLATION: unseeded global PRNG
+}
+
+}  // namespace wsync::lintfix

@@ -1,0 +1,36 @@
+// Seeded violations: result-affecting iteration over unordered containers
+// in src/ (iteration order is implementation-defined).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wsync::lintfix {
+
+int sum_values() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // VIOLATION: range-for
+    total += key + value;
+  }
+  return total;
+}
+
+std::string join_names() {
+  std::unordered_set<std::string> names{"b", "a"};
+  std::string joined;
+  for (auto it = names.begin(); it != names.end(); ++it) {  // VIOLATION
+    joined += *it;
+  }
+  return joined;
+}
+
+int lookup_only() {
+  // Not a violation: point lookups never observe the bucket order.
+  std::unordered_map<int, int> cache;
+  cache[7] = 49;
+  const auto hit = cache.find(7);
+  return hit == cache.end() ? 0 : hit->second;
+}
+
+}  // namespace wsync::lintfix

@@ -1,0 +1,14 @@
+// Fixture mirror of the differential wall: the engine-mode axis stepped in
+// lockstep. kGhostMode never appears, so it escapes the wall.
+#include "src/common/types.h"
+
+namespace wsync {
+
+int modes_covered() {
+  int covered = 0;
+  if (to_string(EngineMode::kAuto) != nullptr) ++covered;
+  if (to_string(EngineMode::kDense) != nullptr) ++covered;
+  return covered;
+}
+
+}  // namespace wsync

@@ -1,0 +1,16 @@
+// Fixture mirror of the fuzz axes. ProtocolKind::kGhost is missing from
+// kProtocols, so no random tuple can ever exercise it.
+#include "src/experiment/spec.h"
+
+namespace wsync {
+
+constexpr ProtocolKind kProtocols[] = {ProtocolKind::kTrapdoor};
+constexpr AdversaryKind kAdversaries[] = {AdversaryKind::kNone};
+constexpr ActivationKind kActivations[] = {ActivationKind::kSimultaneous};
+
+int axis_sizes() {
+  return static_cast<int>(sizeof(kProtocols) + sizeof(kAdversaries) +
+                          sizeof(kActivations));
+}
+
+}  // namespace wsync

@@ -1,0 +1,20 @@
+// Fixture mirror of the --engine flag wiring. kGhostMode is not parseable.
+#include <string>
+
+#include "src/common/types.h"
+
+namespace wsync {
+
+bool parse_engine(const std::string& text, EngineMode* mode) {
+  if (text == "auto") {
+    *mode = EngineMode::kAuto;
+    return true;
+  }
+  if (text == "dense") {
+    *mode = EngineMode::kDense;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wsync

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check (never rewrite) clang-format conformance of src/ and tools/ against
+# the checked-in .clang-format. tests/ and bench/ keep their hand-tuned
+# table layouts and are deliberately out of scope.
+#
+# Usage: tools/check_format.sh
+#
+# Exits non-zero on any deviation. When clang-format is not installed,
+# fails with a clear message: the format gate must never pass vacuously.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+fmt_bin="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${fmt_bin}" >/dev/null 2>&1; then
+  echo "check_format.sh: '${fmt_bin}' not found on PATH." >&2
+  echo "Install clang-format (or set CLANG_FORMAT) and re-run." >&2
+  exit 2
+fi
+
+mapfile -t sources < <(
+  find "${repo_root}/src" "${repo_root}/tools" \
+    -name '*.cc' -o -name '*.cpp' -o -name '*.h' | sort)
+
+echo "check_format.sh: $("${fmt_bin}" --version)"
+echo "check_format.sh: checking ${#sources[@]} files"
+
+"${fmt_bin}" --dry-run -Werror --style=file "${sources[@]}"
+echo "check_format.sh: clean"

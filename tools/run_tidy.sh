@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the first-party tree (src/, tools/, bench/) using the
+# checked-in .clang-tidy config and a compile_commands.json.
+#
+# Usage: tools/run_tidy.sh [build-dir] [report-file]
+#   build-dir    defaults to build/ (must contain compile_commands.json;
+#                every preset exports one via CMAKE_EXPORT_COMPILE_COMMANDS)
+#   report-file  defaults to <build-dir>/tidy_report.txt (CI uploads it)
+#
+# Exits non-zero on any finding (.clang-tidy sets WarningsAsErrors: '*').
+# When clang-tidy is not installed, fails with a clear message: the tidy
+# gate must never pass vacuously.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+report="${2:-${build_dir}/tidy_report.txt}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "run_tidy.sh: '${tidy_bin}' not found on PATH." >&2
+  echo "Install clang-tidy (or set CLANG_TIDY) and re-run." >&2
+  exit 2
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_tidy.sh: ${build_dir}/compile_commands.json missing." >&2
+  echo "Configure first: cmake --preset dev (exports compile commands)." >&2
+  exit 2
+fi
+
+mapfile -t sources < <(
+  find "${repo_root}/src" "${repo_root}/tools" "${repo_root}/bench" \
+    -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_tidy.sh: $("${tidy_bin}" --version | head -n 2 | tail -n 1)"
+echo "run_tidy.sh: checking ${#sources[@]} translation units"
+
+status=0
+"${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}" \
+  2>&1 | tee "${report}" || status=$?
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_tidy.sh: findings above (full report: ${report})" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean"
