@@ -1,5 +1,7 @@
 #include "src/scenario/report.h"
 
+#include <string>
+
 namespace wsync {
 
 const std::vector<std::string>& result_columns() {
@@ -45,6 +47,82 @@ void fill_point_cells(Table& table, const ExperimentPoint& p,
 
 }  // namespace
 
+namespace {
+
+/// The catalog-wide CSV schema ("scenario" + result_columns()).
+std::vector<std::string> csv_columns() {
+  std::vector<std::string> columns = {"scenario"};
+  columns.insert(columns.end(), result_columns().begin(),
+                 result_columns().end());
+  return columns;
+}
+
+/// Renders `table` as CSV without its header line.
+std::string csv_rows_only(const Table& table) {
+  const std::string document = table.csv();
+  const size_t newline = document.find('\n');
+  return newline == std::string::npos ? std::string()
+                                      : document.substr(newline + 1);
+}
+
+}  // namespace
+
+std::string csv_point_row(const Scenario& scenario, size_t point_index,
+                          const PointResult& result) {
+  Table table(csv_columns());
+  table.row().cell(scenario.name);
+  fill_point_cells(table, scenario.grid[point_index], result);
+  std::string row = csv_rows_only(table);
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  return row;
+}
+
+StreamingCsvWriter::StreamingCsvWriter(std::ostream& out) : out_(out) {
+  // An empty table renders as just the header line.
+  out_ << Table(csv_columns()).csv();
+}
+
+void StreamingCsvWriter::add(const Scenario& scenario,
+                             const std::vector<PointResult>& results) {
+  Table table(csv_columns());
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.row().cell(scenario.name);
+    fill_point_cells(table, scenario.grid[i], results[i]);
+  }
+  out_ << csv_rows_only(table);
+}
+
+StreamingJsonWriter::StreamingJsonWriter(std::ostream& out) : out_(out) {
+  out_ << "{\n  \"scenarios\": [";
+}
+
+StreamingJsonWriter::~StreamingJsonWriter() { finish(); }
+
+void StreamingJsonWriter::add_scenario(
+    const Scenario& scenario, int seeds,
+    const std::vector<PointResult>& results,
+    const std::vector<std::string>& failures) {
+  out_ << (scenarios_ == 0 ? "\n" : ",\n");
+  out_ << "    {\"name\": " << json_escaped(scenario.name);
+  out_ << ", \"seeds\": " << seeds << ", \"ok\": ";
+  out_ << (failures.empty() ? "true" : "false");
+  out_ << ", \"failures\": [";
+  for (size_t f = 0; f < failures.size(); ++f) {
+    if (f > 0) out_ << ", ";
+    out_ << json_escaped(failures[f]);
+  }
+  out_ << "],\n     \"points\":\n";
+  out_ << results_table(scenario, results).json(5);
+  out_ << "}";
+  ++scenarios_;
+}
+
+void StreamingJsonWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << (scenarios_ == 0 ? "]\n}\n" : "\n  ]\n}\n");
+}
+
 Table results_table(const Scenario& scenario,
                     const std::vector<PointResult>& results) {
   Table table(result_columns());
@@ -55,13 +133,7 @@ Table results_table(const Scenario& scenario,
   return table;
 }
 
-CsvReport::CsvReport()
-    : table_([] {
-        std::vector<std::string> columns = {"scenario"};
-        columns.insert(columns.end(), result_columns().begin(),
-                       result_columns().end());
-        return columns;
-      }()) {}
+CsvReport::CsvReport() : table_(csv_columns()) {}
 
 void CsvReport::add(const Scenario& scenario,
                     const std::vector<PointResult>& results) {

@@ -9,6 +9,8 @@
 #ifndef WSYNC_SCENARIO_REPORT_H_
 #define WSYNC_SCENARIO_REPORT_H_
 
+#include <cstddef>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -26,8 +28,58 @@ const std::vector<std::string>& result_columns();
 Table results_table(const Scenario& scenario,
                     const std::vector<PointResult>& results);
 
+/// One catalog-wide CSV row for a single grid point ("scenario" prepended
+/// to result_columns()), rendered exactly as the CSV exports render it, no
+/// trailing newline. wsync_serve streams these as `point` lines.
+std::string csv_point_row(const Scenario& scenario, size_t point_index,
+                          const PointResult& result);
+
+// --- streaming writers ----------------------------------------------------
+// The sweep service emits results chunk by chunk; these writers append to
+// an already-open stream as scenarios complete, and are the single source
+// of the export formats: the one-shot, resumed, and served paths all drive
+// the same writer sequence, which is what makes their outputs
+// byte-identical (the contract tests/service/ pins). Rows are rendered per
+// scenario through the same Table code as the one-shot reports, so the
+// bytes cannot drift.
+
+/// Catalog-wide CSV, header written on construction.
+class StreamingCsvWriter {
+ public:
+  explicit StreamingCsvWriter(std::ostream& out);
+
+  /// Appends one row per grid point of `scenario`.
+  void add(const Scenario& scenario, const std::vector<PointResult>& results);
+
+ private:
+  std::ostream& out_;
+};
+
+/// The wsync_run JSON document ({"scenarios": [...]}), streamed one
+/// scenario object at a time. finish() closes the document (idempotent;
+/// also run by the destructor so a dropped writer still emits valid JSON).
+class StreamingJsonWriter {
+ public:
+  explicit StreamingJsonWriter(std::ostream& out);
+  ~StreamingJsonWriter();
+
+  StreamingJsonWriter(const StreamingJsonWriter&) = delete;
+  StreamingJsonWriter& operator=(const StreamingJsonWriter&) = delete;
+
+  void add_scenario(const Scenario& scenario, int seeds,
+                    const std::vector<PointResult>& results,
+                    const std::vector<std::string>& failures);
+  void finish();
+
+ private:
+  std::ostream& out_;
+  size_t scenarios_ = 0;
+  bool finished_ = false;
+};
+
 /// Accumulates every selected scenario's rows into one catalog-wide CSV
-/// ("scenario" prepended to result_columns()).
+/// ("scenario" prepended to result_columns()). A convenience buffer over
+/// StreamingCsvWriter for tests and in-memory consumers.
 class CsvReport {
  public:
   CsvReport();

@@ -1,0 +1,233 @@
+#include "src/service/streaming_sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/experiment/parallel_sweep.h"
+#include "src/service/job_queue.h"
+#include "src/sync/runner.h"
+
+namespace wsync {
+
+namespace {
+
+/// Maps a flat chunk index to its (scenario, point) coordinates.
+struct ChunkMap {
+  explicit ChunkMap(const SweepPlan& plan) {
+    size_t base = 0;
+    for (const PlannedScenario& planned : plan.scenarios) {
+      starts.push_back(base);
+      base += planned.scenario.grid.size();
+    }
+    total = base;
+  }
+
+  std::pair<size_t, size_t> locate(size_t chunk) const {
+    // Last scenario whose first chunk is <= chunk. starts is nonempty and
+    // starts[0] == 0 (validate() rejects empty grids), so the upper_bound
+    // is never begin().
+    const auto it = std::upper_bound(starts.begin(), starts.end(), chunk);
+    const size_t scenario = static_cast<size_t>(it - starts.begin()) - 1;
+    return {scenario, chunk - starts[scenario]};
+  }
+
+  std::vector<size_t> starts;
+  size_t total = 0;
+};
+
+void mix(uint64_t* hash, uint64_t value) {
+  // FNV-1a over the value's bytes, little-endian.
+  for (int i = 0; i < 8; ++i) {
+    *hash ^= value >> i * 8 & 0xff;
+    *hash *= 0x100000001b3;
+  }
+}
+
+void mix_string(uint64_t* hash, const std::string& text) {
+  mix(hash, text.size());
+  *hash = fnv1a64(text, *hash);
+}
+
+}  // namespace
+
+size_t SweepPlan::chunk_count() const {
+  size_t total = 0;
+  for (const PlannedScenario& planned : scenarios) {
+    total += planned.scenario.grid.size();
+  }
+  return total;
+}
+
+SweepPlan make_plan(const std::vector<const Scenario*>& selected,
+                    int seeds_override) {
+  SweepPlan plan;
+  plan.scenarios.reserve(selected.size());
+  for (const Scenario* scenario : selected) {
+    validate(*scenario);
+    PlannedScenario planned;
+    planned.scenario = *scenario;
+    planned.seeds =
+        seeds_override > 0 ? seeds_override : scenario->default_seeds;
+    plan.scenarios.push_back(std::move(planned));
+  }
+  return plan;
+}
+
+uint64_t plan_fingerprint(const SweepPlan& plan) {
+  uint64_t hash = fnv1a64("wsync-sweep-plan-v1");
+  mix(&hash, plan.scenarios.size());
+  for (const PlannedScenario& planned : plan.scenarios) {
+    const Scenario& s = planned.scenario;
+    mix_string(&hash, s.name);
+    mix(&hash, static_cast<uint64_t>(planned.seeds));
+    mix(&hash, s.grid.size());
+    for (const ExperimentPoint& p : s.grid) {
+      mix(&hash, static_cast<uint64_t>(p.F));
+      mix(&hash, static_cast<uint64_t>(p.t));
+      mix(&hash, static_cast<uint64_t>(p.N));
+      mix(&hash, static_cast<uint64_t>(p.n));
+      mix(&hash, static_cast<uint64_t>(p.protocol));
+      mix(&hash, static_cast<uint64_t>(p.adversary));
+      mix(&hash, static_cast<uint64_t>(p.activation));
+      mix(&hash, static_cast<uint64_t>(p.jam_count));
+      mix(&hash, static_cast<uint64_t>(p.activation_window));
+      mix(&hash, static_cast<uint64_t>(p.max_rounds));
+      mix(&hash, static_cast<uint64_t>(p.extra_rounds));
+      mix(&hash, static_cast<uint64_t>(p.duty_period));
+      mix(&hash, static_cast<uint64_t>(p.duty_on));
+      mix(&hash, static_cast<uint64_t>(p.whitespace_available));
+      mix(&hash, static_cast<uint64_t>(p.whitespace_shared));
+      mix(&hash, static_cast<uint64_t>(p.energy_budget));
+      mix(&hash, p.crash_waves.size());
+      for (const CrashWave& wave : p.crash_waves) {
+        mix(&hash, static_cast<uint64_t>(wave.round));
+        mix(&hash, static_cast<uint64_t>(wave.count));
+      }
+      // p.engine deliberately unmixed: dense/sparse are bit-identical.
+    }
+  }
+  return hash;
+}
+
+SweepOutcome run_streaming_sweep(const SweepPlan& plan, ThreadPool& pool,
+                                 const StreamingSweepOptions& options,
+                                 ChunkSink& sink) {
+  const ChunkMap map(plan);
+  if (options.resume != nullptr) {
+    // Belt and braces on top of the fingerprint: every resumed chunk must
+    // exist in this plan.
+    for (const auto& [key, result] : *options.resume) {
+      bool known = false;
+      for (const PlannedScenario& planned : plan.scenarios) {
+        if (planned.scenario.name == key.first &&
+            key.second < planned.scenario.grid.size()) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw std::runtime_error(
+            "checkpoint covers unknown chunk: scenario '" + key.first +
+            "' point " + std::to_string(key.second));
+      }
+    }
+  }
+
+  // Per-scenario seed vectors, computed once.
+  std::vector<std::vector<uint64_t>> seeds;
+  seeds.reserve(plan.scenarios.size());
+  for (const PlannedScenario& planned : plan.scenarios) {
+    seeds.push_back(make_seeds(planned.seeds));
+  }
+
+  const size_t window =
+      options.window > 0
+          ? options.window
+          : 2 * static_cast<size_t>(pool.worker_count());
+
+  // Ring storage, indexed chunk % window: the spec and per-seed outcomes of
+  // every admitted chunk. Freed (assign of empty) as soon as the chunk is
+  // aggregated, which is what bounds peak memory per-chunk.
+  struct ChunkState {
+    RunSpec spec;
+    std::vector<RunOutcome> outcomes;
+    bool from_checkpoint = false;
+  };
+  std::vector<ChunkState> ring(window);
+
+  SweepOutcome outcome;
+  std::vector<PointResult> scenario_results;
+
+  auto tasks_in_chunk = [&](size_t chunk) -> size_t {
+    const auto [si, pi] = map.locate(chunk);
+    const PlannedScenario& planned = plan.scenarios[si];
+    ChunkState& state = ring[chunk % window];
+    state.from_checkpoint =
+        options.resume != nullptr &&
+        options.resume->count({planned.scenario.name, pi}) > 0;
+    if (state.from_checkpoint) {
+      state.outcomes.clear();
+      return 0;
+    }
+    state.spec = make_run_spec(planned.scenario.grid[pi]);
+    state.outcomes.assign(seeds[si].size(), RunOutcome{});
+    return seeds[si].size();
+  };
+
+  auto run_task = [&](size_t chunk, size_t task) {
+    const auto [si, pi] = map.locate(chunk);
+    ChunkState& state = ring[chunk % window];
+    RunSpec seeded = state.spec;
+    seeded.sim.seed = seeds[si][task];
+    state.outcomes[task] = run_sync_experiment(seeded);
+  };
+
+  auto on_chunk = [&](size_t chunk) {
+    const auto [si, pi] = map.locate(chunk);
+    const PlannedScenario& planned = plan.scenarios[si];
+    ChunkState& state = ring[chunk % window];
+
+    if (pi == 0) sink.on_scenario_begin(si, planned);
+
+    PointResult result;
+    if (state.from_checkpoint) {
+      result = options.resume->at({planned.scenario.name, pi});
+      result.point = planned.scenario.grid[pi];
+      ++outcome.resumed_chunks;
+    } else {
+      result = aggregate_point(planned.scenario.grid[pi], state.outcomes);
+      // Free the heavy per-seed state now: this is what bounds peak memory
+      // per-chunk instead of per-catalog.
+      state.outcomes.clear();
+      state.outcomes.shrink_to_fit();
+      if (options.throttle_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.throttle_ms));
+      }
+      if (options.checkpoint != nullptr) {
+        options.checkpoint->append(planned.scenario.name, pi, result);
+      }
+      ++outcome.computed_chunks;
+    }
+
+    sink.on_chunk(si, pi, result, state.from_checkpoint);
+    scenario_results.push_back(std::move(result));
+
+    if (pi + 1 == planned.scenario.grid.size()) {
+      const std::vector<std::string> failures =
+          check_expectations(planned.scenario, scenario_results);
+      sink.on_scenario_end(si, planned, scenario_results, failures);
+      if (!failures.empty()) ++outcome.failed_scenarios;
+      scenario_results.clear();
+    }
+  };
+
+  OrderedChunkQueue::run(pool, map.total, tasks_in_chunk, run_task, on_chunk,
+                         window);
+  return outcome;
+}
+
+}  // namespace wsync

@@ -1,0 +1,14 @@
+// Seeded violation: a wall-clock read in src/service/ but OUTSIDE the
+// whitelisted deadline.h — the whitelist is the single file, not the
+// directory. Service code paces I/O through the Deadline API only.
+#include <chrono>
+#include <cstdint>
+
+namespace wsync::lintfix {
+
+int64_t poll_started_nanos() {
+  const auto now = std::chrono::steady_clock::now();  // VIOLATION
+  return now.time_since_epoch().count();
+}
+
+}  // namespace wsync::lintfix

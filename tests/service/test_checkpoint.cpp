@@ -1,0 +1,252 @@
+// Checkpoint wall: bit-exact chunk round-trips (doubles travel as IEEE bit
+// patterns, so -0.0, denormals, infinities and NaN all survive), and the
+// strict-rejection contract — a corrupted, truncated, duplicated or
+// foreign-fingerprint checkpoint must never resume, while a newline-less
+// partial tail (the kill-mid-append signature) is dropped with a notice.
+#include "src/service/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+namespace wsync {
+namespace {
+
+/// A PointResult with every serialized field nonzero and awkward doubles
+/// in the summaries.
+PointResult fancy_result() {
+  PointResult r;
+  r.runs = 12;
+  r.synced_runs = 11;
+  r.timeout_runs = 1;
+  r.agreement_violations = 2;
+  r.commit_violations = 3;
+  r.correctness_violations = 4;
+  r.max_leaders = 5;
+  r.multi_leader_runs = 6;
+  r.max_broadcast_weight = 1.0 / 3.0;
+  r.broadcast_rounds = 700;
+  r.listen_rounds = 800;
+  r.sleep_rounds = 900;
+  r.energy_budget_violations = 7;
+  r.rounds_to_live = {11, 1.5, 0.25, -0.0, 1e300, 2.5, 3.5, 4.5};
+  r.max_node_latency = {11, std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::denorm_min(),
+                        -std::numeric_limits<double>::infinity(), 0.1, 0.2,
+                        0.3};
+  r.max_awake_rounds = {12, 5.0, 0.0, 5.0, 5.0, 5.0, 5.0, 5.0};
+  r.mean_awake_rounds = {12, 4.5, 0.5, 4.0, 5.0, 4.5, 5.0, 5.0};
+  r.awake_fraction = {12, 0.25, 0.0, 0.25, 0.25, 0.25, 0.25, 0.25};
+  return r;
+}
+
+void expect_bit_identical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  const double av[] = {a.mean, a.stddev, a.min, a.max, a.p50, a.p90, a.p99};
+  const double bv[] = {b.mean, b.stddev, b.min, b.max, b.p50, b.p90, b.p99};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(av[i]), std::bit_cast<uint64_t>(bv[i]));
+  }
+}
+
+TEST(CheckpointCodec, ChunkLineRoundTripsBitExactly) {
+  const PointResult original = fancy_result();
+  const std::string line = encode_chunk_line("fancy_scenario", 17, original);
+
+  std::string scenario;
+  size_t point_index = 0;
+  PointResult decoded;
+  ASSERT_EQ(decode_chunk_line(line, &scenario, &point_index, &decoded), "");
+  EXPECT_EQ(scenario, "fancy_scenario");
+  EXPECT_EQ(point_index, 17u);
+  EXPECT_EQ(decoded.runs, original.runs);
+  EXPECT_EQ(decoded.synced_runs, original.synced_runs);
+  EXPECT_EQ(decoded.timeout_runs, original.timeout_runs);
+  EXPECT_EQ(decoded.agreement_violations, original.agreement_violations);
+  EXPECT_EQ(decoded.commit_violations, original.commit_violations);
+  EXPECT_EQ(decoded.correctness_violations, original.correctness_violations);
+  EXPECT_EQ(decoded.max_leaders, original.max_leaders);
+  EXPECT_EQ(decoded.multi_leader_runs, original.multi_leader_runs);
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded.max_broadcast_weight),
+            std::bit_cast<uint64_t>(original.max_broadcast_weight));
+  EXPECT_EQ(decoded.broadcast_rounds, original.broadcast_rounds);
+  EXPECT_EQ(decoded.listen_rounds, original.listen_rounds);
+  EXPECT_EQ(decoded.sleep_rounds, original.sleep_rounds);
+  EXPECT_EQ(decoded.energy_budget_violations,
+            original.energy_budget_violations);
+  expect_bit_identical(decoded.rounds_to_live, original.rounds_to_live);
+  expect_bit_identical(decoded.max_node_latency, original.max_node_latency);
+  expect_bit_identical(decoded.max_awake_rounds, original.max_awake_rounds);
+  expect_bit_identical(decoded.mean_awake_rounds, original.mean_awake_rounds);
+  expect_bit_identical(decoded.awake_fraction, original.awake_fraction);
+}
+
+TEST(CheckpointCodec, FlippedByteFailsTheChecksum) {
+  std::string line = encode_chunk_line("s", 0, fancy_result());
+  const size_t digit = line.find(" 12 ") + 1;  // runs field
+  line[digit] = '9';
+  std::string scenario;
+  size_t point_index = 0;
+  PointResult decoded;
+  EXPECT_EQ(decode_chunk_line(line, &scenario, &point_index, &decoded),
+            "checksum mismatch");
+}
+
+TEST(CheckpointCodec, MissingAndMalformedChecksumsAreDistinctErrors) {
+  const std::string line = encode_chunk_line("s", 0, fancy_result());
+  std::string scenario;
+  size_t point_index = 0;
+  PointResult decoded;
+  EXPECT_EQ(decode_chunk_line("chunk s 0 1 2 3", &scenario, &point_index,
+                              &decoded),
+            "missing checksum");
+  const std::string bad = line.substr(0, line.size() - 16) + "nothexnothexnoth";
+  EXPECT_EQ(decode_chunk_line(bad, &scenario, &point_index, &decoded),
+            "malformed checksum");
+}
+
+TEST(CheckpointCodec, TruncatedFieldsAreRejectedEvenWithValidChecksum) {
+  // Re-checksum a field-truncated payload: the checksum passes, the field
+  // parse must still fail.
+  const std::string line = encode_chunk_line("s", 3, fancy_result());
+  const size_t marker = line.rfind(" #");
+  std::string payload = line.substr(0, marker);
+  payload = payload.substr(0, payload.rfind(' '));  // drop the last field
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), " #%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  std::string scenario;
+  size_t point_index = 0;
+  PointResult decoded;
+  EXPECT_EQ(decode_chunk_line(payload + checksum, &scenario, &point_index,
+                              &decoded),
+            "malformed chunk fields");
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "checkpoint_test.txt";
+
+  void write_file(const std::string& content) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+};
+
+TEST_F(CheckpointFileTest, WriterOutputLoadsBack) {
+  constexpr uint64_t kFingerprint = 0x1234abcd5678ef00;
+  {
+    CheckpointWriter writer(path_, kFingerprint, /*resume=*/false);
+    ASSERT_TRUE(writer.ok());
+    writer.append("alpha", 0, fancy_result());
+    writer.append("alpha", 1, fancy_result());
+    writer.append("beta", 0, fancy_result());
+  }
+  const CheckpointLoad load = load_checkpoint(path_, kFingerprint);
+  ASSERT_TRUE(load.ok()) << load.error;
+  EXPECT_FALSE(load.dropped_partial_tail);
+  EXPECT_EQ(load.chunks.size(), 3u);
+  EXPECT_EQ(load.chunks.count({"alpha", 1}), 1u);
+  EXPECT_EQ(load.chunks.at({"beta", 0}).runs, 12);
+
+  // Resume mode appends below the validated content instead of truncating.
+  {
+    CheckpointWriter writer(path_, kFingerprint, /*resume=*/true);
+    writer.append("beta", 1, fancy_result());
+  }
+  const CheckpointLoad more = load_checkpoint(path_, kFingerprint);
+  ASSERT_TRUE(more.ok()) << more.error;
+  EXPECT_EQ(more.chunks.size(), 4u);
+}
+
+TEST_F(CheckpointFileTest, ForeignFingerprintIsRejected) {
+  CheckpointWriter writer(path_, 0x1111, /*resume=*/false);
+  writer.append("alpha", 0, fancy_result());
+  const CheckpointLoad load = load_checkpoint(path_, 0x2222);
+  EXPECT_FALSE(load.ok());
+  EXPECT_NE(load.error.find("different run configuration"),
+            std::string::npos);
+  EXPECT_TRUE(load.chunks.empty());
+}
+
+TEST_F(CheckpointFileTest, CorruptedChunkLineRejectsTheWholeFile) {
+  {
+    CheckpointWriter writer(path_, 0x42, /*resume=*/false);
+    writer.append("alpha", 0, fancy_result());
+  }
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  const size_t digit = content.find(" 12 ") + 1;
+  content[digit] = '9';
+  write_file(content);
+  const CheckpointLoad load = load_checkpoint(path_, 0x42);
+  EXPECT_FALSE(load.ok());
+  EXPECT_NE(load.error.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(CheckpointFileTest, DuplicateChunkIsRejected) {
+  CheckpointWriter writer(path_, 0x42, /*resume=*/false);
+  writer.append("alpha", 0, fancy_result());
+  writer.append("alpha", 0, fancy_result());
+  const CheckpointLoad load = load_checkpoint(path_, 0x42);
+  EXPECT_FALSE(load.ok());
+  EXPECT_NE(load.error.find("duplicate chunk"), std::string::npos);
+}
+
+TEST_F(CheckpointFileTest, NewlinelessTailIsDroppedNotRejected) {
+  {
+    CheckpointWriter writer(path_, 0x42, /*resume=*/false);
+    writer.append("alpha", 0, fancy_result());
+    writer.append("alpha", 1, fancy_result());
+  }
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  // A SIGKILL mid-append leaves a prefix of the last line and no newline.
+  write_file(content.substr(0, content.size() - 25));
+  const CheckpointLoad load = load_checkpoint(path_, 0x42);
+  ASSERT_TRUE(load.ok()) << load.error;
+  EXPECT_TRUE(load.dropped_partial_tail);
+  EXPECT_EQ(load.chunks.size(), 1u);
+  EXPECT_EQ(load.chunks.count({"alpha", 0}), 1u);
+}
+
+TEST_F(CheckpointFileTest, GarbageAndMissingHeadersAreRejected) {
+  write_file("not a checkpoint at all\n");
+  EXPECT_FALSE(load_checkpoint(path_, 0x42).ok());
+
+  write_file("");
+  const CheckpointLoad empty = load_checkpoint(path_, 0x42);
+  EXPECT_FALSE(empty.ok());
+  EXPECT_NE(empty.error.find("no complete header"), std::string::npos);
+
+  const CheckpointLoad missing =
+      load_checkpoint(path_ + ".does-not-exist", 0x42);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CheckpointFileTest, HeaderOnlyFileResumesToNothing) {
+  {
+    CheckpointWriter writer(path_, 0x42, /*resume=*/false);
+  }
+  const CheckpointLoad load = load_checkpoint(path_, 0x42);
+  ASSERT_TRUE(load.ok()) << load.error;
+  EXPECT_TRUE(load.chunks.empty());
+}
+
+}  // namespace
+}  // namespace wsync

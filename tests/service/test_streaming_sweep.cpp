@@ -1,0 +1,286 @@
+// Streaming sweep wall: the bounded-memory chunked execution must be
+// bit-identical to the one-shot path, invariant under worker count and
+// window size, and exactly resumable — a full or partial checkpoint replay
+// yields the same sink sequence as computing from scratch, with zero tasks
+// scheduled for replayed chunks. Results are compared through
+// encode_chunk_line, so every double is compared by bit pattern.
+#include "src/service/streaming_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/scenario/scenario.h"
+#include "src/service/checkpoint.h"
+
+namespace wsync {
+namespace {
+
+ExperimentPoint trapdoor_point(int t) {
+  ExperimentPoint point;
+  point.F = 8;
+  point.t = t;
+  point.N = 32;
+  point.n = 6;
+  point.protocol = ProtocolKind::kTrapdoor;
+  point.adversary =
+      t == 0 ? AdversaryKind::kNone : AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kSimultaneous;
+  return point;
+}
+
+Scenario small_scenario(const std::string& name, int points) {
+  Scenario scenario;
+  scenario.name = name;
+  scenario.summary = "hand-built streaming-sweep fixture";
+  scenario.rationale = "exercises the sweep service in isolation";
+  for (int t = 0; t < points; ++t) {
+    scenario.grid.push_back(trapdoor_point(t));
+  }
+  scenario.default_seeds = 3;
+  return scenario;
+}
+
+/// Records the full sink sequence; chunk results are captured as encoded
+/// chunk lines, which makes comparisons bit-exact.
+class RecordingSink : public ChunkSink {
+ public:
+  void on_scenario_begin(size_t scenario_index,
+                         const PlannedScenario& planned) override {
+    events.push_back("begin " + planned.scenario.name + " @" +
+                     std::to_string(scenario_index));
+  }
+
+  void on_chunk(size_t scenario_index, size_t point_index,
+                const PointResult& result, bool from_checkpoint) override {
+    const PlannedScenario& planned = *scenarios_at(scenario_index);
+    events.push_back(
+        encode_chunk_line(planned.scenario.name, point_index, result));
+    if (from_checkpoint) ++replayed;
+  }
+
+  void on_scenario_end(size_t /*scenario_index*/,
+                       const PlannedScenario& planned,
+                       const std::vector<PointResult>& results,
+                       const std::vector<std::string>& failures) override {
+    events.push_back("end " + planned.scenario.name + " points=" +
+                     std::to_string(results.size()) + " failures=" +
+                     std::to_string(failures.size()));
+  }
+
+  void attach(const SweepPlan* plan) { plan_ = plan; }
+
+  std::vector<std::string> events;
+  size_t replayed = 0;
+
+ private:
+  const PlannedScenario* scenarios_at(size_t index) const {
+    return &plan_->scenarios[index];
+  }
+
+  const SweepPlan* plan_ = nullptr;
+};
+
+SweepPlan two_scenario_plan() {
+  static const Scenario alpha = small_scenario("alpha_fixture", 3);
+  static const Scenario beta = small_scenario("beta_fixture", 2);
+  return make_plan({&alpha, &beta}, /*seeds_override=*/0);
+}
+
+std::vector<std::string> run_and_record(const SweepPlan& plan, int workers,
+                                        size_t window,
+                                        SweepOutcome* outcome = nullptr) {
+  ThreadPool pool(workers);
+  RecordingSink sink;
+  sink.attach(&plan);
+  StreamingSweepOptions options;
+  options.window = window;
+  const SweepOutcome result = run_streaming_sweep(plan, pool, options, sink);
+  if (outcome != nullptr) *outcome = result;
+  return sink.events;
+}
+
+TEST(StreamingSweepTest, SinkSequenceHasStrictCatalogOrder) {
+  const SweepPlan plan = two_scenario_plan();
+  SweepOutcome outcome;
+  const std::vector<std::string> events =
+      run_and_record(plan, /*workers=*/2, /*window=*/0, &outcome);
+  // begin alpha, 3 chunks, end alpha, begin beta, 2 chunks, end beta.
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events[0], "begin alpha_fixture @0");
+  EXPECT_EQ(events[4].substr(0, 4), "end ");
+  EXPECT_EQ(events[5], "begin beta_fixture @1");
+  EXPECT_EQ(events[8].substr(0, 4), "end ");
+  EXPECT_EQ(outcome.computed_chunks, 5u);
+  EXPECT_EQ(outcome.resumed_chunks, 0u);
+}
+
+TEST(StreamingSweepTest, BitIdenticalAcrossWorkersAndWindows) {
+  const SweepPlan plan = two_scenario_plan();
+  const std::vector<std::string> reference =
+      run_and_record(plan, /*workers=*/1, /*window=*/1);
+  for (const int workers : {2, 4}) {
+    for (const size_t window : {size_t{1}, size_t{3}, size_t{0}}) {
+      EXPECT_EQ(run_and_record(plan, workers, window), reference)
+          << "workers=" << workers << " window=" << window;
+    }
+  }
+}
+
+TEST(StreamingSweepTest, MatchesTheOneShotScenarioRunner) {
+  const Scenario scenario = small_scenario("solo_fixture", 3);
+  ThreadPool pool(4);
+  const ScenarioResult one_shot = run_scenario(scenario, /*seeds=*/0, pool);
+
+  const SweepPlan plan = make_plan({&scenario}, /*seeds_override=*/0);
+  RecordingSink sink;
+  sink.attach(&plan);
+  StreamingSweepOptions options;
+  run_streaming_sweep(plan, pool, options, sink);
+
+  ASSERT_EQ(one_shot.points.size(), 3u);
+  for (size_t pi = 0; pi < one_shot.points.size(); ++pi) {
+    EXPECT_EQ(sink.events[1 + pi],
+              encode_chunk_line(scenario.name, pi, one_shot.points[pi]));
+  }
+}
+
+TEST(StreamingSweepTest, FullResumeComputesNothingAndMatches) {
+  const SweepPlan plan = two_scenario_plan();
+  const std::vector<std::string> reference =
+      run_and_record(plan, /*workers=*/2, /*window=*/0);
+
+  const std::string path = ::testing::TempDir() + "sweep_full_resume.txt";
+  const uint64_t fingerprint = plan_fingerprint(plan);
+  {
+    ThreadPool pool(2);
+    RecordingSink sink;
+    sink.attach(&plan);
+    CheckpointWriter writer(path, fingerprint, /*resume=*/false);
+    StreamingSweepOptions options;
+    options.checkpoint = &writer;
+    run_streaming_sweep(plan, pool, options, sink);
+  }
+  const CheckpointLoad load = load_checkpoint(path, fingerprint);
+  ASSERT_TRUE(load.ok()) << load.error;
+  ASSERT_EQ(load.chunks.size(), plan.chunk_count());
+
+  ThreadPool pool(4);
+  RecordingSink sink;
+  sink.attach(&plan);
+  StreamingSweepOptions options;
+  options.resume = &load.chunks;
+  const SweepOutcome outcome = run_streaming_sweep(plan, pool, options, sink);
+  EXPECT_EQ(outcome.computed_chunks, 0u);
+  EXPECT_EQ(outcome.resumed_chunks, plan.chunk_count());
+  EXPECT_EQ(sink.replayed, plan.chunk_count());
+  EXPECT_EQ(sink.events, reference);
+}
+
+TEST(StreamingSweepTest, PartialResumeRecomputesOnlyTheRest) {
+  const SweepPlan plan = two_scenario_plan();
+  const std::vector<std::string> reference =
+      run_and_record(plan, /*workers=*/2, /*window=*/0);
+
+  // Build resume data from a fresh run, then forget all of beta and one
+  // alpha point — as if the first run was killed mid-catalog.
+  CheckpointData partial;
+  {
+    ThreadPool pool(2);
+    RecordingSink sink;
+    sink.attach(&plan);
+    const std::string path =
+        ::testing::TempDir() + "sweep_partial_resume.txt";
+    CheckpointWriter writer(path, plan_fingerprint(plan), /*resume=*/false);
+    StreamingSweepOptions options;
+    options.checkpoint = &writer;
+    run_streaming_sweep(plan, pool, options, sink);
+    CheckpointLoad load = load_checkpoint(path, plan_fingerprint(plan));
+    ASSERT_TRUE(load.ok()) << load.error;
+    partial = load.chunks;
+  }
+  partial.erase({"alpha_fixture", 2});
+  partial.erase({"beta_fixture", 0});
+  partial.erase({"beta_fixture", 1});
+
+  ThreadPool pool(4);
+  RecordingSink sink;
+  sink.attach(&plan);
+  StreamingSweepOptions options;
+  options.resume = &partial;
+  const SweepOutcome outcome = run_streaming_sweep(plan, pool, options, sink);
+  EXPECT_EQ(outcome.resumed_chunks, 2u);
+  EXPECT_EQ(outcome.computed_chunks, 3u);
+  EXPECT_EQ(sink.events, reference);
+}
+
+TEST(StreamingSweepTest, ResumeDataForUnknownChunksThrows) {
+  const SweepPlan plan = two_scenario_plan();
+  CheckpointData foreign;
+  foreign[{"no_such_scenario", 0}] = PointResult{};
+  ThreadPool pool(2);
+  RecordingSink sink;
+  sink.attach(&plan);
+  StreamingSweepOptions options;
+  options.resume = &foreign;
+  EXPECT_THROW(run_streaming_sweep(plan, pool, options, sink),
+               std::runtime_error);
+
+  // A known scenario but out-of-grid point index is just as foreign.
+  CheckpointData out_of_range;
+  out_of_range[{"alpha_fixture", 99}] = PointResult{};
+  options.resume = &out_of_range;
+  EXPECT_THROW(run_streaming_sweep(plan, pool, options, sink),
+               std::runtime_error);
+}
+
+TEST(StreamingSweepTest, FingerprintTracksResultAffectingParameters) {
+  const SweepPlan base = two_scenario_plan();
+  const uint64_t reference = plan_fingerprint(base);
+
+  // Same plan, same fingerprint (stability).
+  EXPECT_EQ(plan_fingerprint(two_scenario_plan()), reference);
+
+  // Seeds, grid shape, point parameters, and names all change it.
+  SweepPlan more_seeds = base;
+  more_seeds.scenarios[0].seeds += 1;
+  EXPECT_NE(plan_fingerprint(more_seeds), reference);
+
+  SweepPlan renamed = base;
+  renamed.scenarios[1].scenario.name = "renamed_fixture";
+  EXPECT_NE(plan_fingerprint(renamed), reference);
+
+  SweepPlan bigger_budget = base;
+  bigger_budget.scenarios[0].scenario.grid[0].max_rounds += 100;
+  EXPECT_NE(plan_fingerprint(bigger_budget), reference);
+
+  // The engine mode is deliberately NOT mixed in: dense and sparse are
+  // bit-identical by contract, so a dense checkpoint resumes sparse.
+  SweepPlan dense = base;
+  for (PlannedScenario& planned : dense.scenarios) {
+    for (ExperimentPoint& point : planned.scenario.grid) {
+      point.engine = EngineMode::kDense;
+    }
+  }
+  EXPECT_EQ(plan_fingerprint(dense), reference);
+}
+
+TEST(StreamingSweepTest, MakePlanValidatesAndResolvesSeeds) {
+  const Scenario scenario = small_scenario("seed_fixture", 2);
+  const SweepPlan defaulted = make_plan({&scenario}, /*seeds_override=*/0);
+  EXPECT_EQ(defaulted.scenarios[0].seeds, scenario.default_seeds);
+  const SweepPlan overridden = make_plan({&scenario}, /*seeds_override=*/7);
+  EXPECT_EQ(overridden.scenarios[0].seeds, 7);
+  EXPECT_EQ(overridden.chunk_count(), 2u);
+
+  Scenario invalid = scenario;
+  invalid.grid.clear();
+  EXPECT_THROW(make_plan({&invalid}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsync

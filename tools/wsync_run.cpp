@@ -5,13 +5,22 @@
 //   wsync_run NAME [NAME...] [options]   # run a subset by name
 //   wsync_run --filter REGEX [options]   # run scenarios matching a pattern
 //   wsync_run ... --max-rounds [NAME=]K  # override per-point round budgets
+//   wsync_run ... --checkpoint PATH [--resume]  # checkpointable execution
 //
-// Every selected scenario runs its grid through run_points_parallel on one
-// shared pool; stdout gets a markdown table per scenario, --json gets a
-// machine-readable summary, --csv a catalog-wide flat table. Both exports
-// contain only deterministic aggregates (never worker counts or
+// Every selected scenario runs through the streaming sweep service
+// (src/service/): (scenario, point, seed)-granular jobs on one shared pool,
+// chunks merged back in catalog order, and the JSON/CSV exports streamed to
+// disk as scenarios complete — peak memory is bounded by the scheduling
+// window, never the catalog. stdout gets a markdown table per scenario.
+// Exports contain only deterministic aggregates (never worker counts or
 // wall-clock), so two runs at different --workers must produce
-// byte-identical files — CI diffs exactly that. --max-rounds overrides the
+// byte-identical files — CI diffs exactly that, and the same guarantee
+// extends to one-shot vs kill-and-resume vs served execution.
+//
+// --checkpoint PATH appends every completed chunk to a self-checksummed
+// checkpoint file; --resume (requires --checkpoint) replays the chunks a
+// previous, possibly killed, run already completed and computes only the
+// rest, producing byte-identical exports. --max-rounds overrides the
 // liveness budget of every point (bare K) or of one scenario's points
 // (NAME=K, repeatable; the per-scenario form wins). Exit status: 0 when
 // every scenario met its expected invariants (including per-point energy
@@ -23,12 +32,17 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/common/types.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/report.h"
 #include "src/scenario/scenario.h"
+#include "src/service/checkpoint.h"
+#include "src/service/serve_protocol.h"
+#include "src/service/streaming_sweep.h"
 #include "src/stats/table.h"
 
 namespace wsync {
@@ -46,6 +60,10 @@ struct Options {
   long default_max_rounds = 0;  // 0 = no override
   std::map<std::string, long> max_rounds_overrides;  // per scenario
   EngineMode engine = EngineMode::kAuto;
+  std::string checkpoint_path;  // empty = no checkpointing
+  bool resume = false;
+  int window = 0;       // 0 = 2 x workers
+  int throttle_ms = 0;  // sleep per computed chunk (test/ops pacing)
 };
 
 void print_usage(std::FILE* out) {
@@ -55,6 +73,8 @@ void print_usage(std::FILE* out) {
                " [--seeds K] [--workers W]\n"
                "                 [--json PATH] [--csv PATH]"
                " [--max-rounds [NAME=]K]...\n"
+               "                 [--checkpoint PATH [--resume]]"
+               " [--window K] [--throttle-ms MS]\n"
                "\n"
                "  --list       list the scenario catalog and exit\n"
                "  --all        run every scenario in the catalog\n"
@@ -64,8 +84,8 @@ void print_usage(std::FILE* out) {
                "  --seeds K    seeds per experiment point"
                " (default: each scenario's own)\n"
                "  --workers W  thread-pool size (default: hardware)\n"
-               "  --json PATH  write per-scenario JSON summaries to PATH\n"
-               "  --csv PATH   write one flat CSV row per grid point to"
+               "  --json PATH  stream per-scenario JSON summaries to PATH\n"
+               "  --csv PATH   stream one flat CSV row per grid point to"
                " PATH\n"
                "  --max-rounds [NAME=]K\n"
                "               override every point's liveness budget (bare"
@@ -77,7 +97,23 @@ void print_usage(std::FILE* out) {
                " sparse);\n"
                "               results are bit-identical by contract, so"
                " exports\n"
-               "               from the two engines must diff empty\n");
+               "               from the two engines must diff empty\n"
+               "  --checkpoint PATH\n"
+               "               append every completed chunk (one grid"
+               " point) to a\n"
+               "               self-checksummed checkpoint file\n"
+               "  --resume     skip the chunks PATH already records"
+               " (requires\n"
+               "               --checkpoint; exports stay byte-identical"
+               " to an\n"
+               "               uninterrupted run)\n"
+               "  --window K   chunks scheduled past the merge frontier\n"
+               "               (default: 2 x workers; bounds peak memory)\n"
+               "  --throttle-ms MS\n"
+               "               sleep MS after each computed chunk (pacing"
+               " for the\n"
+               "               crash/resume harnesses; never affects"
+               " results)\n");
 }
 
 bool parse_positive_long(const char* text, long* out) {
@@ -151,6 +187,12 @@ bool parse_args(int argc, char** argv, Options* options) {
     } else if (arg == "--workers") {
       if (!parse_int_flag(arg, next, 1, &options->workers)) return false;
       ++i;
+    } else if (arg == "--window") {
+      if (!parse_int_flag(arg, next, 1, &options->window)) return false;
+      ++i;
+    } else if (arg == "--throttle-ms") {
+      if (!parse_int_flag(arg, next, 0, &options->throttle_ms)) return false;
+      ++i;
     } else if (arg == "--json") {
       if (next == nullptr) {
         std::fprintf(stderr, "wsync_run: --json needs a path\n");
@@ -165,6 +207,15 @@ bool parse_args(int argc, char** argv, Options* options) {
       }
       options->csv_path = next;
       ++i;
+    } else if (arg == "--checkpoint") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --checkpoint needs a path\n");
+        return false;
+      }
+      options->checkpoint_path = next;
+      ++i;
+    } else if (arg == "--resume") {
+      options->resume = true;
     } else if (arg == "--filter") {
       if (next == nullptr || *next == '\0') {
         std::fprintf(stderr, "wsync_run: --filter needs a regex\n");
@@ -180,18 +231,13 @@ bool parse_args(int argc, char** argv, Options* options) {
         std::fprintf(stderr, "wsync_run: --engine needs a value\n");
         return false;
       }
-      const std::string mode = next;
-      if (mode == "dense") {
-        options->engine = EngineMode::kDense;
-      } else if (mode == "sparse") {
-        options->engine = EngineMode::kSparse;
-      } else if (mode == "auto") {
-        options->engine = EngineMode::kAuto;
-      } else {
+      if (!parse_engine_mode(next, &options->engine)) {
         std::fprintf(stderr,
-                     "wsync_run: bad value for --engine: '%s' (want dense, "
-                     "sparse or auto)\n",
-                     next);
+                     "wsync_run: bad value for --engine: '%s' (want %s, %s "
+                     "or %s)\n",
+                     next, to_string(EngineMode::kDense),
+                     to_string(EngineMode::kSparse),
+                     to_string(EngineMode::kAuto));
         return false;
       }
       ++i;
@@ -210,6 +256,10 @@ bool parse_args(int argc, char** argv, Options* options) {
     std::fprintf(stderr,
                  "wsync_run: pass exactly one of --all, --filter REGEX, or "
                  "scenario names (see --list)\n");
+    return false;
+  }
+  if (options->resume && options->checkpoint_path.empty()) {
+    std::fprintf(stderr, "wsync_run: --resume requires --checkpoint PATH\n");
     return false;
   }
   for (const auto& [name, rounds] : options->max_rounds_overrides) {
@@ -303,17 +353,48 @@ Scenario with_round_budget(const Scenario& scenario,
   return overridden;
 }
 
-bool write_file(const std::string& path, const std::string& content,
-                const char* what) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "wsync_run: cannot write %s '%s'\n", what,
-                 path.c_str());
-    return false;
+/// Streams the CLI's per-scenario stdout report and feeds the export
+/// writers, all in catalog order as the sweep service merges chunks.
+class CliSink : public ChunkSink {
+ public:
+  CliSink(StreamingJsonWriter* json, StreamingCsvWriter* csv)
+      : json_(json), csv_(csv) {}
+
+  void on_scenario_begin(size_t /*scenario_index*/,
+                         const PlannedScenario& planned) override {
+    std::printf("## %s — %s\n\n", planned.scenario.name.c_str(),
+                planned.scenario.summary.c_str());
+    std::printf("%zu points x %d seeds\n\n", planned.scenario.grid.size(),
+                planned.seeds);
+    std::fflush(stdout);
   }
-  out << content;
-  return true;
-}
+
+  void on_chunk(size_t /*scenario_index*/, size_t /*point_index*/,
+                const PointResult& /*result*/,
+                bool /*from_checkpoint*/) override {}
+
+  void on_scenario_end(size_t /*scenario_index*/,
+                       const PlannedScenario& planned,
+                       const std::vector<PointResult>& results,
+                       const std::vector<std::string>& failures) override {
+    const Table table = results_table(planned.scenario, results);
+    std::printf("%s\n", table.markdown().c_str());
+    for (const std::string& failure : failures) {
+      std::printf("EXPECTATION FAILED: %s\n", failure.c_str());
+    }
+    std::printf("%s\n\n", failures.empty() ? "ok" : "FAILED");
+    std::fflush(stdout);
+    if (json_ != nullptr) {
+      json_->add_scenario(planned.scenario, planned.seeds, results,
+                          failures);
+    }
+    if (csv_ != nullptr) csv_->add(planned.scenario, results);
+  }
+
+ private:
+  StreamingJsonWriter* json_;
+  StreamingCsvWriter* csv_;
+};
 
 int run_scenarios(const Options& options) {
   std::vector<const Scenario*> selected;
@@ -338,56 +419,101 @@ int run_scenarios(const Options& options) {
     }
   }
 
+  // Apply the CLI overrides, then hand the ordered selection to the sweep
+  // service as one plan.
+  std::vector<Scenario> overridden;
+  overridden.reserve(selected.size());
+  for (const Scenario* scenario : selected) {
+    overridden.push_back(with_round_budget(*scenario, options));
+  }
+  std::vector<const Scenario*> planned;
+  planned.reserve(overridden.size());
+  for (const Scenario& scenario : overridden) planned.push_back(&scenario);
+
+  SweepPlan plan;
+  try {
+    plan = make_plan(planned, options.seeds);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "wsync_run: %s\n", error.what());
+    return 2;
+  }
+  const uint64_t fingerprint = plan_fingerprint(plan);
+
+  CheckpointData resumed;
+  if (options.resume) {
+    CheckpointLoad load = load_checkpoint(options.checkpoint_path,
+                                          fingerprint);
+    if (!load.ok()) {
+      std::fprintf(stderr, "wsync_run: %s\n", load.error.c_str());
+      return 2;
+    }
+    if (load.dropped_partial_tail) {
+      std::fprintf(stderr,
+                   "wsync_run: checkpoint '%s': dropped an interrupted "
+                   "partial tail line\n",
+                   options.checkpoint_path.c_str());
+    }
+    resumed = std::move(load.chunks);
+  }
+
+  std::optional<CheckpointWriter> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint.emplace(options.checkpoint_path, fingerprint,
+                       options.resume);
+    if (!checkpoint->ok()) {
+      std::fprintf(stderr, "wsync_run: cannot write --checkpoint '%s'\n",
+                   options.checkpoint_path.c_str());
+      return 2;
+    }
+  }
+
+  // Exports stream to disk as scenarios complete; opening up front fails
+  // fast on an unwritable path instead of after the whole run.
+  std::optional<std::ofstream> json_file;
+  std::optional<StreamingJsonWriter> json_writer;
+  if (!options.json_path.empty()) {
+    json_file.emplace(options.json_path);
+    if (!*json_file) {
+      std::fprintf(stderr, "wsync_run: cannot write --json '%s'\n",
+                   options.json_path.c_str());
+      return 2;
+    }
+    json_writer.emplace(*json_file);
+  }
+  std::optional<std::ofstream> csv_file;
+  std::optional<StreamingCsvWriter> csv_writer;
+  if (!options.csv_path.empty()) {
+    csv_file.emplace(options.csv_path);
+    if (!*csv_file) {
+      std::fprintf(stderr, "wsync_run: cannot write --csv '%s'\n",
+                   options.csv_path.c_str());
+      return 2;
+    }
+    csv_writer.emplace(*csv_file);
+  }
+
   ThreadPool pool(options.workers);
-  std::string json = "{\n  \"scenarios\": [";
-  CsvReport csv;
-  int failed_scenarios = 0;
-  for (size_t s = 0; s < selected.size(); ++s) {
-    const Scenario scenario = with_round_budget(*selected[s], options);
-    const int seeds =
-        options.seeds > 0 ? options.seeds : scenario.default_seeds;
-    std::printf("## %s — %s\n\n", scenario.name.c_str(),
-                scenario.summary.c_str());
-    std::printf("%zu points x %d seeds\n\n", scenario.grid.size(), seeds);
+  CliSink sink(json_writer.has_value() ? &*json_writer : nullptr,
+               csv_writer.has_value() ? &*csv_writer : nullptr);
+  StreamingSweepOptions sweep_options;
+  sweep_options.window = static_cast<size_t>(options.window);
+  sweep_options.checkpoint =
+      checkpoint.has_value() ? &*checkpoint : nullptr;
+  sweep_options.resume = options.resume ? &resumed : nullptr;
+  sweep_options.throttle_ms = options.throttle_ms;
 
-    const ScenarioResult result = run_scenario(scenario, seeds, pool);
-    const Table table = results_table(scenario, result.points);
-    std::printf("%s\n", table.markdown().c_str());
-    for (const std::string& failure : result.failures) {
-      std::printf("EXPECTATION FAILED: %s\n", failure.c_str());
-    }
-    std::printf("%s\n\n", result.ok() ? "ok" : "FAILED");
-    if (!result.ok()) ++failed_scenarios;
-
-    csv.add(scenario, result.points);
-
-    json += s == 0 ? "\n" : ",\n";
-    json += "    {\"name\": " + json_escaped(scenario.name);
-    json += ", \"seeds\": " + std::to_string(seeds) + ", \"ok\": ";
-    json += result.ok() ? "true" : "false";
-    json += ", \"failures\": [";
-    for (size_t f = 0; f < result.failures.size(); ++f) {
-      if (f > 0) json += ", ";
-      json += json_escaped(result.failures[f]);
-    }
-    json += "],\n     \"points\":\n";
-    json += table.json(5);
-    json += "}";
-  }
-  json += selected.empty() ? "]\n}\n" : "\n  ]\n}\n";
-
-  if (!options.json_path.empty() &&
-      !write_file(options.json_path, json, "--json")) {
+  SweepOutcome outcome;
+  try {
+    outcome = run_streaming_sweep(plan, pool, sweep_options, sink);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "wsync_run: %s\n", error.what());
     return 2;
   }
-  if (!options.csv_path.empty() &&
-      !write_file(options.csv_path, csv.str(), "--csv")) {
-    return 2;
-  }
+  if (json_writer.has_value()) json_writer->finish();
 
-  std::printf("%zu scenario(s), %d failed\n", selected.size(),
-              failed_scenarios);
-  return failed_scenarios == 0 ? 0 : 1;
+  std::printf("%zu scenario(s), %d failed\n", plan.scenarios.size(),
+              outcome.failed_scenarios);
+  return outcome.failed_scenarios == 0 ? 0 : 1;
 }
 
 }  // namespace

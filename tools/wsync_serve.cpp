@@ -1,0 +1,351 @@
+// wsync_serve — the line-oriented scenario job server.
+//
+//   wsync_serve [--jobs PATH] [--workers W] [--json PATH] [--csv PATH]
+//               [--window K] [--deadline-ms MS]
+//
+// Reads jobs one per line from --jobs (default: stdin) and streams results
+// back on stdout, so a driver can feed a long grid through one warm process
+// instead of one wsync_run invocation per scenario. The grammar lives in
+// src/service/serve_protocol.h:
+//
+//   run NAME [seeds=K] [max_rounds=K] [engine=dense|sparse|auto]
+//   all [seeds=K] [max_rounds=K] [engine=dense|sparse|auto]
+//   ping                         # answered with "pong"
+//   quit                         # stop reading, shut down cleanly
+//
+// Per scenario the server emits `begin NAME points=P seeds=K`, one
+// `point <csv row>` line per grid point the moment the streaming sweep
+// merges it (catalog order, same bytes as the --csv export rows), any
+// `fail <expectation>` lines, and `end NAME ok|FAILED`. Jobs run on one
+// shared ThreadPool through the same sweep service as wsync_run, and the
+// optional --json/--csv exports use the same streaming writers — a served
+// `all seeds=K` must produce byte-identical export files to
+// `wsync_run --all --seeds K`, which CI diffs.
+//
+// --deadline-ms arms an operational watchdog (the sanctioned Deadline
+// wall-clock site): once expired the server stops accepting jobs after the
+// current one and prints `serve: deadline reached`. It gates acceptance
+// only — results never depend on it.
+//
+// Exit status: 0 when every executed job met its expectations, 1 when any
+// scenario FAILED, 2 on a malformed job line, an unknown scenario name, or
+// a bad flag (stderr says which; nothing after the bad line executes).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/report.h"
+#include "src/scenario/scenario.h"
+#include "src/service/deadline.h"
+#include "src/service/serve_protocol.h"
+#include "src/service/streaming_sweep.h"
+
+namespace wsync {
+namespace {
+
+struct Options {
+  std::string jobs_path;  // empty = stdin
+  int workers = 0;        // 0 = ThreadPool::default_workers()
+  std::string json_path;
+  std::string csv_path;
+  int window = 0;         // 0 = 2 x workers
+  long deadline_ms = -1;  // < 0 = no watchdog
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: wsync_serve [--jobs PATH] [--workers W]"
+               " [--json PATH] [--csv PATH]\n"
+               "                   [--window K] [--deadline-ms MS]\n"
+               "\n"
+               "  --jobs PATH      read job lines from PATH instead of"
+               " stdin\n"
+               "  --workers W      thread-pool size (default: hardware)\n"
+               "  --json PATH      stream per-scenario JSON summaries to"
+               " PATH\n"
+               "  --csv PATH       stream one flat CSV row per grid point"
+               " to PATH\n"
+               "  --window K       chunks scheduled past the merge"
+               " frontier\n"
+               "                   (default: 2 x workers)\n"
+               "  --deadline-ms MS stop accepting jobs once MS ms have"
+               " elapsed\n"
+               "                   (operational watchdog; never affects"
+               " results)\n"
+               "\n"
+               "job lines (one per line; # comments and blanks ignored):\n"
+               "  run NAME [seeds=K] [max_rounds=K]"
+               " [engine=dense|sparse|auto]\n"
+               "  all [seeds=K] [max_rounds=K]"
+               " [engine=dense|sparse|auto]\n"
+               "  ping\n"
+               "  quit\n");
+}
+
+bool parse_long_flag(const std::string& flag, const char* value, long min,
+                     long* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "wsync_serve: %s needs a value\n", flag.c_str());
+    return false;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min || parsed > 1L << 40) {
+    std::fprintf(stderr, "wsync_serve: bad value for %s: '%s'\n",
+                 flag.c_str(), value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool parse_int_flag(const std::string& flag, const char* value, int min,
+                    int* out) {
+  long parsed = 0;
+  if (!parse_long_flag(flag, value, min, &parsed) || parsed > 1 << 20) {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (arg == "--jobs") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_serve: --jobs needs a path\n");
+        return false;
+      }
+      options->jobs_path = next;
+      ++i;
+    } else if (arg == "--workers") {
+      if (!parse_int_flag(arg, next, 1, &options->workers)) return false;
+      ++i;
+    } else if (arg == "--window") {
+      if (!parse_int_flag(arg, next, 1, &options->window)) return false;
+      ++i;
+    } else if (arg == "--deadline-ms") {
+      if (!parse_long_flag(arg, next, 0, &options->deadline_ms)) {
+        return false;
+      }
+      ++i;
+    } else if (arg == "--json") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_serve: --json needs a path\n");
+        return false;
+      }
+      options->json_path = next;
+      ++i;
+    } else if (arg == "--csv") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_serve: --csv needs a path\n");
+        return false;
+      }
+      options->csv_path = next;
+      ++i;
+    } else {
+      std::fprintf(stderr, "wsync_serve: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The scenario with a job's max_rounds/engine overrides applied to every
+/// point (mirrors wsync_run's --max-rounds/--engine semantics).
+Scenario with_overrides(const Scenario& scenario, const ServeJob& job) {
+  if (job.max_rounds == 0 && job.engine == EngineMode::kAuto) {
+    return scenario;
+  }
+  Scenario overridden = scenario;
+  for (ExperimentPoint& point : overridden.grid) {
+    if (job.max_rounds != 0) point.max_rounds = job.max_rounds;
+    point.engine = job.engine;
+  }
+  return overridden;
+}
+
+/// Streams the protocol's begin/point/fail/end lines and feeds the export
+/// writers. Every line is flushed so a pipe-connected driver sees progress
+/// the moment a chunk merges.
+class ServeSink : public ChunkSink {
+ public:
+  ServeSink(StreamingJsonWriter* json, StreamingCsvWriter* csv)
+      : json_(json), csv_(csv) {}
+
+  void on_scenario_begin(size_t /*scenario_index*/,
+                         const PlannedScenario& planned) override {
+    std::printf("begin %s points=%zu seeds=%d\n",
+                planned.scenario.name.c_str(), planned.scenario.grid.size(),
+                planned.seeds);
+    std::fflush(stdout);
+  }
+
+  void on_chunk(size_t scenario_index, size_t point_index,
+                const PointResult& result,
+                bool /*from_checkpoint*/) override {
+    const PlannedScenario& planned = plan_->scenarios[scenario_index];
+    std::printf("point %s\n",
+                csv_point_row(planned.scenario, point_index, result).c_str());
+    std::fflush(stdout);
+  }
+
+  void on_scenario_end(size_t /*scenario_index*/,
+                       const PlannedScenario& planned,
+                       const std::vector<PointResult>& results,
+                       const std::vector<std::string>& failures) override {
+    for (const std::string& failure : failures) {
+      std::printf("fail %s\n", failure.c_str());
+    }
+    std::printf("end %s %s\n", planned.scenario.name.c_str(),
+                failures.empty() ? "ok" : "FAILED");
+    std::fflush(stdout);
+    if (json_ != nullptr) {
+      json_->add_scenario(planned.scenario, planned.seeds, results,
+                          failures);
+    }
+    if (csv_ != nullptr) csv_->add(planned.scenario, results);
+  }
+
+  /// on_chunk receives only indices; the serve loop points the sink at
+  /// each job's plan before running it.
+  void set_plan(const SweepPlan* plan) { plan_ = plan; }
+
+ private:
+  StreamingJsonWriter* json_;
+  StreamingCsvWriter* csv_;
+  const SweepPlan* plan_ = nullptr;
+};
+
+int serve(const Options& options, std::istream& jobs) {
+  std::optional<std::ofstream> json_file;
+  std::optional<StreamingJsonWriter> json_writer;
+  if (!options.json_path.empty()) {
+    json_file.emplace(options.json_path);
+    if (!*json_file) {
+      std::fprintf(stderr, "wsync_serve: cannot write --json '%s'\n",
+                   options.json_path.c_str());
+      return 2;
+    }
+    json_writer.emplace(*json_file);
+  }
+  std::optional<std::ofstream> csv_file;
+  std::optional<StreamingCsvWriter> csv_writer;
+  if (!options.csv_path.empty()) {
+    csv_file.emplace(options.csv_path);
+    if (!*csv_file) {
+      std::fprintf(stderr, "wsync_serve: cannot write --csv '%s'\n",
+                   options.csv_path.c_str());
+      return 2;
+    }
+    csv_writer.emplace(*csv_file);
+  }
+
+  ThreadPool pool(options.workers);
+  ServeSink sink(json_writer.has_value() ? &*json_writer : nullptr,
+                 csv_writer.has_value() ? &*csv_writer : nullptr);
+  const Deadline deadline = options.deadline_ms < 0
+                                ? Deadline::never()
+                                : Deadline::after_ms(options.deadline_ms);
+
+  std::printf("serve: ready\n");
+  std::fflush(stdout);
+
+  size_t executed_jobs = 0;
+  int failed_jobs = 0;
+  std::string line;
+  while (true) {
+    if (deadline.expired()) {
+      std::printf("serve: deadline reached\n");
+      break;
+    }
+    if (!std::getline(jobs, line)) break;  // EOF shuts down like quit
+
+    std::optional<ServeJob> job;
+    try {
+      job = parse_job_line(line);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "wsync_serve: %s\n", error.what());
+      return 2;
+    }
+    if (!job.has_value()) continue;  // blank or comment
+    if (job->kind == ServeJob::Kind::kQuit) break;
+    if (job->kind == ServeJob::Kind::kPing) {
+      std::printf("pong\n");
+      std::fflush(stdout);
+      continue;
+    }
+
+    std::vector<Scenario> overridden;
+    if (job->kind == ServeJob::Kind::kRun) {
+      const Scenario* scenario = ScenarioRegistry::find(job->name);
+      if (scenario == nullptr) {
+        std::fprintf(stderr,
+                     "wsync_serve: unknown scenario '%s' (see wsync_run "
+                     "--list)\n",
+                     job->name.c_str());
+        return 2;
+      }
+      overridden.push_back(with_overrides(*scenario, *job));
+    } else {
+      for (const Scenario& scenario : ScenarioRegistry::all()) {
+        overridden.push_back(with_overrides(scenario, *job));
+      }
+    }
+    std::vector<const Scenario*> planned;
+    planned.reserve(overridden.size());
+    for (const Scenario& scenario : overridden) {
+      planned.push_back(&scenario);
+    }
+
+    SweepOutcome outcome;
+    try {
+      const SweepPlan plan = make_plan(planned, job->seeds);
+      StreamingSweepOptions sweep_options;
+      sweep_options.window = static_cast<size_t>(options.window);
+      sink.set_plan(&plan);
+      outcome = run_streaming_sweep(plan, pool, sweep_options, sink);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "wsync_serve: %s\n", error.what());
+      return 2;
+    }
+    ++executed_jobs;
+    if (outcome.failed_scenarios > 0) ++failed_jobs;
+  }
+
+  if (json_writer.has_value()) json_writer->finish();
+  std::printf("serve: done (%zu job(s), %d failed)\n", executed_jobs,
+              failed_jobs);
+  return failed_jobs == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wsync
+
+int main(int argc, char** argv) {
+  wsync::Options options;
+  if (!wsync::parse_args(argc, argv, &options)) {
+    wsync::print_usage(stderr);
+    return 2;
+  }
+  if (options.jobs_path.empty()) return wsync::serve(options, std::cin);
+  std::ifstream jobs(options.jobs_path);
+  if (!jobs) {
+    std::fprintf(stderr, "wsync_serve: cannot read --jobs '%s'\n",
+                 options.jobs_path.c_str());
+    return 2;
+  }
+  return wsync::serve(options, jobs);
+}
