@@ -1,0 +1,22 @@
+#include "src/drift/drift.h"
+
+namespace wsync {
+
+int64_t drift_skew(int64_t age, int64_t rate_ppm) {
+  WSYNC_REQUIRE(age >= 0, "age must be non-negative");
+  WSYNC_REQUIRE(rate_ppm > -kDriftPpmScale && rate_ppm < kDriftPpmScale,
+                "drift rate must lie in (-1'000'000, 1'000'000) ppm");
+  // Floor division of the exact 128-bit product: C++ integer division
+  // truncates toward zero, so a negative non-exact quotient is one above
+  // the floor.
+  const __int128 product = static_cast<__int128>(age) * rate_ppm;
+  auto quotient = static_cast<int64_t>(product / kDriftPpmScale);
+  if (product % kDriftPpmScale != 0 && product < 0) --quotient;
+  return quotient;
+}
+
+int64_t local_clock(int64_t age, int64_t rate_ppm) {
+  return age + drift_skew(age, rate_ppm);
+}
+
+}  // namespace wsync

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/require.h"
+#include "src/drift/drift.h"
 
 namespace wsync {
 
@@ -23,6 +24,8 @@ DutyCycleProtocol::DutyCycleProtocol(const ProtocolEnv& env,
                     config.relay_awake_slots >= 0 &&
                     config.revive_awake_slots >= 1,
                 "need promote/revive thresholds >= 1 and relay slots >= 0");
+  WSYNC_REQUIRE(config.resync_every_awake_slots >= 0,
+                "resync cadence must be >= 0 awake slots (0 disables)");
   band_ = band_for(env.F, env.t, config.restrict_to_fprime);
 }
 
@@ -44,8 +47,26 @@ const WakeSchedule& DutyCycleProtocol::schedule() const {
 }
 
 bool DutyCycleProtocol::awake_next() const {
-  if (dormant_) return false;
+  if (dormant_) {
+    // A dormant adopter with a resync cadence still opens its radio on the
+    // cadence slots, to hear the leader's beacon and cancel clock drift.
+    return resync_slot(age_);
+  }
   return schedule_->awake(age_);
+}
+
+bool DutyCycleProtocol::resync_slot(int64_t age) const {
+  // Pure function of age: awake_rounds_before() is closed-form over the
+  // schedule, so the rule gives the same answer whether the node was driven
+  // round-by-round (dense) or fast-forwarded here (sparse).
+  return config_.resync_every_awake_slots > 0 && schedule_->awake(age) &&
+         schedule_->awake_rounds_before(age) %
+                 config_.resync_every_awake_slots ==
+             0;
+}
+
+int64_t DutyCycleProtocol::local(int64_t age) const {
+  return local_clock(age, env_.drift_ppm_rate);
 }
 
 RoundAction DutyCycleProtocol::act(Rng& rng) {
@@ -55,6 +76,9 @@ RoundAction DutyCycleProtocol::act(Rng& rng) {
 
   const auto f = static_cast<Frequency>(
       rng.next_below(static_cast<uint64_t>(band_)));
+  // Dormant resync wake: listen only. The relay phase is over; the radio is
+  // on solely to receive the leader's beacon and correct the local clock.
+  if (dormant_) return RoundAction::listen(f);
   switch (role_) {
     case Role::kContender: {
       if (rng.bernoulli(config_.contender_broadcast_prob)) {
@@ -65,7 +89,11 @@ RoundAction DutyCycleProtocol::act(Rng& rng) {
       return RoundAction::listen(f);
     }
     case Role::kLeader: {
-      if (rng.bernoulli(config_.leader_broadcast_prob)) {
+      // On the leader's own resync slots the beacon goes out for certain —
+      // this is the transmission the dormant adopters schedule their wakes
+      // around. (Short-circuit: no bernoulli draw on those slots.)
+      if (resync_slot(age_) ||
+          rng.bernoulli(config_.leader_broadcast_prob)) {
         LeaderMsg msg;
         msg.leader_uid = env_.uid;
         msg.round_number = sync_value_ + 1;
@@ -88,6 +116,9 @@ RoundAction DutyCycleProtocol::act(Rng& rng) {
 }
 
 void DutyCycleProtocol::adopt(const LeaderMsg& msg) {
+  // Re-adopting while already numbered is the resync event: the received
+  // beacon overwrites whatever skew the local clock accumulated.
+  if (has_sync_) ++resync_corrections_;
   has_sync_ = true;
   sync_value_ = msg.round_number;
   adopted_leader_uid_ = msg.leader_uid;
@@ -140,7 +171,7 @@ void DutyCycleProtocol::on_round_end(const std::optional<Message>& received,
   if (role_ == Role::kContender && awake_slots_ >= promote_at_slots_) {
     role_ = Role::kLeader;
     has_sync_ = true;
-    sync_value_ = age_;
+    sync_value_ = local(age_);  // numbering starts on the local clock
   } else if (role_ == Role::kKnockedOut &&
              quiet_slots_ >= config_.revive_awake_slots) {
     // Silence revival: the node that knocked us out is gone (crashed or
@@ -153,7 +184,10 @@ void DutyCycleProtocol::on_round_end(const std::optional<Message>& received,
     dormant_ = true;  // numbering spread done: power down for good
   }
 
-  if (was_synced && !adopted) ++sync_value_;
+  // The output advances at the node's local clock rate: +1 per round when
+  // drift-free, occasionally +0 or +2 under drift (never backwards, so the
+  // Commitment property is preserved even while skew accumulates).
+  if (was_synced && !adopted) sync_value_ += local(age_) - local(age_ - 1);
 }
 
 SyncOutput DutyCycleProtocol::output() const {
@@ -163,9 +197,11 @@ SyncOutput DutyCycleProtocol::output() const {
 
 double DutyCycleProtocol::broadcast_probability() const {
   if (role_ == Role::kInactive || !awake_next()) return 0.0;
+  if (dormant_) return 0.0;  // resync wake is listen-only
   switch (role_) {
     case Role::kContender: return config_.contender_broadcast_prob;
-    case Role::kLeader: return config_.leader_broadcast_prob;
+    case Role::kLeader:
+      return resync_slot(age_) ? 1.0 : config_.leader_broadcast_prob;
     case Role::kSynced: return config_.relay_broadcast_prob;
     default: return 0.0;
   }
@@ -173,19 +209,28 @@ double DutyCycleProtocol::broadcast_probability() const {
 
 std::optional<int64_t> DutyCycleProtocol::asleep_for() const {
   if (role_ == Role::kInactive) return 0;  // probed at activation
-  if (dormant_) return kAsleepForever;
+  if (dormant_) {
+    if (config_.resync_every_awake_slots <= 0) return kAsleepForever;
+    // Next resync slot: hop awake slot to awake slot until the cadence rule
+    // fires. At most R hops, since awake_rounds_before() advances by one
+    // per awake slot.
+    int64_t a = schedule_->next_awake(age_);
+    while (!resync_slot(a)) a = schedule_->next_awake(a + 1);
+    return a - age_;
+  }
   return schedule_->next_awake(age_) - age_;
 }
 
 void DutyCycleProtocol::skip_rounds(int64_t rounds) {
   WSYNC_CHECK(role_ != Role::kInactive, "skip_rounds() before activation");
   // An asleep round is act() -> sleep (no rng draw) plus on_round_end(nullopt)
-  // doing ++age_ and, once synced, ++sync_value_. No slot counter moves and
-  // no role transition can fire (their thresholds are only reachable on the
-  // awake round that increments the corresponding counter), so a block of
-  // asleep rounds collapses to two additions.
+  // doing ++age_ and, once synced, advancing sync_value_ by the local-clock
+  // delta. No slot counter moves and no role transition can fire (their
+  // thresholds are only reachable on the awake round that increments the
+  // corresponding counter), so a block of asleep rounds collapses to two
+  // additions — the per-round drift deltas telescope to one closed form.
+  if (has_sync_) sync_value_ += local(age_ + rounds) - local(age_);
   age_ += rounds;
-  if (has_sync_) sync_value_ += rounds;
   if (rounds > 0) was_awake_ = false;
 }
 

@@ -27,7 +27,13 @@
 //     Correctness holds while the radio is off);
 //   * a knocked-out node that hears nothing for revive_awake_slots wake
 //     slots returns to contention, so a crashed winner cannot strand the
-//     losers (cf. the fault-tolerant Trapdoor's silence restart).
+//     losers (cf. the fault-tolerant Trapdoor's silence restart);
+//   * with a resync cadence configured (resync_every_awake_slots > 0) the
+//     hard power-down is softened: dormant adopters re-open the radio on
+//     every R-th awake slot of their schedule to listen for the leader's
+//     deterministic beacon, re-adopting the numbering and cancelling any
+//     clock drift accumulated since the last contact (the hold-the-sync
+//     maintenance regime; see Simulation::run_maintenance).
 //
 // Energy shape: ladder (s·(lg s + 1) awake) + duty fraction ≈ 2/s of the
 // rounds to liveness, against the always-on protocols' awake ≡ rounds.
@@ -64,6 +70,14 @@ struct DutyCycleConfig {
   /// whole band (whitespace deployments, where the narrow band can miss a
   /// node's availability mask).
   bool restrict_to_fprime = true;
+  /// Resync-beacon cadence R, in awake slots (0 disables). With R > 0 every
+  /// R-th awake slot of a node's schedule is a *resync slot*: a leader
+  /// broadcasts its LeaderMsg beacon deterministically there, and a dormant
+  /// adopter re-opens its radio for exactly those slots (listen only) so it
+  /// can re-adopt the numbering and cancel accumulated clock drift. The rule
+  /// is a pure function of the node's age — awake_rounds_before(age) % R —
+  /// so it survives sparse fast-forward bit-exactly.
+  int resync_every_awake_slots = 0;
 };
 
 class DutyCycleProtocol final : public Protocol {
@@ -77,6 +91,7 @@ class DutyCycleProtocol final : public Protocol {
   SyncOutput output() const override;
   Role role() const override { return role_; }
   double broadcast_probability() const override;
+  int64_t resync_corrections() const override { return resync_corrections_; }
   std::optional<int64_t> asleep_for() const override;
   void skip_rounds(int64_t rounds) override;
 
@@ -96,6 +111,11 @@ class DutyCycleProtocol final : public Protocol {
 
  private:
   bool awake_next() const;
+  /// True iff `age` is an awake slot on the resync cadence (see
+  /// DutyCycleConfig::resync_every_awake_slots). Always false when R == 0.
+  bool resync_slot(int64_t age) const;
+  /// This node's local round counter at true age `age` (drift applied).
+  int64_t local(int64_t age) const;
   void adopt(const LeaderMsg& msg);
 
   ProtocolEnv env_;
@@ -115,6 +135,7 @@ class DutyCycleProtocol final : public Protocol {
   bool has_sync_ = false;
   int64_t sync_value_ = 0;
   uint64_t adopted_leader_uid_ = 0;
+  int64_t resync_corrections_ = 0;  // re-adoptions while already numbered
 };
 
 }  // namespace wsync

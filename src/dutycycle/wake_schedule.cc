@@ -1,6 +1,7 @@
 #include "src/dutycycle/wake_schedule.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/math_util.h"
 #include "src/common/require.h"
@@ -74,7 +75,14 @@ int64_t WakeSchedule::next_awake(int64_t age) const {
   };
   if (age >= ladder_rounds_) {
     const int64_t pos = (age - ladder_rounds_) % period_;
-    return age + (steady_next(pos) - pos);
+    const int64_t delta = steady_next(pos) - pos;
+    // A query in the final partial period before INT64_MAX may have no
+    // representable answer; `age + delta` would silently wrap (signed
+    // overflow UB) instead of failing. No real run gets here — ages are
+    // bounded by the round budget — so fail crisply rather than wrap.
+    WSYNC_REQUIRE(delta <= std::numeric_limits<int64_t>::max() - age,
+                  "next_awake overflows int64 (age too close to INT64_MAX)");
+    return age + delta;
   }
   // Ladder: jump to the rung's next residue slot, or — when the rung ends
   // first — to the next rung's phase (or the steady grid's first slot).

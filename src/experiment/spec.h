@@ -100,6 +100,28 @@ struct ExperimentPoint {
   /// the engine equivalence contract, so exports never mention it — the
   /// differential wall diffs dense vs sparse byte-for-byte.
   EngineMode engine = EngineMode::kAuto;
+
+  // --- clock drift & resync maintenance (hold-the-sync) -------------------
+
+  /// Per-node oscillator drift magnitude in ppm (see src/drift/drift.h):
+  /// each node draws a fixed rate in [-drift_ppm, +drift_ppm] from a
+  /// dedicated seed stream, and its output advances on the drifted local
+  /// clock. 0 (the default) reproduces drift-free runs bit-exactly.
+  int drift_ppm = 0;
+
+  /// Rounds of resync maintenance after liveness + extra_rounds (see
+  /// RunSpec::maintenance_rounds). 0 disables the phase.
+  RoundId maintenance_rounds = 0;
+
+  /// Max pairwise output offset tolerated during maintenance; rounds above
+  /// the bound count into PointResult::offset_violations and gate
+  /// check_expectations. Negative = chart only. Requires maintenance_rounds
+  /// > 0 when set.
+  int64_t offset_bound = -1;
+
+  /// kDutyCycle only: resync-beacon cadence R in awake slots (see
+  /// DutyCycleConfig::resync_every_awake_slots). 0 disables.
+  int resync_awake_slots = 0;
 };
 
 }  // namespace wsync

@@ -86,6 +86,7 @@ ProtocolFactory make_factory(const ExperimentPoint& point) {
       // duty-cycled synchronizer hops the whole band under that adversary.
       config.restrict_to_fprime =
           point.adversary != AdversaryKind::kWhitespace;
+      config.resync_every_awake_slots = point.resync_awake_slots;
       return DutyCycleProtocol::factory(config);
     }
     case ProtocolKind::kEnergyOracle:
@@ -275,12 +276,15 @@ RunSpec make_run_spec(const ExperimentPoint& point) {
   spec.sim.N = point.N;
   spec.sim.n = point.n;
   spec.sim.engine = point.engine;
+  spec.sim.drift.ppm = point.drift_ppm;
   spec.factory = make_factory(point);
   spec.make_adversary = make_adversary_producer(point);
   spec.make_activation = make_activation_producer(point);
   spec.max_rounds =
       point.max_rounds > 0 ? point.max_rounds : auto_round_budget(point);
   spec.extra_rounds = point.extra_rounds;
+  spec.maintenance_rounds = point.maintenance_rounds;
+  spec.offset_bound = point.offset_bound;
   spec.crash_waves = point.crash_waves;
   spec.verifier.allow_resync =
       point.protocol == ProtocolKind::kFaultTolerantTrapdoor;
@@ -306,6 +310,7 @@ PointResult aggregate_point(const ExperimentPoint& point,
   std::vector<double> max_awake;
   std::vector<double> mean_awake;
   std::vector<double> awake_fraction;
+  std::vector<double> max_offsets;
   for (const RunOutcome& outcome : outcomes) {
     if (outcome.synced) {
       ++result.synced_runs;
@@ -342,12 +347,19 @@ PointResult aggregate_point(const ExperimentPoint& point,
         outcome.energy.max_awake_rounds > point.energy_budget) {
       ++result.energy_budget_violations;
     }
+
+    // Maintenance offsets cover every run (all 0 without a maintenance
+    // phase, so the summary stays well-defined for legacy points).
+    max_offsets.push_back(static_cast<double>(outcome.max_offset_seen));
+    result.offset_violations += outcome.offset_violations;
+    result.resync_count += outcome.resync_count;
   }
   result.rounds_to_live = summarize(rounds);
   result.max_node_latency = summarize(latencies);
   result.max_awake_rounds = summarize(max_awake);
   result.mean_awake_rounds = summarize(mean_awake);
   result.awake_fraction = summarize(awake_fraction);
+  result.max_offset = summarize(max_offsets);
   return result;
 }
 

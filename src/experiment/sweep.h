@@ -54,6 +54,11 @@ struct PointResult {
   /// Runs whose max awake-rounds exceeded point.energy_budget (only counted
   /// when the point sets a budget; check_expectations gates on this).
   int energy_budget_violations = 0;
+
+  // --- resync maintenance (hold-the-sync), all runs ------------------------
+  Summary max_offset;             ///< per-run max pairwise output offset
+  int64_t offset_violations = 0;  ///< maintenance rounds over the bound, summed
+  int64_t resync_count = 0;       ///< maintenance re-adoptions, summed
 };
 
 /// Folds per-seed outcomes into the point aggregate. Shared by the serial

@@ -36,6 +36,11 @@ struct ProtocolEnv {
   uint64_t uid = 0;  ///< this node's unique identifier (random, collision-free whp)
   NodeId node_id = kNoNode;  ///< engine-level id; for tracing only, protocols
                              ///< must not base behaviour on it
+  /// This node's oscillator drift rate in signed ppm (src/drift/drift.h):
+  /// the local round counter advances by local_clock() deltas instead of 1
+  /// per round. 0 (the default, and always 0 when SimConfig::drift is
+  /// disabled) reproduces the paper's drift-free counter exactly.
+  int64_t drift_ppm_rate = 0;
 };
 
 class Protocol {
@@ -71,6 +76,13 @@ class Protocol {
   /// W(r) = sum_u p_u^r (Lemma 9 / Lemma 13); never used by the engine for
   /// resolution.
   virtual double broadcast_probability() const { return 0.0; }
+
+  /// How many times this node, while already holding a numbering,
+  /// re-adopted one from a received LeaderMsg — the resync events that
+  /// correct accumulated clock skew during a maintenance run
+  /// (Simulation::run_maintenance). Monotone non-decreasing; 0 for
+  /// protocols without a resync path.
+  virtual int64_t resync_corrections() const { return 0; }
 
   // --- sparse-engine contract ----------------------------------------------
   // A duty-cycled protocol can tell the engine, after every processed round,

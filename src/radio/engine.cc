@@ -14,6 +14,7 @@ namespace {
 constexpr uint64_t kAdversaryStream = 0xADF0'0001;
 constexpr uint64_t kActivationStream = 0xADF0'0002;
 constexpr uint64_t kUidStream = 0xADF0'0003;
+constexpr uint64_t kDriftStream = 0xADF0'0004;
 constexpr uint64_t kNodeStreamBase = 0x4E0D'0000;
 
 }  // namespace
@@ -42,6 +43,17 @@ Simulation::Simulation(const SimConfig& config, ProtocolFactory factory,
   adversary_rng_ = master.fork(kAdversaryStream);
   activation_rng_ = master.fork(kActivationStream);
   uid_rng_ = master.fork(kUidStream);
+  if (config_.drift.ppm > 0) {
+    // Rates are fixed at construction (not at activation) so they are a
+    // function of (seed, node id) alone — the same node drifts identically
+    // under every activation schedule, engine and worker count.
+    Rng drift_rng = master.fork(kDriftStream);
+    drift_rates_ = draw_drift_rates(config_.drift, config_.n, drift_rng);
+  } else {
+    // Validates ppm == 0 without forking; keeps the empty-vector contract.
+    WSYNC_REQUIRE(config_.drift.ppm == 0,
+                  "drift ppm must lie in [0, 1'000'000)");
+  }
 
   const auto count = static_cast<size_t>(config_.n);
   protocols_.resize(count);
@@ -87,6 +99,7 @@ void Simulation::activate_pending(RoundId r) {
     env.N = config_.N;
     env.uid = uid_rng_.next_u64();
     env.node_id = id;
+    env.drift_ppm_rate = drift_rates_.empty() ? 0 : drift_rates_[i];
     protocols_[i] = factory_(env);
     WSYNC_CHECK(protocols_[i] != nullptr, "factory returned null protocol");
     node_active_[i] = 1;
@@ -538,14 +551,73 @@ void Simulation::maybe_fast_forward(RoundId max_rounds) {
 Simulation::RunResult Simulation::run_until_synced(RoundId max_rounds) {
   WSYNC_REQUIRE(max_rounds >= 0, "max_rounds must be non-negative");
   while (view_.round_ < max_rounds) {
+    // Liveness is checked BEFORE stepping: resuming an already-synced
+    // simulation (crash-then-resume observers do this) must be a no-op in
+    // both engines. Checking only after step() made the dense engine
+    // execute one extra round while the sparse engine fast-forwarded to
+    // the next wake event — rounds and energy ledgers diverged whenever a
+    // later crash landed inside the window only one of them had billed.
+    if (all_synced()) return RunResult{true, view_.round_};
     if (sparse_) {
       maybe_fast_forward(max_rounds);
       if (view_.round_ >= max_rounds) break;
     }
     step();
-    if (all_synced()) return RunResult{true, view_.round_};
   }
   return RunResult{all_synced(), view_.round_};
+}
+
+Simulation::MaintenanceReport Simulation::run_maintenance(
+    RoundId horizon, int64_t offset_bound) {
+  WSYNC_REQUIRE(horizon >= 0, "maintenance horizon must be non-negative");
+
+  // Corrections are counted as a delta so maintenance can follow a sync
+  // phase in which merges already re-adopted numberings.
+  auto total_corrections = [this] {
+    int64_t total = 0;
+    for (int i = 0; i < config_.n; ++i) {
+      const auto ni = static_cast<size_t>(i);
+      // Crashed protocols still hold the corrections they made while live.
+      if (node_active_[ni] != 0) total += protocols_[ni]->resync_corrections();
+    }
+    return total;
+  };
+
+  MaintenanceReport report;
+  const int64_t corrections_before = total_corrections();
+  for (RoundId i = 0; i < horizon; ++i) {
+    step();
+    ++report.rounds;
+    // Output spread over live synchronized nodes this round. output()
+    // settles sparse nodes, so both engines observe identical values; the
+    // per-round full scan is the point of this mode — a violation in ANY
+    // round must be caught, so no fast-forwarding.
+    int64_t lowest = 0;
+    int64_t highest = 0;
+    bool any = false;
+    for (NodeId id = 0; id < config_.n; ++id) {
+      const auto ni = static_cast<size_t>(id);
+      if (node_active_[ni] == 0 || node_crashed_[ni] != 0) continue;
+      const SyncOutput out = output(id);
+      if (!out.has_number()) continue;
+      if (!any) {
+        lowest = highest = out.value;
+        any = true;
+      } else {
+        lowest = std::min(lowest, out.value);
+        highest = std::max(highest, out.value);
+      }
+    }
+    if (any) {
+      const int64_t spread = highest - lowest;
+      report.max_offset_seen = std::max(report.max_offset_seen, spread);
+      if (offset_bound >= 0 && spread > offset_bound) {
+        ++report.offset_violations;
+      }
+    }
+  }
+  report.resync_count = total_corrections() - corrections_before;
+  return report;
 }
 
 bool Simulation::is_active(NodeId id) const {

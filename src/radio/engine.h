@@ -48,6 +48,7 @@
 #include "src/adversary/adversary.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/drift/drift.h"
 #include "src/protocol/protocol.h"
 #include "src/radio/activation.h"
 #include "src/radio/energy.h"
@@ -65,6 +66,9 @@ struct SimConfig {
   uint64_t seed = 1; ///< master seed for the whole execution
   /// Round-loop implementation; kAuto resolves to the sparse engine.
   EngineMode engine = EngineMode::kAuto;
+  /// Per-node clock drift (src/drift/drift.h). ppm == 0 (the default)
+  /// disables the model bit-exactly: no stream fork, no rate draw.
+  DriftSpec drift;
 };
 
 /// What one engine round produced; returned by step().
@@ -176,6 +180,28 @@ class Simulation {
   };
   RunResult run_until_synced(RoundId max_rounds);
 
+  /// What a resync-maintenance phase observed; returned by run_maintenance().
+  struct MaintenanceReport {
+    RoundId rounds = 0;            ///< maintenance rounds executed
+    int64_t max_offset_seen = 0;   ///< max over rounds of the output spread
+    int64_t offset_violations = 0; ///< rounds whose spread exceeded the bound
+    int64_t resync_count = 0;      ///< skew corrections (re-adoptions)
+
+    friend constexpr bool operator==(const MaintenanceReport&,
+                                     const MaintenanceReport&) = default;
+  };
+
+  /// The hold-the-sync run mode: executes `horizon` further rounds
+  /// round-by-round (no fast-forward — the offset must be observed every
+  /// round) and checks after each that the spread between the largest and
+  /// smallest output over live synchronized nodes stays within
+  /// `offset_bound` (< 0 = chart only, never count a violation). Under
+  /// clock drift (SimConfig::drift) nodes slide apart between the resync
+  /// beacons that re-align them; resync_count totals those corrections
+  /// (Protocol::resync_corrections deltas). Bit-identical across the dense
+  /// and sparse engines: every node is settled before its output is read.
+  MaintenanceReport run_maintenance(RoundId horizon, int64_t offset_bound);
+
   // --- observers -----------------------------------------------------------
 
   const SimConfig& config() const { return config_; }
@@ -252,6 +278,9 @@ class Simulation {
   Rng adversary_rng_{0};
   Rng activation_rng_{0};
   Rng uid_rng_{0};
+  /// Per-node drift rates in signed ppm; empty when drift is disabled
+  /// (drawn once at construction from the kDriftStream fork).
+  std::vector<int64_t> drift_rates_;
 
   // Node state, struct-of-arrays: the sparse engine touches only the awake
   // cohort's entries per round, and the flat flag/round arrays keep the

@@ -636,6 +636,188 @@ Scenario dutycycle_awake_scaling() {
   return s;
 }
 
+/// Hold-the-sync control: the always-on Trapdoor with NO drift. Once the
+/// swarm agrees, every output advances by exactly 1 per round, so the
+/// maintenance spread must be exactly 0 for the whole horizon — any other
+/// reading would be an engine or protocol bug, not physics.
+Scenario drift_zero_baseline() {
+  Scenario s;
+  s.name = "drift_zero_baseline";
+  s.summary =
+      "Maintenance at 0 ppm: the Trapdoor's held offset is exactly zero";
+  s.rationale =
+      "Control for the drift axis: with perfect oscillators the agreed "
+      "numbering advances in lockstep, so the 10000-round maintenance "
+      "spread is 0 — pinning the ppm = 0 bit-compatibility of the drift "
+      "plumbing and the offset instrumentation itself.";
+  ExperimentPoint point = base_point(ProtocolKind::kTrapdoor, 16, 4, 64, 8);
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kSimultaneous;
+  point.maintenance_rounds = 10000;
+  // Calibrated: spread is 0 across 8 seeds (single leader, lockstep +1);
+  // the zero bound IS the point of the control.
+  point.offset_bound = 0;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;  // N = 64 whp margin
+  return s;
+}
+
+/// Hold-the-sync with the always-on Trapdoor: adopters hear the leader's
+/// broadcasts constantly, so 50 ppm drift is corrected within a handful of
+/// rounds and the offset stays tightly bounded for the whole horizon.
+Scenario drift_hold_trapdoor() {
+  Scenario s;
+  s.name = "drift_hold_trapdoor";
+  s.summary =
+      "Trapdoor holds sync at 50 ppm drift: always-on resync via beacons";
+  s.rationale =
+      "The paper's protocols never power down, so the same LeaderMsg "
+      "exchange that established the numbering keeps correcting it: at 50 "
+      "ppm a node skews by 1 round every 20000, but re-adopts every ~F'/p "
+      "rounds. The offset bound is the maintenance-phase correctness "
+      "criterion (per-round +1 correctness is the wrong yardstick under "
+      "drift).";
+  ExperimentPoint point = base_point(ProtocolKind::kTrapdoor, 16, 4, 64, 8);
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kSimultaneous;
+  point.drift_ppm = 50;
+  point.maintenance_rounds = 10000;
+  // Calibrated: observed max spread 2 across the default seeds (adoption
+  // quantization, corrected within ~16 rounds); 2x headroom.
+  point.offset_bound = 4;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;    // drifted outputs disagree by design
+  s.expect_correctness_clean = false;  // +0/+2 steps break per-round +1
+  return s;
+}
+
+/// Hold-the-sync with the duty-cycled synchronizer: dormant adopters wake
+/// only on every 8th awake slot to catch the leader's deterministic beacon.
+Scenario drift_hold_dutycycle() {
+  Scenario s;
+  s.name = "drift_hold_dutycycle";
+  s.summary =
+      "Duty-cycled hold at 50 ppm: dormant adopters resync on cadence R=8";
+  s.rationale =
+      "The BKO regime meets clock drift: hard power-down would let 50 ppm "
+      "skew grow without bound, so dormant adopters re-open the radio on "
+      "every R-th awake slot (listen-only) while the leader beacons "
+      "deterministically on its own cadence slots. The offset bound proves "
+      "the cadence actually holds the swarm together at polylog awake cost.";
+  ExperimentPoint point = base_point(ProtocolKind::kDutyCycle, 16, 4, 64, 8);
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 32;
+  point.drift_ppm = 50;
+  point.resync_awake_slots = 8;
+  point.maintenance_rounds = 20000;
+  // Calibrated: the spread is dominated by wake-up residue, not drift — a
+  // straggler that adopted a rival numbering before going dormant reads up
+  // to ~25 off until a resync beacon recaptures it (observed max 25 across
+  // 8 seeds). The bound sits at ~2x that: it tolerates the residue but
+  // catches any unbounded drift-away, which is what the cadence must
+  // prevent.
+  point.offset_bound = 48;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  return s;
+}
+
+/// The cadence-vs-drift frontier: ppm in {10, 50, 200} crossed with resync
+/// cadence R in {4, 16, 64}. The tightest cadence is gated; the looser ones
+/// chart the measured max_offset surface, consumed by bench/drift_cadence.
+Scenario drift_cadence_sweep() {
+  Scenario s;
+  s.name = "drift_cadence_sweep";
+  s.summary =
+      "Max held offset vs resync cadence R at 10/50/200 ppm (chart)";
+  s.rationale =
+      "The maintenance trade: tighter cadence buys a tighter hold but "
+      "spends awake slots. The 3x3 grid charts max_offset(R, ppm) so the "
+      "frontier — how much cadence each drift level needs — is measured, "
+      "not assumed.";
+  for (const int ppm : {10, 50, 200}) {
+    for (const int cadence : {4, 16, 64}) {
+      ExperimentPoint point =
+          base_point(ProtocolKind::kDutyCycle, 16, 4, 64, 8);
+      point.adversary = AdversaryKind::kRandomSubset;
+      point.activation = ActivationKind::kStaggeredUniform;
+      point.activation_window = 32;
+      point.drift_ppm = ppm;
+      point.resync_awake_slots = cadence;
+      point.maintenance_rounds = 12000;
+      // The tightest cadence is gated (calibrated: observed max spread 25
+      // across 8 seeds at every ppm — wake-up residue dominates at this
+      // horizon — with ~2x headroom); the looser cadences are the chart.
+      if (cadence == 4) point.offset_bound = 48;
+      s.grid.push_back(point);
+    }
+  }
+  s.default_seeds = 4;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  return s;
+}
+
+/// Drift plus crash waves during wake-up: survivors must re-elect AND the
+/// new leader's beacons must re-capture drifting adopters. Chart-only —
+/// a wave can take the leader, and a leaderless stretch drifts freely.
+Scenario drift_crash_waves() {
+  Scenario s;
+  s.name = "drift_crash_waves";
+  s.summary =
+      "50 ppm drift through two crash waves; offset charted, not bounded";
+  s.rationale =
+      "Stress: crash recovery under drift. Waves land during the wake-up "
+      "phase (maintenance itself is crash-free by design); if a wave takes "
+      "the leader, survivors re-elect and the maintenance chart shows how "
+      "far the swarm drifted before the new beacons re-captured it.";
+  ExperimentPoint point = base_point(ProtocolKind::kDutyCycle, 16, 4, 32, 8);
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 16;
+  point.drift_ppm = 50;
+  point.resync_awake_slots = 8;
+  point.crash_waves = {{150, 2}, {400, 1}};
+  point.max_rounds = 120000;  // silence revival is slow by design
+  point.maintenance_rounds = 12000;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  return s;
+}
+
+/// Drift over whitespace availability masks: resync rendezvous thinned by
+/// per-node channel masks on top of the full-band hop. Chart-only.
+Scenario drift_whitespace() {
+  Scenario s;
+  s.name = "drift_whitespace";
+  s.summary = "50 ppm drift over whitespace masks: thinned resync meetings";
+  s.rationale =
+      "Azar-style masks thin every beacon rendezvous (leader and adopter "
+      "must share the channel AND both have it available), so the same "
+      "cadence holds a looser offset than on an open band — the chart "
+      "quantifies the availability tax on maintenance.";
+  ExperimentPoint point = base_point(ProtocolKind::kDutyCycle, 16, 0, 64, 6);
+  point.adversary = AdversaryKind::kWhitespace;
+  point.whitespace_available = 8;
+  point.whitespace_shared = 2;
+  point.activation = ActivationKind::kSimultaneous;
+  point.drift_ppm = 50;
+  point.resync_awake_slots = 8;
+  point.maintenance_rounds = 12000;
+  s.grid.push_back(point);
+  s.default_seeds = 6;
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  return s;
+}
+
 std::vector<Scenario> build_catalog() {
   std::vector<Scenario> catalog;
   catalog.push_back(thm10_trapdoor_n_scaling());
@@ -662,6 +844,12 @@ std::vector<Scenario> build_catalog() {
   catalog.push_back(dutycycle_whitespace());
   catalog.push_back(dutycycle_crash_waves());
   catalog.push_back(dutycycle_awake_scaling());
+  catalog.push_back(drift_zero_baseline());
+  catalog.push_back(drift_hold_trapdoor());
+  catalog.push_back(drift_hold_dutycycle());
+  catalog.push_back(drift_cadence_sweep());
+  catalog.push_back(drift_crash_waves());
+  catalog.push_back(drift_whitespace());
   for (const Scenario& scenario : catalog) validate(scenario);
   return catalog;
 }

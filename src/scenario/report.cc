@@ -11,7 +11,8 @@ const std::vector<std::string>& result_columns() {
       "runs",          "synced",         "timeout",      "p50_rounds",
       "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
       "awake_max",     "awake_frac",     "bcast_rounds", "listen_rounds",
-      "energy_budget", "energy_viol"};
+      "energy_budget", "energy_viol",    "drift_ppm",    "max_offset",
+      "offset_viol",   "resyncs"};
   return columns;
 }
 
@@ -42,7 +43,11 @@ void fill_point_cells(Table& table, const ExperimentPoint& p,
       .cell(r.broadcast_rounds)
       .cell(r.listen_rounds)
       .cell(p.energy_budget)
-      .cell(static_cast<int64_t>(r.energy_budget_violations));
+      .cell(static_cast<int64_t>(r.energy_budget_violations))
+      .cell(static_cast<int64_t>(p.drift_ppm))
+      .cell(r.max_offset.max, 0)
+      .cell(r.offset_violations)
+      .cell(r.resync_count);
 }
 
 }  // namespace

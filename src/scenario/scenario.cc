@@ -44,6 +44,20 @@ void validate_point(const Scenario& scenario, size_t index,
            where + "need 1 <= whitespace_shared <= whitespace_available");
     }
   }
+  if (point.drift_ppm < 0 || point.drift_ppm >= 1'000'000) {
+    fail(scenario, where + "drift_ppm must lie in [0, 1'000'000)");
+  }
+  if (point.maintenance_rounds < 0) {
+    fail(scenario, where + "maintenance_rounds must be non-negative");
+  }
+  if (point.offset_bound >= 0 && point.maintenance_rounds == 0) {
+    fail(scenario,
+         where + "offset_bound requires maintenance_rounds > 0 "
+                 "(the bound is only checked during maintenance)");
+  }
+  if (point.resync_awake_slots < 0) {
+    fail(scenario, where + "resync_awake_slots must be non-negative");
+  }
   int crash_total = 0;
   for (const CrashWave& wave : point.crash_waves) {
     if (wave.round < 0 || wave.count < 1) {
@@ -119,6 +133,13 @@ std::vector<std::string> check_expectations(
                       " runs exceeded the energy budget of " +
                       std::to_string(r.point.energy_budget) +
                       " awake rounds");
+    }
+    // Likewise an offset bound: the maintenance phase's hold-the-sync
+    // criterion is an explicit opt-in, never excusable by a flag.
+    if (r.point.offset_bound >= 0 && r.offset_violations != 0) {
+      complain(i, std::to_string(r.offset_violations) +
+                      " maintenance rounds exceeded the offset bound of " +
+                      std::to_string(r.point.offset_bound));
     }
   }
   return failures;

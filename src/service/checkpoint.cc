@@ -12,7 +12,7 @@ namespace wsync {
 
 namespace {
 
-constexpr char kHeaderPrefix[] = "wsync-checkpoint v1 fingerprint ";
+constexpr char kHeaderPrefix[] = "wsync-checkpoint v2 fingerprint ";
 
 std::string hex64(uint64_t value) {
   char buffer[17];
@@ -113,12 +113,14 @@ std::string encode_chunk_line(const std::string& scenario,
      << r.correctness_violations << ' ' << r.max_leaders << ' '
      << r.multi_leader_runs << ' ' << r.energy_budget_violations << ' '
      << r.broadcast_rounds << ' ' << r.listen_rounds << ' '
-     << r.sleep_rounds << ' ' << double_bits(r.max_broadcast_weight);
+     << r.sleep_rounds << ' ' << r.offset_violations << ' '
+     << r.resync_count << ' ' << double_bits(r.max_broadcast_weight);
   encode_summary(os, r.rounds_to_live);
   encode_summary(os, r.max_node_latency);
   encode_summary(os, r.max_awake_rounds);
   encode_summary(os, r.mean_awake_rounds);
   encode_summary(os, r.awake_fraction);
+  encode_summary(os, r.max_offset);
   std::string line = os.str();
   line += " #" + hex64(fnv1a64(line));
   return line;
@@ -152,12 +154,15 @@ std::string decode_chunk_line(const std::string& line, std::string* scenario,
         reader.next_int(&r.broadcast_rounds) &&
         reader.next_int(&r.listen_rounds) &&
         reader.next_int(&r.sleep_rounds) &&
+        reader.next_int(&r.offset_violations) &&
+        reader.next_int(&r.resync_count) &&
         reader.next_double_bits(&r.max_broadcast_weight) &&
         reader.next_summary(&r.rounds_to_live) &&
         reader.next_summary(&r.max_node_latency) &&
         reader.next_summary(&r.max_awake_rounds) &&
         reader.next_summary(&r.mean_awake_rounds) &&
-        reader.next_summary(&r.awake_fraction) && reader.at_end())) {
+        reader.next_summary(&r.awake_fraction) &&
+        reader.next_summary(&r.max_offset) && reader.at_end())) {
     return "malformed chunk fields";
   }
   *result = r;

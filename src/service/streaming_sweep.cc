@@ -77,7 +77,8 @@ SweepPlan make_plan(const std::vector<const Scenario*>& selected,
 }
 
 uint64_t plan_fingerprint(const SweepPlan& plan) {
-  uint64_t hash = fnv1a64("wsync-sweep-plan-v1");
+  // v2: the drift/maintenance point fields joined the mix.
+  uint64_t hash = fnv1a64("wsync-sweep-plan-v2");
   mix(&hash, plan.scenarios.size());
   for (const PlannedScenario& planned : plan.scenarios) {
     const Scenario& s = planned.scenario;
@@ -101,6 +102,10 @@ uint64_t plan_fingerprint(const SweepPlan& plan) {
       mix(&hash, static_cast<uint64_t>(p.whitespace_available));
       mix(&hash, static_cast<uint64_t>(p.whitespace_shared));
       mix(&hash, static_cast<uint64_t>(p.energy_budget));
+      mix(&hash, static_cast<uint64_t>(p.drift_ppm));
+      mix(&hash, static_cast<uint64_t>(p.maintenance_rounds));
+      mix(&hash, static_cast<uint64_t>(p.offset_bound));
+      mix(&hash, static_cast<uint64_t>(p.resync_awake_slots));
       mix(&hash, p.crash_waves.size());
       for (const CrashWave& wave : p.crash_waves) {
         mix(&hash, static_cast<uint64_t>(wave.round));

@@ -17,6 +17,8 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
     WSYNC_REQUIRE(wave.round >= 0 && wave.count >= 0,
                   "crash waves need a non-negative round and count");
   }
+  WSYNC_REQUIRE(spec.maintenance_rounds >= 0,
+                "maintenance_rounds must be non-negative");
 
   Simulation sim(spec.sim, spec.factory, spec.make_adversary(),
                  spec.make_activation());
@@ -56,6 +58,18 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
     const RoundReport report = sim.step();
     max_weight = std::max(max_weight, report.broadcast_weight);
     verifier.observe(sim);
+  }
+
+  if (spec.maintenance_rounds > 0) {
+    // Hold-the-sync: the engine charts the per-round output spread itself.
+    // Crash waves do not fire here by design — a drift scenario that wants
+    // crashes schedules them during the wake-up phase — and the verifier
+    // does not observe (see RunSpec::maintenance_rounds).
+    const Simulation::MaintenanceReport maintenance =
+        sim.run_maintenance(spec.maintenance_rounds, spec.offset_bound);
+    outcome.max_offset_seen = maintenance.max_offset_seen;
+    outcome.offset_violations = maintenance.offset_violations;
+    outcome.resync_count = maintenance.resync_count;
   }
 
   outcome.sync_latency.resize(static_cast<size_t>(spec.sim.n), -1);

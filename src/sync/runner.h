@@ -35,6 +35,17 @@ struct RunSpec {
   /// ends (liveness + extra_rounds) never fire.
   std::vector<CrashWave> crash_waves;
   VerifierConfig verifier;
+  /// Resync-maintenance phase (hold-the-sync): after liveness + extra_rounds
+  /// the runner keeps stepping this many more rounds, charting the max
+  /// pairwise output offset over live synchronized nodes every round
+  /// (Simulation::run_maintenance). 0 disables the phase. The verifier does
+  /// not observe maintenance rounds — under clock drift its per-round
+  /// +1-correctness and agreement checks are the wrong yardstick; the offset
+  /// bound below is the maintenance-phase correctness criterion.
+  RoundId maintenance_rounds = 0;
+  /// Offset bound enforced during maintenance: any round whose max pairwise
+  /// offset exceeds this counts as a violation. Negative = chart only.
+  int64_t offset_bound = -1;
 };
 
 struct RunOutcome {
@@ -49,6 +60,10 @@ struct RunOutcome {
   /// Whole-run radio-use totals from the engine's EnergyLedger (awake =
   /// broadcast + listen; timeouts spend energy too, so this is always set).
   RunEnergy energy;
+  /// Maintenance-phase results (all 0 when maintenance_rounds == 0).
+  int64_t max_offset_seen = 0;    ///< max per-round pairwise output spread
+  int64_t offset_violations = 0;  ///< rounds whose spread exceeded the bound
+  int64_t resync_count = 0;       ///< re-adoptions during maintenance
 };
 
 /// Runs one seeded experiment to completion.

@@ -1,6 +1,7 @@
 #include "src/trapdoor/trapdoor.h"
 
 #include "src/common/require.h"
+#include "src/drift/drift.h"
 
 namespace wsync {
 
@@ -66,7 +67,15 @@ RoundAction TrapdoorProtocol::act_listener(Rng& rng) {
   return RoundAction::listen(f);
 }
 
+int64_t TrapdoorProtocol::local(int64_t age) const {
+  return local_clock(age, env_.drift_ppm_rate);
+}
+
 void TrapdoorProtocol::adopt_leader(const LeaderMsg& msg) {
+  // Re-adopting while already numbered is the resync event that cancels
+  // accumulated clock drift (always-on nodes hear beacons constantly, so
+  // Trapdoor holds sync tightly even at high ppm).
+  if (has_sync_) ++resync_corrections_;
   has_sync_ = true;
   sync_value_ = msg.round_number;
   adopted_leader_uid_ = msg.leader_uid;
@@ -110,11 +119,12 @@ void TrapdoorProtocol::on_round_end(const std::optional<Message>& received,
   if (role_ == Role::kContender && age_ >= schedule_.total_rounds()) {
     role_ = Role::kLeader;
     has_sync_ = true;
-    sync_value_ = age_;
+    sync_value_ = local(age_);  // numbering starts on the local clock
   } else if (was_synced_before_round && !adopted) {
-    // Correctness property: the output increments every round after the
-    // round in which the number was adopted/chosen.
-    ++sync_value_;
+    // Correctness property: the output advances at the node's local clock
+    // rate — exactly +1 per round when drift-free, occasionally +0 or +2
+    // under drift (never backwards, preserving Commitment).
+    sync_value_ += local(age_) - local(age_ - 1);
   }
 }
 

@@ -36,6 +36,7 @@ class TrapdoorProtocol final : public Protocol {
   SyncOutput output() const override;
   Role role() const override { return role_; }
   double broadcast_probability() const override;
+  int64_t resync_corrections() const override { return resync_corrections_; }
 
   /// Factory for Simulation.
   static ProtocolFactory factory(const TrapdoorConfig& config = {});
@@ -54,6 +55,8 @@ class TrapdoorProtocol final : public Protocol {
   /// Returns true iff the message caused a (re-)adoption of a numbering.
   bool handle_message(const Message& message);
   void adopt_leader(const LeaderMsg& msg);
+  /// This node's local round counter at true age `age` (drift applied).
+  int64_t local(int64_t age) const;
 
   ProtocolEnv env_;
   TrapdoorConfig config_;
@@ -64,6 +67,7 @@ class TrapdoorProtocol final : public Protocol {
   bool has_sync_ = false;
   int64_t sync_value_ = 0;  ///< current output when has_sync_
   uint64_t adopted_leader_uid_ = 0;
+  int64_t resync_corrections_ = 0;  ///< re-adoptions while already numbered
 };
 
 }  // namespace wsync

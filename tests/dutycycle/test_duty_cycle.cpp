@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "src/common/rng.h"
+#include "src/drift/drift.h"
 #include "src/dutycycle/oracle.h"
 
 namespace wsync {
@@ -229,6 +230,183 @@ TEST(DutyCycleProtocolTest, ReceptionResetsTheSilenceClock) {
     }
     ASSERT_EQ(protocol.role(), Role::kKnockedOut) << "round " << i;
   }
+}
+
+// --- Resync cadence (hold-the-sync) ---------------------------------------
+//
+// With resync_every_awake_slots = R > 0, every R-th awake slot of a node's
+// schedule is a resync slot: the leader's beacon goes out for certain, and
+// dormant adopters re-open the radio to hear it. The slot rule is a pure
+// function of age, so these tests recompute it externally from the
+// WakeSchedule and diff the protocol's behavior against it.
+
+/// True iff `age` is a resync slot of `schedule` under cadence R —
+/// the test's independent copy of the protocol's rule.
+bool external_resync_slot(const WakeSchedule& schedule, int64_t age, int R) {
+  return schedule.awake(age) && schedule.awake_rounds_before(age) % R == 0;
+}
+
+TEST(DutyCycleResyncTest, DormantAdopterWakesListenOnlyOnTheCadence) {
+  Rng rng(20);
+  DutyCycleConfig config;
+  config.relay_awake_slots = 0;  // dormant immediately after adoption
+  config.resync_every_awake_slots = 4;
+  DutyCycleProtocol protocol(make_env(), config);
+  protocol.on_activate(rng);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(42, 900), rng);
+  ASSERT_TRUE(protocol.dormant());
+
+  const WakeSchedule& schedule = protocol.schedule();
+  int64_t age = 1;  // one on_round_end so far
+  int resync_wakes = 0;
+  for (int i = 0; i < 4000; ++i, ++age) {
+    const bool resync = external_resync_slot(schedule, age, 4);
+    const double prob = protocol.broadcast_probability();
+    const RoundAction action = protocol.act(rng);
+    ASSERT_EQ(!action.is_sleep(), resync) << "age " << age;
+    ASSERT_FALSE(action.broadcast) << "age " << age;  // listen-only wake
+    ASSERT_EQ(prob, 0.0) << "age " << age;
+    protocol.on_round_end(std::nullopt, rng);
+    resync_wakes += resync ? 1 : 0;
+  }
+  EXPECT_GT(resync_wakes, 0) << "the cadence never fired";
+}
+
+TEST(DutyCycleResyncTest, AsleepForLandsExactlyOnTheNextCadenceSlot) {
+  Rng rng(21);
+  DutyCycleConfig config;
+  config.relay_awake_slots = 0;
+  config.resync_every_awake_slots = 4;
+  DutyCycleProtocol protocol(make_env(), config);
+  protocol.on_activate(rng);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(42, 900), rng);
+  ASSERT_TRUE(protocol.dormant());
+
+  const WakeSchedule& schedule = protocol.schedule();
+  int64_t age = 1;
+  for (int hops = 0; hops < 50; ++hops) {
+    const auto asleep = protocol.asleep_for();
+    ASSERT_TRUE(asleep.has_value());
+    const int64_t k = *asleep;
+    ASSERT_GE(k, 0);
+    // Nothing in the skipped window is a resync slot; the landing age is.
+    for (int64_t d = 0; d < k; ++d) {
+      ASSERT_FALSE(external_resync_slot(schedule, age + d, 4))
+          << "age " << age + d;
+    }
+    ASSERT_TRUE(external_resync_slot(schedule, age + k, 4)) << "age " << age;
+    protocol.skip_rounds(k);
+    age += k;
+    // Step through the resync wake itself.
+    ASSERT_FALSE(protocol.act(rng).is_sleep()) << "age " << age;
+    protocol.on_round_end(std::nullopt, rng);
+    ++age;
+  }
+}
+
+TEST(DutyCycleResyncTest, NoCadenceMeansDormantForever) {
+  Rng rng(22);
+  DutyCycleConfig config;
+  config.relay_awake_slots = 0;  // resync_every_awake_slots stays 0
+  DutyCycleProtocol protocol(make_env(), config);
+  protocol.on_activate(rng);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(42, 900), rng);
+  ASSERT_TRUE(protocol.dormant());
+  ASSERT_TRUE(protocol.asleep_for().has_value());
+  EXPECT_EQ(*protocol.asleep_for(), kAsleepForever);
+}
+
+TEST(DutyCycleResyncTest, SkipRoundsMatchesSteppingUnderDrift) {
+  // The sparse engine's fast-forward must telescope the per-round drift
+  // deltas to the same local count the dense engine accumulates one round
+  // at a time. 333'333 ppm exercises both the +1 and the +2 delta.
+  ProtocolEnv env = make_env();
+  env.drift_ppm_rate = 333'333;
+  DutyCycleConfig config;
+  config.relay_awake_slots = 0;
+  Rng rng_a(23);
+  Rng rng_b(23);
+  DutyCycleProtocol stepped(env, config);
+  DutyCycleProtocol skipped(env, config);
+  for (DutyCycleProtocol* p : {&stepped, &skipped}) {
+    Rng& rng = p == &stepped ? rng_a : rng_b;
+    p->on_activate(rng);
+    p->act(rng);
+    p->on_round_end(leader_message(42, 900), rng);
+    ASSERT_TRUE(p->dormant());
+  }
+  for (int i = 0; i < 997; ++i) {
+    ASSERT_TRUE(stepped.act(rng_a).is_sleep());
+    stepped.on_round_end(std::nullopt, rng_a);
+  }
+  skipped.skip_rounds(997);
+  EXPECT_EQ(skipped.output().value, stepped.output().value);
+  // Both equal the closed form: adopted value plus the local-clock advance
+  // from age 1 (adoption) to age 998.
+  EXPECT_EQ(stepped.output().value,
+            900 + local_clock(998, 333'333) - local_clock(1, 333'333));
+}
+
+TEST(DutyCycleResyncTest, ReAdoptionsIncrementResyncCorrections) {
+  Rng rng(24);
+  DutyCycleProtocol protocol(make_env());
+  protocol.on_activate(rng);
+  EXPECT_EQ(protocol.resync_corrections(), 0);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(42, 500), rng);
+  // The first adoption establishes the numbering — not a correction.
+  EXPECT_EQ(protocol.resync_corrections(), 0);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(42, 700), rng);
+  // A later beacon overwrites accumulated skew: that IS the resync event.
+  EXPECT_EQ(protocol.resync_corrections(), 1);
+  EXPECT_EQ(protocol.output().value, 700);
+  protocol.act(rng);
+  protocol.on_round_end(leader_message(77, 900), rng);
+  EXPECT_EQ(protocol.resync_corrections(), 2);
+  EXPECT_EQ(protocol.output().value, 900);
+}
+
+TEST(DutyCycleResyncTest, LeaderBeaconIsCertainOnItsResyncSlots) {
+  Rng rng(25);
+  DutyCycleConfig config;
+  config.resync_every_awake_slots = 4;
+  config.leader_broadcast_prob = 0.0;  // isolate the cadence's transmissions
+  DutyCycleProtocol protocol(make_env(), config);
+  protocol.on_activate(rng);
+  int64_t age = 0;
+  while (protocol.role() != Role::kLeader) {
+    step(protocol, rng);
+    ++age;
+    ASSERT_LT(age, 100000) << "no promotion";
+  }
+  const WakeSchedule& schedule = protocol.schedule();
+  int beacons = 0;
+  for (int i = 0; i < 3000; ++i, ++age) {
+    const bool resync = external_resync_slot(schedule, age, 4);
+    const double prob = protocol.broadcast_probability();
+    const RoundAction action = protocol.act(rng);
+    if (resync) {
+      ASSERT_EQ(prob, 1.0) << "age " << age;
+      ASSERT_TRUE(action.broadcast) << "age " << age;
+      const auto* msg = std::get_if<LeaderMsg>(&*action.payload);
+      ASSERT_NE(msg, nullptr);
+      EXPECT_EQ(msg->leader_uid, 1000u);  // make_env()'s uid
+      EXPECT_EQ(msg->round_number, protocol.output().value + 1);
+      ++beacons;
+    } else if (schedule.awake(age)) {
+      // With leader_broadcast_prob 0 every off-cadence awake slot listens.
+      ASSERT_EQ(prob, 0.0) << "age " << age;
+      ASSERT_FALSE(action.broadcast) << "age " << age;
+    } else {
+      ASSERT_TRUE(action.is_sleep()) << "age " << age;
+    }
+    protocol.on_round_end(std::nullopt, rng);
+  }
+  EXPECT_GT(beacons, 0) << "the leader never hit a resync slot";
 }
 
 TEST(EnergyOracleTest, AlwaysOnUntilContactThenHardSleep) {

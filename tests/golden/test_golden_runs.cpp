@@ -15,12 +15,16 @@
 //     derivation and the sleep-action charging end to end. Rendering uses
 //     a single seeded Simulation, so the bytes cannot depend on worker
 //     counts; the catalog-level CI diff covers the aggregated exports.
+// (d) A drift-hold maintenance run: per-node drifted outputs, the spread
+//     trajectory across sliced run_maintenance() calls, and resync
+//     correction counts — pins the hold-the-sync subsystem end to end.
 //
 // After an INTENTIONAL change, regenerate with
 //   WSYNC_REGEN_GOLDEN=1 ctest -R Golden
 // and review the diff like any other code change.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -338,6 +342,95 @@ std::string render_large_dutycycle_run(EngineMode engine) {
   return out;
 }
 
+std::string render_drift_hold_run(EngineMode engine) {
+  // Hold-the-sync golden: a duty-cycled cohort under heavy clock drift
+  // (rates drawn in ±120000 ppm) with an R = 4 resync cadence. Renders the
+  // synced outputs entering maintenance, the spread trajectory across
+  // 16-round maintenance slices (run_maintenance is resumable, so slicing
+  // is a supported call pattern, and it pins the per-round observer), and
+  // the final per-node outputs with resync-correction counts — any change
+  // to the local-clock arithmetic, the beacon cadence, the dormant wake
+  // rule or the maintenance spread scan flips bytes here.
+  constexpr int kN = 4;
+  constexpr uint64_t kSeed = 0xD81F7;
+  constexpr int kSlices = 24;
+  constexpr RoundId kSliceRounds = 16;
+  constexpr int64_t kBound = 6;
+
+  std::string out;
+  append_line(&out,
+              "# Drift-hold golden: duty-cycle F=8 t=2 N=16 n=%d, drift "
+              "120000 ppm, resync every 4 awake slots, seed %llu",
+              kN, static_cast<unsigned long long>(kSeed));
+
+  SimConfig config;
+  config.F = 8;
+  config.t = 2;
+  config.N = 16;
+  config.n = kN;
+  config.seed = kSeed;
+  config.engine = engine;
+  config.drift.ppm = 120000;
+  DutyCycleConfig duty;
+  duty.resync_every_awake_slots = 4;
+  Simulation sim(config, DutyCycleProtocol::factory(duty),
+                 std::make_unique<RandomSubsetAdversary>(1),
+                 std::make_unique<SequentialActivation>(kN, 2));
+
+  const auto sync = sim.run_until_synced(20000);
+  append_line(&out, "");
+  append_line(&out, "synced %s after %lld rounds; outputs entering "
+                    "maintenance:",
+              sync.synced ? "yes" : "no",
+              static_cast<long long>(sync.rounds));
+  for (NodeId id = 0; id < kN; ++id) {
+    const SyncOutput output = sim.output(id);
+    append_line(&out, "node %d: %s output %s", id, to_string(sim.role(id)),
+                output.has_number() ? std::to_string(output.value).c_str()
+                                    : "bottom");
+  }
+
+  append_line(&out, "");
+  append_line(&out,
+              "maintenance slices (%lld rounds each, offset bound %lld):",
+              static_cast<long long>(kSliceRounds),
+              static_cast<long long>(kBound));
+  Simulation::MaintenanceReport total;
+  for (int slice = 0; slice < kSlices; ++slice) {
+    const Simulation::MaintenanceReport report =
+        sim.run_maintenance(kSliceRounds, kBound);
+    total.rounds += report.rounds;
+    total.max_offset_seen = std::max(total.max_offset_seen,
+                                     report.max_offset_seen);
+    total.offset_violations += report.offset_violations;
+    total.resync_count += report.resync_count;
+    append_line(&out, "slice %2d: max_offset %lld violations %lld resyncs "
+                      "%lld",
+                slice, static_cast<long long>(report.max_offset_seen),
+                static_cast<long long>(report.offset_violations),
+                static_cast<long long>(report.resync_count));
+  }
+  append_line(&out, "total: rounds %lld max_offset %lld violations %lld "
+                    "resyncs %lld",
+              static_cast<long long>(total.rounds),
+              static_cast<long long>(total.max_offset_seen),
+              static_cast<long long>(total.offset_violations),
+              static_cast<long long>(total.resync_count));
+
+  append_line(&out, "");
+  append_line(&out, "outcome (node, role, output, resync corrections):");
+  for (NodeId id = 0; id < kN; ++id) {
+    const auto& protocol =
+        dynamic_cast<const DutyCycleProtocol&>(sim.protocol(id));
+    append_line(&out, "node %d: %s output %lld corrections %lld", id,
+                to_string(sim.role(id)),
+                static_cast<long long>(sim.output(id).value),
+                static_cast<long long>(protocol.resync_corrections()));
+  }
+  append_ledger(&out, sim.energy());
+  return out;
+}
+
 // Every golden is checked under BOTH engines against the same bytes: the
 // checked-in files are the dense reference, and the sparse engine must
 // reproduce them without a single regenerated character.
@@ -357,6 +450,12 @@ TEST(GoldenRunTest, DutyCycleRun) {
   const std::string dense = render_dutycycle_run(EngineMode::kDense);
   ASSERT_EQ(dense, render_dutycycle_run(EngineMode::kSparse));
   compare_with_golden("dutycycle_run.golden", dense);
+}
+
+TEST(GoldenRunTest, DriftHoldRun) {
+  const std::string dense = render_drift_hold_run(EngineMode::kDense);
+  ASSERT_EQ(dense, render_drift_hold_run(EngineMode::kSparse));
+  compare_with_golden("drift_hold_run.golden", dense);
 }
 
 TEST(GoldenRunTest, LargeDutyCycleWakeOrdering) {

@@ -76,6 +76,64 @@ TEST(EnergyLedgerTest, RejectsBadIds) {
   EXPECT_THROW(ledger.node(2), std::invalid_argument);
 }
 
+TEST(EnergyLedgerTest, LazySkipWindowsMatchStrictAcrossActivateAndCrash) {
+  // Strict-vs-lazy differential for the exact interleaving that bit the
+  // sparse engine: an activate() or a crash landing at the edge of a window
+  // the lazy ledger has already billed wholesale with skip_rounds(). The
+  // lazy counters must settle to the strict ones — no double-charged and no
+  // dropped sleep rounds on the overlap.
+  //
+  // Script over 30 rounds:
+  //  * node 0: active from round 0, listens on multiples of 10;
+  //  * node 1: activated at round 12, the first round after a skip-billed
+  //    window, then listens every round;
+  //  * node 2: active from round 0, broadcasts on multiples of 10, crashes
+  //    at round 12 (strict records its sleeps; lazy never records it again).
+  EnergyLedger strict(3);
+  EnergyLedger lazy(3);
+  strict.activate(0);
+  strict.activate(2);
+  lazy.activate(0);
+  lazy.activate(2);
+
+  for (int r = 0; r < 30; ++r) {
+    if (r == 12) strict.activate(1);
+    strict.record(0, r % 10 == 0 ? RadioState::kListen : RadioState::kSleep);
+    strict.record(1, r >= 12 ? RadioState::kListen : RadioState::kSleep);
+    strict.record(2, (r % 10 == 0 && r < 12) ? RadioState::kBroadcast
+                                             : RadioState::kSleep);
+    strict.end_round();
+  }
+
+  lazy.record(0, RadioState::kListen);       // round 0
+  lazy.record(2, RadioState::kBroadcast);
+  lazy.end_round_lazy();
+  lazy.skip_rounds(9);                       // rounds 1-9: everyone asleep
+  lazy.record(0, RadioState::kListen);       // round 10
+  lazy.record(2, RadioState::kBroadcast);
+  lazy.end_round_lazy();
+  lazy.skip_rounds(1);                       // round 11 billed wholesale...
+  lazy.activate(1);  // ...and the activate lands right at the window's edge
+  for (int r = 12; r < 30; ++r) {
+    lazy.record(1, RadioState::kListen);
+    if (r % 10 == 0) lazy.record(0, RadioState::kListen);
+    lazy.end_round_lazy();
+  }
+
+  ASSERT_EQ(strict.rounds(), lazy.rounds());
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(strict.node(id), lazy.node(id)) << "node " << id;
+  }
+  const RunEnergy a = strict.totals();
+  const RunEnergy b = lazy.totals();
+  EXPECT_EQ(a, b);
+  // Sanity against hand counts: node 1 was a participant for rounds 12-29.
+  EXPECT_EQ(lazy.node(1).active_rounds, 18);
+  EXPECT_EQ(lazy.node(1).listen_rounds, 18);
+  EXPECT_EQ(lazy.node(2).broadcast_rounds, 2);
+  EXPECT_EQ(lazy.node(2).sleep_rounds, 28);
+}
+
 // --- engine integration ----------------------------------------------------
 
 SimConfig small_config(int n) {

@@ -16,9 +16,13 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/adversary/basic.h"
+#include "src/dutycycle/duty_cycle.h"
 #include "src/experiment/sweep.h"
+#include "src/radio/activation.h"
 #include "src/radio/engine.h"
 #include "src/radio/trace.h"
 #include "src/sync/runner.h"
@@ -171,6 +175,34 @@ std::vector<DiffCase> all_axis_cases() {
     c.seed = ++seed;
     cases.push_back(c);
   }
+  // Drift cases: per-node local clocks desynchronize the outputs while the
+  // engines must stay in lockstep. The duty-cycled runs add the resync
+  // cadence (certain leader beacons + dormant listen-only wakes), which is
+  // exactly the state the sparse fast-forward path must telescope right.
+  for (const int ppm : {50, 5'000, 250'000}) {
+    DiffCase c;
+    c.point.F = 8;
+    c.point.t = 2;
+    c.point.n = 5;
+    c.point.N = 32;
+    c.point.protocol = ProtocolKind::kDutyCycle;
+    c.point.adversary = AdversaryKind::kRandomSubset;
+    c.point.activation = ActivationKind::kStaggeredUniform;
+    c.point.activation_window = 16;
+    c.point.drift_ppm = ppm;
+    c.point.resync_awake_slots = 8;
+    c.seed = ++seed;
+    cases.push_back(c);
+    c.crash = true;
+    c.seed = ++seed;
+    cases.push_back(c);
+    DiffCase t = c;  // the always-on twin drifts without any resync path
+    t.crash = false;
+    t.point.protocol = ProtocolKind::kTrapdoor;
+    t.point.resync_awake_slots = 0;
+    t.seed = ++seed;
+    cases.push_back(t);
+  }
   return cases;
 }
 
@@ -220,6 +252,80 @@ TEST(EngineDifferentialTest, RunnerOutcomesMatchThroughBothEngines) {
   EXPECT_EQ(dense.sleep_rounds, sparse.sleep_rounds);
 }
 
+TEST(EngineDifferentialTest, CrashThenResumeKeepsEnginesAndLedgersAligned) {
+  // Regression for the run_until_synced liveness check: resuming an
+  // already-synced simulation used to execute one extra dense round while
+  // the sparse engine fast-forwarded to the next wake event, so a crash
+  // between the two runs landed inside a window only one engine had billed
+  // (first seen at seed 26, cut 200: dense resumed to round 120, sparse to
+  // 121, with ledger totals off by the skipped window). Drive both engines
+  // through run -> crash -> resume and diff rounds, per-node energy and
+  // outputs across a seed sweep that includes the original repro.
+  SimConfig base;
+  base.F = 4;
+  base.t = 1;
+  base.N = 8;
+  base.n = 6;
+  auto make = [&](uint64_t seed, EngineMode mode) {
+    SimConfig config = base;
+    config.seed = seed;
+    config.engine = mode;
+    return std::make_unique<Simulation>(
+        config, DutyCycleProtocol::factory({}),
+        std::make_unique<NoneAdversary>(),
+        std::make_unique<SimultaneousActivation>(config.n, 0));
+  };
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (const RoundId cut : {RoundId{200}, RoundId{700}, RoundId{2500}}) {
+      auto dense = make(seed, EngineMode::kDense);
+      auto sparse = make(seed, EngineMode::kSparse);
+      dense->run_until_synced(cut);
+      sparse->run_until_synced(cut);
+      ASSERT_EQ(dense->round(), sparse->round())
+          << "seed " << seed << " cut " << cut;
+      if (!dense->is_crashed(0)) {
+        dense->crash(0);
+        sparse->crash(0);
+      }
+      dense->run_until_synced(cut + 2000);
+      sparse->run_until_synced(cut + 2000);
+      ASSERT_EQ(dense->round(), sparse->round())
+          << "seed " << seed << " cut " << cut;
+      for (NodeId id = 0; id < base.n; ++id) {
+        ASSERT_EQ(dense->energy().node(id), sparse->energy().node(id))
+            << "seed " << seed << " cut " << cut << " node " << id;
+        ASSERT_EQ(dense->output(id).value, sparse->output(id).value)
+            << "seed " << seed << " cut " << cut << " node " << id;
+      }
+      ASSERT_EQ(dense->energy().totals(), sparse->energy().totals())
+          << "seed " << seed << " cut " << cut;
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, ResumingASyncedSimulationIsANoOp) {
+  // The sharper pin: once run_until_synced returns synced, calling it again
+  // must not advance the round at all — in either engine.
+  for (const EngineMode mode : {EngineMode::kDense, EngineMode::kSparse}) {
+    SimConfig config;
+    config.F = 4;
+    config.t = 1;
+    config.N = 8;
+    config.n = 6;
+    config.seed = 26;
+    config.engine = mode;
+    Simulation sim(config, DutyCycleProtocol::factory({}),
+                   std::make_unique<NoneAdversary>(),
+                   std::make_unique<SimultaneousActivation>(config.n, 0));
+    const auto first = sim.run_until_synced(5000);
+    ASSERT_TRUE(first.synced);
+    const auto again = sim.run_until_synced(10000);
+    EXPECT_TRUE(again.synced);
+    EXPECT_EQ(again.rounds, first.rounds)
+        << to_string(mode) << ": resume advanced a synced simulation";
+  }
+}
+
 TEST(EngineDifferentialTest, AutoResolvesToSparseAndDenseStaysDense) {
   testing::SimBuilder builder(4, 0, 2);
   EXPECT_EQ(builder.build(EngineMode::kAuto)->engine_mode(),
@@ -229,6 +335,85 @@ TEST(EngineDifferentialTest, AutoResolvesToSparseAndDenseStaysDense) {
   EXPECT_EQ(builder.build(EngineMode::kDense)->engine_mode(),
             EngineMode::kDense);
   EXPECT_EQ(builder.build(EngineMode::kDense)->fast_forwarded_rounds(), 0);
+}
+
+TEST(EngineDifferentialTest, MaintenanceReportsMatchAcrossEngines) {
+  // run_maintenance steps round by round on the dense engine and rides the
+  // wake-event queue on the sparse one; the observed spread trajectory,
+  // violation counts and resync totals must be bit-identical anyway.
+  ExperimentPoint point;
+  point.F = 16;
+  point.t = 4;
+  point.n = 8;
+  point.N = 64;
+  point.protocol = ProtocolKind::kDutyCycle;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 32;
+  point.drift_ppm = 200;
+  point.resync_awake_slots = 8;
+
+  auto run_with = [&](EngineMode mode) {
+    ExperimentPoint p = point;
+    p.engine = mode;
+    RunSpec spec = make_run_spec(p);
+    spec.sim.seed = 0xD01F;
+    auto sim = std::make_unique<Simulation>(spec.sim, spec.factory,
+                                            spec.make_adversary(),
+                                            spec.make_activation());
+    sim->run_until_synced(spec.max_rounds);
+    const Simulation::MaintenanceReport report =
+        sim->run_maintenance(4000, /*offset_bound=*/48);
+    return std::make_pair(std::move(sim), report);
+  };
+  auto [dense, dense_report] = run_with(EngineMode::kDense);
+  auto [sparse, sparse_report] = run_with(EngineMode::kSparse);
+
+  EXPECT_EQ(dense_report, sparse_report);
+  EXPECT_EQ(dense_report.rounds, 4000);
+  EXPECT_GT(dense_report.resync_count, 0);  // the cadence did real work
+  ASSERT_EQ(dense->round(), sparse->round());
+  EXPECT_EQ(dense->energy().totals(), sparse->energy().totals());
+  for (NodeId id = 0; id < point.n; ++id) {
+    EXPECT_EQ(dense->output(id), sparse->output(id)) << "node " << id;
+    EXPECT_EQ(dense->energy().node(id), sparse->energy().node(id))
+        << "node " << id;
+  }
+}
+
+TEST(EngineDifferentialTest, MaintenanceOutcomesMatchThroughRunner) {
+  // Same property one layer up: run_point with a maintenance phase must
+  // aggregate identical drift columns from either engine.
+  ExperimentPoint point;
+  point.F = 16;
+  point.t = 4;
+  point.n = 6;
+  point.N = 64;
+  point.protocol = ProtocolKind::kDutyCycle;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 24;
+  point.drift_ppm = 120;
+  point.resync_awake_slots = 8;
+  point.maintenance_rounds = 2000;
+  point.offset_bound = 64;
+
+  const std::vector<uint64_t> seeds = make_seeds(3);
+  auto run_with = [&](EngineMode mode) {
+    ExperimentPoint p = point;
+    p.engine = mode;
+    return run_point(p, seeds);
+  };
+  const PointResult dense = run_with(EngineMode::kDense);
+  const PointResult sparse = run_with(EngineMode::kSparse);
+  EXPECT_EQ(dense.max_offset.max, sparse.max_offset.max);
+  EXPECT_EQ(dense.max_offset.mean, sparse.max_offset.mean);
+  EXPECT_EQ(dense.offset_violations, sparse.offset_violations);
+  EXPECT_EQ(dense.resync_count, sparse.resync_count);
+  EXPECT_EQ(dense.synced_runs, sparse.synced_runs);
+  EXPECT_EQ(dense.broadcast_rounds, sparse.broadcast_rounds);
+  EXPECT_EQ(dense.listen_rounds, sparse.listen_rounds);
+  EXPECT_EQ(dense.sleep_rounds, sparse.sleep_rounds);
 }
 
 TEST(EngineDifferentialTest, CrashWaveRunsMatchThroughRunner) {

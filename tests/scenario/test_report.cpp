@@ -38,7 +38,8 @@ TEST(ReportTest, ColumnSchemaIsPinned) {
       "runs",          "synced",         "timeout",      "p50_rounds",
       "p90_rounds",    "agreement_viol", "max_leaders",  "awake_p50",
       "awake_max",     "awake_frac",     "bcast_rounds", "listen_rounds",
-      "energy_budget", "energy_viol"};
+      "energy_budget", "energy_viol",    "drift_ppm",    "max_offset",
+      "offset_viol",   "resyncs"};
   EXPECT_EQ(result_columns(), expected);
 }
 
@@ -49,7 +50,8 @@ TEST(ReportTest, CsvHeaderIsScenarioPlusResultColumns) {
             "scenario,protocol,adversary,activation,F,t,t_actual,N,n,runs,"
             "synced,timeout,p50_rounds,p90_rounds,agreement_viol,"
             "max_leaders,awake_p50,awake_max,awake_frac,bcast_rounds,"
-            "listen_rounds,energy_budget,energy_viol\n");
+            "listen_rounds,energy_budget,energy_viol,drift_ppm,max_offset,"
+            "offset_viol,resyncs\n");
 }
 
 TEST(ReportTest, RowsAreIdenticalAcrossWorkerCounts) {
@@ -69,6 +71,45 @@ TEST(ReportTest, RowsAreIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(table_one.markdown(), table_four.markdown());
 }
 
+TEST(ReportTest, MaintenanceRowsAreByteIdenticalAcrossWorkerCounts) {
+  // The drift columns ride the same determinism contract as everything
+  // else: a maintenance run sharded across 4 workers must export the very
+  // bytes the single-worker run exports.
+  Scenario s;
+  s.name = "report_maintenance_scenario";
+  s.summary = "drift + resync maintenance point for the worker wall";
+  s.expect_agreement_clean = false;
+  s.expect_correctness_clean = false;
+  ExperimentPoint point;
+  point.F = 16;
+  point.t = 4;
+  point.N = 64;
+  point.n = 6;
+  point.protocol = ProtocolKind::kDutyCycle;
+  point.adversary = AdversaryKind::kRandomSubset;
+  point.activation = ActivationKind::kStaggeredUniform;
+  point.activation_window = 24;
+  point.drift_ppm = 120;
+  point.resync_awake_slots = 8;
+  point.maintenance_rounds = 1500;
+  s.grid.push_back(point);
+
+  const ScenarioResult one = run_scenario(s, /*seeds=*/3, /*workers=*/1);
+  const ScenarioResult four = run_scenario(s, /*seeds=*/3, /*workers=*/4);
+  CsvReport csv_one;
+  csv_one.add(s, one.points);
+  CsvReport csv_four;
+  csv_four.add(s, four.points);
+  EXPECT_EQ(csv_one.str(), csv_four.str());
+  EXPECT_EQ(results_table(s, one.points).json(),
+            results_table(s, four.points).json());
+  // And the drift columns carry real signal, not defaults: the cadence
+  // corrected skew at least once across the maintenance windows.
+  ASSERT_EQ(one.points.size(), 1u);
+  EXPECT_GT(one.points[0].resync_count, 0);
+  EXPECT_EQ(one.points[0].point.drift_ppm, 120);
+}
+
 TEST(ReportTest, EnergyColumnsSurfaceTheLedger) {
   const Scenario s = small_scenario();
   const ScenarioResult result = run_scenario(s, /*seeds=*/2, /*workers=*/2);
@@ -83,8 +124,10 @@ TEST(ReportTest, EnergyColumnsSurfaceTheLedger) {
   EXPECT_TRUE(result.ok());
   EXPECT_NE(csv.find("report_test_scenario,trapdoor,random_subset"),
             std::string::npos);
-  EXPECT_NE(csv.find(",100000,0\n"), std::string::npos)
-      << "energy_budget/energy_viol tail missing from: " << csv;
+  // drift_ppm 0, max_offset 0, offset_viol 0, resyncs 0: no maintenance
+  // phase on this point, so the drift tail is all zeros.
+  EXPECT_NE(csv.find(",100000,0,0,0,0,0\n"), std::string::npos)
+      << "energy_budget/energy_viol/drift tail missing from: " << csv;
   EXPECT_EQ(table.num_rows(), 1u);
 }
 

@@ -1,8 +1,9 @@
 // ScenarioFuzz: property-based sweep over the registry's axes.
 //
-// Draws random (protocol, adversary, activation, n, F, t) tuples from
-// the same enum axes the catalog is built on — including the duty-cycled
-// kinds, whose nodes genuinely sleep — runs a short execution for each
+// Draws random (protocol, adversary, activation, n, F, t, drift) tuples
+// from the same enum axes the catalog is built on — including the
+// duty-cycled kinds, whose nodes genuinely sleep, and drifted local clocks
+// with an optional resync cadence — runs a short execution for each
 // (some with crash injection), and asserts the engine invariants that
 // must hold for EVERY pairing, not just the curated scenarios:
 //   * at most t frequencies disrupted per round;
@@ -95,6 +96,16 @@ std::vector<FuzzTuple> draw_tuples(int count, uint64_t master_seed) {
     // against the ledger either way (violation iff actually exceeded).
     if (rng.bernoulli(0.4)) {
       p.energy_budget = rng.uniform_int(0, 700);
+    }
+    // Sometimes drift the local clocks (the hold-the-sync axis); the
+    // engine-equivalence lockstep below must survive any rate draw, and
+    // the duty-cycled kinds sometimes add a resync cadence on top so the
+    // dormant-wake / certain-beacon paths get fuzzed too.
+    if (rng.bernoulli(0.3)) {
+      p.drift_ppm = static_cast<int>(rng.uniform_int(1, 300'000));
+      if (rng.bernoulli(0.5)) {
+        p.resync_awake_slots = static_cast<int>(rng.uniform_int(1, 16));
+      }
     }
     tuple.seed = rng.next_u64();
     tuple.inject_crash = p.n >= 2 && rng.bernoulli(0.3);
@@ -277,7 +288,11 @@ TEST_P(ScenarioFuzz, EngineInvariantsHoldForRandomTuples) {
         agree = false;
       }
     }
-    if (agreement_guaranteed(tuple.point.protocol)) {
+    // Under drift the synced outputs legitimately slide apart (that is the
+    // whole point of the axis), so exact agreement is only asserted on
+    // drift-free tuples.
+    if (tuple.point.drift_ppm == 0 &&
+        agreement_guaranteed(tuple.point.protocol)) {
       EXPECT_TRUE(agree) << "synced outputs disagree";
       EXPECT_EQ(verifier.report().agreement_violations, 0);
     }

@@ -43,6 +43,9 @@ PointResult fancy_result() {
   r.max_awake_rounds = {12, 5.0, 0.0, 5.0, 5.0, 5.0, 5.0, 5.0};
   r.mean_awake_rounds = {12, 4.5, 0.5, 4.0, 5.0, 4.5, 5.0, 5.0};
   r.awake_fraction = {12, 0.25, 0.0, 0.25, 0.25, 0.25, 0.25, 0.25};
+  r.offset_violations = 13;
+  r.resync_count = 14;
+  r.max_offset = {12, 2.5, 0.5, 1.0, 4.0, 2.0, 3.0, 4.0};
   return r;
 }
 
@@ -85,6 +88,9 @@ TEST(CheckpointCodec, ChunkLineRoundTripsBitExactly) {
   expect_bit_identical(decoded.max_awake_rounds, original.max_awake_rounds);
   expect_bit_identical(decoded.mean_awake_rounds, original.mean_awake_rounds);
   expect_bit_identical(decoded.awake_fraction, original.awake_fraction);
+  EXPECT_EQ(decoded.offset_violations, original.offset_violations);
+  EXPECT_EQ(decoded.resync_count, original.resync_count);
+  expect_bit_identical(decoded.max_offset, original.max_offset);
 }
 
 TEST(CheckpointCodec, FlippedByteFailsTheChecksum) {
@@ -131,7 +137,13 @@ TEST(CheckpointCodec, TruncatedFieldsAreRejectedEvenWithValidChecksum) {
 
 class CheckpointFileTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "checkpoint_test.txt";
+  // Under `ctest -j` each case is its own concurrent process; the file
+  // name carries the case name so cases never race on a shared path.
+  std::string path_ = ::testing::TempDir() + "checkpoint_test_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      ".txt";
 
   void write_file(const std::string& content) {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);

@@ -25,11 +25,16 @@
 // --deadline-ms arms an operational watchdog (the sanctioned Deadline
 // wall-clock site): once expired the server stops accepting jobs after the
 // current one and prints `serve: deadline reached`. It gates acceptance
-// only — results never depend on it.
+// only — results never depend on it. Expiry is latched at every shutdown
+// path (loop top, after a job drains, stdin EOF, quit), so a deadline that
+// fires while a job is draining or while getline blocks is still reported
+// and still reflected in the exit status.
 //
 // Exit status: 0 when every executed job met its expectations, 1 when any
 // scenario FAILED, 2 on a malformed job line, an unknown scenario name, or
-// a bad flag (stderr says which; nothing after the bad line executes).
+// a bad flag (stderr says which; nothing after the bad line executes),
+// 3 when the --deadline-ms watchdog fired (and no executed job FAILED —
+// job failures keep exit 1).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -78,7 +83,8 @@ void print_usage(std::FILE* out) {
                "  --deadline-ms MS stop accepting jobs once MS ms have"
                " elapsed\n"
                "                   (operational watchdog; never affects"
-               " results)\n"
+               " results;\n"
+               "                   exit 3 when it fires)\n"
                "\n"
                "job lines (one per line; # comments and blanks ignored):\n"
                "  run NAME [seeds=K] [max_rounds=K]"
@@ -265,13 +271,26 @@ int serve(const Options& options, std::istream& jobs) {
 
   size_t executed_jobs = 0;
   int failed_jobs = 0;
+  // Latched, not re-read at exit-code time: the watchdog can fire while a
+  // job drains or while getline() blocks, and every shutdown path must
+  // agree on whether it did. Re-checking deadline.expired() independently
+  // per path let an EOF arriving after the fire report a clean exit 0.
+  bool deadline_fired = false;
+  const auto check_deadline = [&]() {
+    if (!deadline_fired && deadline.expired()) {
+      deadline_fired = true;
+      std::printf("serve: deadline reached\n");
+      std::fflush(stdout);
+    }
+    return deadline_fired;
+  };
   std::string line;
   while (true) {
-    if (deadline.expired()) {
-      std::printf("serve: deadline reached\n");
+    if (check_deadline()) break;
+    if (!std::getline(jobs, line)) {  // EOF shuts down like quit...
+      check_deadline();  // ...but a deadline that fired first still reports
       break;
     }
-    if (!std::getline(jobs, line)) break;  // EOF shuts down like quit
 
     std::optional<ServeJob> job;
     try {
@@ -281,7 +300,10 @@ int serve(const Options& options, std::istream& jobs) {
       return 2;
     }
     if (!job.has_value()) continue;  // blank or comment
-    if (job->kind == ServeJob::Kind::kQuit) break;
+    if (job->kind == ServeJob::Kind::kQuit) {
+      check_deadline();
+      break;
+    }
     if (job->kind == ServeJob::Kind::kPing) {
       std::printf("pong\n");
       std::fflush(stdout);
@@ -323,12 +345,15 @@ int serve(const Options& options, std::istream& jobs) {
     }
     ++executed_jobs;
     if (outcome.failed_scenarios > 0) ++failed_jobs;
+    // Deadline-fires-during-drain: latch before blocking on the next line.
+    if (check_deadline()) break;
   }
 
   if (json_writer.has_value()) json_writer->finish();
   std::printf("serve: done (%zu job(s), %d failed)\n", executed_jobs,
               failed_jobs);
-  return failed_jobs == 0 ? 0 : 1;
+  if (failed_jobs > 0) return 1;
+  return deadline_fired ? 3 : 0;
 }
 
 }  // namespace
