@@ -18,10 +18,12 @@ inline void note(const std::string& text) {
   std::printf("%s\n", text.c_str());
 }
 
-/// The repo's single sanctioned wall-clock site (the `wallclock` rule in
-/// tools/wsync_lint): every bench measures elapsed time through this
-/// stopwatch, and nothing outside bench timing may read a clock at all —
-/// results must be a function of (spec, seed) only, never of wall time.
+/// One of the three sanctioned wall-clock sites (the `wallclock` rule in
+/// tools/wsync_lint; the others are src/service/deadline.h and
+/// src/telemetry/stopwatch.h): every bench measures elapsed time through
+/// this stopwatch, and nothing outside those sites may read a clock at
+/// all — results must be a function of (spec, seed) only, never of wall
+/// time.
 class Stopwatch {
  public:
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}

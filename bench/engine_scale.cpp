@@ -12,12 +12,22 @@
 //     here so a bench build alone can catch a drift);
 //   * scale — the N = 1e6 steady-state rate must stay interactive
 //     (>= 10 rounds/s on a single CI core; ~30 on the reference box).
+//   * telemetry overhead — the engine ships with its telemetry layer
+//     compiled in unconditionally; the gated configuration is the one
+//     every result-producing run uses: telemetry linked and constructed
+//     but no sink attached to the simulation. That run must stay within
+//     5% of a telemetry-free baseline of the same seeded workload. The
+//     fully-attached ChromeTraceWriter rate is also measured and recorded
+//     (it pays per-event serialization, so it is informational, not
+//     gated).
 // Given an output path, writes BENCH_engine_scale.json. Timing numbers are
 // wall-clock and therefore machine-dependent; they are uploaded as an
 // artifact, never diffed.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +38,7 @@
 #include "src/radio/activation.h"
 #include "src/radio/engine.h"
 #include "src/stats/table.h"
+#include "src/telemetry/trace_writer.h"
 
 namespace wsync {
 namespace {
@@ -35,7 +46,8 @@ namespace {
 constexpr uint64_t kSeed = 0x5CA1E;
 constexpr double kMinSteadyRoundsPerSec = 10.0;
 
-std::unique_ptr<Simulation> make_sim(int64_t N, EngineMode engine) {
+std::unique_ptr<Simulation> make_sim(int64_t N, EngineMode engine,
+                                     TraceSink* trace = nullptr) {
   SimConfig config;
   config.F = 8;
   config.t = 2;
@@ -46,7 +58,7 @@ std::unique_ptr<Simulation> make_sim(int64_t N, EngineMode engine) {
   return std::make_unique<Simulation>(
       config, DutyCycleProtocol::factory(),
       std::make_unique<RandomSubsetAdversary>(2),
-      std::make_unique<SimultaneousActivation>(static_cast<int>(N)));
+      std::make_unique<SimultaneousActivation>(static_cast<int>(N)), trace);
 }
 
 /// Executes `rounds` rounds and returns the wall-clock rate.
@@ -96,6 +108,65 @@ struct ScaleResult {
   double dense_rps = 0;  ///< 0 when the dense reference was skipped
   double awake_frac = 0;
 };
+
+struct OverheadResult {
+  double baseline_rps = 0;  ///< no telemetry objects constructed at all
+  double unsinked_rps = 0;  ///< telemetry constructed, no sink attached
+  double sinked_rps = 0;    ///< full TelemetrySink -> ChromeTraceWriter
+};
+
+/// Times the same seeded N = 1e5 workload in three configurations: a
+/// telemetry-free baseline, the gated production shape (telemetry layer
+/// constructed but no sink attached to the simulation), and the fully
+/// attached Chrome-trace sink (writer into an in-memory stream, so no
+/// disk noise). The single shared CI core throttles over the bench's
+/// lifetime, so a fixed measurement order would systematically favour
+/// whichever configuration runs first: slices are short, interleaved,
+/// preceded by an untimed warmup, and the per-rep order rotates so every
+/// configuration occupies every slot. Best-of per configuration.
+OverheadResult measure_telemetry_overhead() {
+  constexpr int64_t kN = 100000;
+  constexpr RoundId kRounds = 256;
+  constexpr int kReps = 5;
+  const auto run_baseline = [&] {
+    auto sim = make_sim(kN, EngineMode::kSparse);
+    return timed_rounds_per_sec(*sim, kRounds);
+  };
+  const auto run_unsinked = [&] {
+    std::ostringstream sinkhole;
+    telemetry::ChromeTraceWriter writer(sinkhole);
+    telemetry::TelemetrySink sink(&writer);
+    auto sim = make_sim(kN, EngineMode::kSparse, /*trace=*/nullptr);
+    const double rps = timed_rounds_per_sec(*sim, kRounds);
+    writer.close();
+    return rps;
+  };
+  const auto run_sinked = [&] {
+    std::ostringstream sinkhole;
+    telemetry::ChromeTraceWriter writer(sinkhole);
+    telemetry::TelemetrySink sink(&writer);
+    auto sim = make_sim(kN, EngineMode::kSparse, &sink);
+    return timed_rounds_per_sec(*sim, kRounds);
+  };
+  run_baseline();  // warmup, discarded
+  OverheadResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int slot = 0; slot < 3; ++slot) {
+      switch ((rep + slot) % 3) {
+        case 0:
+          result.baseline_rps = std::max(result.baseline_rps, run_baseline());
+          break;
+        case 1:
+          result.unsinked_rps = std::max(result.unsinked_rps, run_unsinked());
+          break;
+        default:
+          result.sinked_rps = std::max(result.sinked_rps, run_sinked());
+          break;
+      }
+    }
+  }
+  return result;
+}
 
 }  // namespace
 }  // namespace wsync
@@ -162,6 +233,21 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s", table.markdown().c_str());
 
+  constexpr double kMaxTelemetryOverhead = 0.05;
+  const OverheadResult overhead = measure_telemetry_overhead();
+  std::printf(
+      "\ntelemetry overhead (N = 1e5 sparse): baseline %.1f r/s, no sink "
+      "attached %.1f r/s (%.1f%%, gated), trace sink attached %.1f r/s "
+      "(%.1f%%, informational)\n",
+      overhead.baseline_rps, overhead.unsinked_rps,
+      overhead.baseline_rps > 0
+          ? 100.0 * (1.0 - overhead.unsinked_rps / overhead.baseline_rps)
+          : 0.0,
+      overhead.sinked_rps,
+      overhead.baseline_rps > 0
+          ? 100.0 * (1.0 - overhead.sinked_rps / overhead.baseline_rps)
+          : 0.0);
+
   std::vector<std::string> failures;
   if (!equivalent) {
     failures.push_back("dense and sparse engines diverged at small N");
@@ -172,6 +258,13 @@ int main(int argc, char** argv) {
         "steady-state rate at N = 1e6 below interactive threshold (got " +
         std::to_string(largest.sparse_steady_rps) + " rounds/s, want >= " +
         std::to_string(kMinSteadyRoundsPerSec) + ")");
+  }
+  if (overhead.unsinked_rps <
+      (1.0 - kMaxTelemetryOverhead) * overhead.baseline_rps) {
+    failures.push_back(
+        "telemetry overhead above 5% with no sink attached (baseline " +
+        std::to_string(overhead.baseline_rps) + " r/s, telemetry linked " +
+        std::to_string(overhead.unsinked_rps) + " r/s)");
   }
   for (const std::string& failure : failures) {
     std::printf("EXPECTATION FAILED: %s\n", failure.c_str());
@@ -192,6 +285,10 @@ int main(int argc, char** argv) {
     }
     out << "{\n  \"equivalence_ok\": " << (equivalent ? "true" : "false")
         << ",\n  \"min_steady_rounds_per_sec\": " << kMinSteadyRoundsPerSec
+        << ",\n  \"telemetry_baseline_rps\": " << overhead.baseline_rps
+        << ",\n  \"telemetry_unsinked_rps\": " << overhead.unsinked_rps
+        << ",\n  \"telemetry_sinked_rps\": " << overhead.sinked_rps
+        << ",\n  \"max_telemetry_overhead\": " << kMaxTelemetryOverhead
         << ",\n  \"ok\": " << (failures.empty() ? "true" : "false")
         << ",\n  \"points\":\n"
         << table.json(2) << "\n}\n";

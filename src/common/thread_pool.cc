@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "src/telemetry/stopwatch.h"
+
 namespace wsync {
 
 int ThreadPool::default_workers() {
@@ -34,7 +36,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   const size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-  pending_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now_pending = static_cast<int64_t>(
+      pending_.fetch_add(1, std::memory_order_relaxed) + 1);
+  int64_t peak = peak_pending_.load(std::memory_order_relaxed);
+  while (peak < now_pending &&
+         !peak_pending_.compare_exchange_weak(peak, now_pending,
+                                              std::memory_order_relaxed)) {
+  }
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
@@ -64,32 +72,46 @@ bool ThreadPool::try_pop(size_t self, std::function<void()>& task) {
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
 }
 
+void ThreadPool::run_task(std::function<void()>& task) {
+  const telemetry::Stopwatch stopwatch;
+  task();
+  busy_nanos_.fetch_add(stopwatch.elapsed_nanos(), std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.busy_nanos = busy_nanos_.load(std::memory_order_relaxed);
+  s.peak_pending = peak_pending_.load(std::memory_order_relaxed);
+  s.workers = worker_count();
+  return s;
+}
+
 void ThreadPool::worker_loop(size_t index) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(index, task)) {
-      task();
-      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(sleep_mutex_);
-        idle_cv_.notify_all();
-      }
+      run_task(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (stop_) return;
     if (try_pop(index, task)) {
       lock.unlock();
-      task();
-      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> idle_lock(sleep_mutex_);
-        idle_cv_.notify_all();
-      }
+      run_task(task);
       continue;
     }
     work_cv_.wait(lock);

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -55,6 +56,18 @@ class ThreadPool {
   /// Hardware concurrency, at least 1.
   static int default_workers();
 
+  /// Pool telemetry (MetricClass::kTiming only: counts depend on the thread
+  /// schedule and busy_nanos on the wall clock, so none of this may feed a
+  /// result). Cheap relaxed-atomic reads; exact after wait_idle().
+  struct Stats {
+    int64_t tasks_executed = 0;
+    int64_t tasks_stolen = 0;  ///< tasks a worker took from a sibling's queue
+    int64_t busy_nanos = 0;    ///< task wall time summed over workers
+    int64_t peak_pending = 0;  ///< max simultaneous submitted-unfinished tasks
+    int workers = 0;
+  };
+  Stats stats() const;
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -63,6 +76,9 @@ class ThreadPool {
 
   /// Pops from own queue front, else steals from a sibling's back.
   bool try_pop(size_t self, std::function<void()>& task);
+  /// Runs one popped task, accounting its wall time, then retires it from
+  /// pending_ (waking wait_idle() on the last one).
+  void run_task(std::function<void()>& task);
   void worker_loop(size_t index);
 
   std::vector<std::unique_ptr<Queue>> queues_;
@@ -77,6 +93,12 @@ class ThreadPool {
   std::atomic<size_t> pending_{0};     ///< submitted, not yet finished
   std::atomic<size_t> next_queue_{0};  ///< round-robin submission cursor
   bool stop_ = false;                  ///< guarded by sleep_mutex_
+
+  // Stats accumulators — relaxed: observational only, never synchronize.
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> tasks_stolen_{0};
+  std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> peak_pending_{0};
 };
 
 /// Runs fn(0) .. fn(count - 1) on the pool and blocks until all complete.

@@ -353,6 +353,14 @@ PointResult aggregate_point(const ExperimentPoint& point,
     max_offsets.push_back(static_cast<double>(outcome.max_offset_seen));
     result.offset_violations += outcome.offset_violations;
     result.resync_count += outcome.resync_count;
+
+    result.rounds_simulated += outcome.rounds_simulated;
+    result.deliveries += outcome.deliveries;
+    result.collisions += outcome.collisions;
+    result.absences += outcome.absences;
+    result.knockouts += outcome.knockouts;
+    result.wake_events_popped += outcome.wake_events_popped;
+    result.fast_forwarded_rounds += outcome.fast_forwarded_rounds;
   }
   result.rounds_to_live = summarize(rounds);
   result.max_node_latency = summarize(latencies);

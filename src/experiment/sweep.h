@@ -59,6 +59,19 @@ struct PointResult {
   Summary max_offset;             ///< per-run max pairwise output offset
   int64_t offset_violations = 0;  ///< maintenance rounds over the bound, summed
   int64_t resync_count = 0;       ///< maintenance re-adoptions, summed
+
+  // --- deterministic run metrics (src/telemetry/), summed over all runs ----
+  // Pure functions of (point, seeds): identical across worker counts and
+  // across the dense/sparse engines. Carried through the checkpoint codec
+  // (v3), so resumed sweeps replay identical metric blocks.
+  int64_t rounds_simulated = 0;   ///< engine rounds elapsed, incl. maintenance
+  int64_t deliveries = 0;         ///< listener receptions
+  int64_t collisions = 0;         ///< freq-rounds with >= 2 reaching broadcasters
+  int64_t absences = 0;           ///< choices voided by a whitespace mask
+  int64_t knockouts = 0;          ///< live nodes ending a run knocked out
+  // Engine-dependent (reproducible per engine; 0 under the dense engine).
+  int64_t wake_events_popped = 0;
+  int64_t fast_forwarded_rounds = 0;
 };
 
 /// Folds per-seed outcomes into the point aggregate. Shared by the serial

@@ -234,10 +234,12 @@ RoundReport Simulation::step_dense() {
   }
 
   // (4) Per-frequency resolution: exactly one broadcaster, not disrupted.
+  int collisions_this_round = 0;
   for (int f = 0; f < config_.F; ++f) {
     const auto fi = static_cast<size_t>(f);
     FreqRoundStats& fs = stats.per_freq[fi];
     fs.delivered = fs.broadcasters == 1 && !fs.disrupted;
+    if (fs.broadcasters >= 2) ++collisions_this_round;
   }
 
   // (5) Deliver and close the round for every active node.
@@ -293,12 +295,17 @@ RoundReport Simulation::step_dense() {
     trace_->on_round(event);
   }
 
+  deliveries_total_ += deliveries;
+  collisions_total_ += collisions_this_round;
+  absences_total_ += absences_total;
+
   RoundReport report;
   report.round = r;
   report.activations = activations_this_round;
   report.deliveries = deliveries;
   report.broadcasters = broadcasters_total;
   report.absences = absences_total;
+  report.collisions = collisions_this_round;
   report.broadcast_weight = weight;
   return report;
 }
@@ -310,6 +317,7 @@ void Simulation::build_cohort(RoundId r) {
   // first-broadcaster payload capture, and the same trace-event order.
   due_.clear();
   wake_queue_.collect(r, &due_);
+  wake_events_popped_ += static_cast<int64_t>(due_.size());
   due_.erase(std::remove_if(
                  due_.begin(), due_.end(),
                  [&](NodeId id) {
@@ -423,10 +431,12 @@ RoundReport Simulation::step_sparse() {
   }
 
   // (4) Per-frequency resolution: exactly one broadcaster, not disrupted.
+  int collisions_this_round = 0;
   for (int f = 0; f < config_.F; ++f) {
     const auto fi = static_cast<size_t>(f);
     FreqRoundStats& fs = stats.per_freq[fi];
     fs.delivered = fs.broadcasters == 1 && !fs.disrupted;
+    if (fs.broadcasters >= 2) ++collisions_this_round;
   }
 
   // (5) Deliver, close the round for the cohort, requeue its wake events.
@@ -493,12 +503,17 @@ RoundReport Simulation::step_sparse() {
     trace_->on_round(event);
   }
 
+  deliveries_total_ += deliveries;
+  collisions_total_ += collisions_this_round;
+  absences_total_ += absences_total;
+
   RoundReport report;
   report.round = r;
   report.activations = activations_this_round;
   report.deliveries = deliveries;
   report.broadcasters = broadcasters_total;
   report.absences = absences_total;
+  report.collisions = collisions_this_round;
   report.broadcast_weight = weight;
   return report;
 }
@@ -523,10 +538,12 @@ void Simulation::settle_node(NodeId id) const {
 
 void Simulation::maybe_fast_forward(RoundId max_rounds) {
   // A window of rounds can be skipped wholesale only when each round is
-  // provably a no-op replayable later: nothing to trace, the adversary
-  // neither disrupts nor draws, no activation pending, no always-visited
-  // node, and no wake event due.
-  if (trace_ != nullptr || !adversary_->never_disrupts()) return;
+  // provably a no-op replayable later: nothing to trace (or a sink that
+  // opts into gap-tolerant tracing — TraceSink::allows_fast_forward), the
+  // adversary neither disrupts nor draws, no activation pending, no
+  // always-visited node, and no wake event due.
+  if (trace_ != nullptr && !trace_->allows_fast_forward()) return;
+  if (!adversary_->never_disrupts()) return;
   if (activated_total_ < config_.n) return;
   if (!always_awake_.empty()) return;
   const RoundId now = view_.round_;
@@ -539,6 +556,7 @@ void Simulation::maybe_fast_forward(RoundId max_rounds) {
   energy_.skip_rounds(target - now);
   fast_forwarded_rounds_ += target - now;
   view_.round_ = target;
+  if (trace_ != nullptr) trace_->on_fast_forward(now, target);
   // Publish what the last skipped round would have published: an idle round
   // with no activations, no deliveries and a silent adversary.
   RoundStats stats;

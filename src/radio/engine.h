@@ -78,6 +78,7 @@ struct RoundReport {
   int deliveries = 0;           ///< listener receptions this round
   int broadcasters = 0;         ///< nodes that chose to broadcast
   int absences = 0;             ///< choices voided by a whitespace mask
+  int collisions = 0;           ///< frequencies with >= 2 reaching broadcasters
   double broadcast_weight = 0;  ///< W(r): sum of planned broadcast probs
 
   friend constexpr bool operator==(const RoundReport&,
@@ -212,6 +213,16 @@ class Simulation {
   /// Rounds the sparse engine skipped wholesale in run_until_synced()
   /// (0 under the dense engine).
   RoundId fast_forwarded_rounds() const { return fast_forwarded_rounds_; }
+
+  // Whole-execution telemetry counters. The first three are deterministic
+  // run metrics — identical across the dense and sparse engines (skipped
+  // rounds are provably event-free) and across worker counts. Wake-event
+  // pops are engine-dependent: reproducible per (seed, engine), but the
+  // dense engine never pops one.
+  int64_t deliveries_total() const { return deliveries_total_; }
+  int64_t collisions_total() const { return collisions_total_; }
+  int64_t absences_total() const { return absences_total_; }
+  int64_t wake_events_popped() const { return wake_events_popped_; }
   /// Number of completed rounds (== index of the next round to execute).
   RoundId round() const { return view_.round(); }
   /// Activated nodes still participating, i.e. excluding crashed nodes —
@@ -300,6 +311,12 @@ class Simulation {
   int active_count_ = 0;
   int activated_total_ = 0;
   int crashed_count_ = 0;
+
+  // Whole-execution telemetry counters (see the observers above).
+  int64_t deliveries_total_ = 0;
+  int64_t collisions_total_ = 0;
+  int64_t absences_total_ = 0;
+  int64_t wake_events_popped_ = 0;
 
   // Sparse-engine state (unused under kDense).
   bool sparse_ = false;

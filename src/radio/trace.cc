@@ -2,26 +2,42 @@
 
 #include <algorithm>
 
+#include "src/common/require.h"
+#include "src/telemetry/metrics.h"
+
 namespace wsync {
 
 void MemoryTrace::on_round(const RoundTraceEvent& event) {
-  rounds_.push_back(event);
+  if (admit(rounds_)) rounds_.push_back(event);
 }
 
 void MemoryTrace::on_activation(RoundId round, NodeId node) {
-  activations_.push_back(Activation{round, node});
+  if (admit(activations_)) activations_.push_back(Activation{round, node});
 }
 
 void MemoryTrace::on_delivery(const DeliveryTraceEvent& event) {
-  deliveries_.push_back(event);
+  if (admit(deliveries_)) deliveries_.push_back(event);
 }
 
 void MemoryTrace::on_synchronized(RoundId round, NodeId node, int64_t number) {
-  sync_events_.push_back(SyncEvent{round, node, number});
+  if (admit(sync_events_)) sync_events_.push_back(SyncEvent{round, node, number});
 }
 
 void MemoryTrace::on_crash(RoundId round, NodeId node) {
-  crashes_.push_back(Activation{round, node});
+  if (admit(crashes_)) crashes_.push_back(Activation{round, node});
+}
+
+void MemoryTrace::set_capacity(int64_t per_stream_capacity) {
+  WSYNC_REQUIRE(per_stream_capacity > 0, "trace capacity must be positive");
+  capacity_ = per_stream_capacity;
+}
+
+void MemoryTrace::publish_metrics(telemetry::MetricsRegistry* registry) const {
+  WSYNC_REQUIRE(registry != nullptr, "publish_metrics needs a registry");
+  registry
+      ->counter("trace_events_dropped_total",
+                telemetry::MetricClass::kDeterministic)
+      .add(dropped_events_);
 }
 
 double MemoryTrace::max_broadcast_weight() const {

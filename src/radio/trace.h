@@ -15,6 +15,10 @@
 
 namespace wsync {
 
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
+
 /// Everything that happened in one engine round.
 struct RoundTraceEvent {
   RoundId round = 0;
@@ -49,9 +53,28 @@ class TraceSink {
   virtual void on_synchronized(RoundId /*round*/, NodeId /*node*/,
                                int64_t /*number*/) {}
   virtual void on_crash(RoundId /*round*/, NodeId /*node*/) {}
+
+  /// Whether the sparse engine may skip provably-idle windows wholesale
+  /// while this sink is attached. The default (false) keeps a traced
+  /// engine on the round-by-round path, so sinks that record per-round
+  /// history (MemoryTrace) observe every round — the behaviour all
+  /// pre-telemetry walls pin. A sink that returns true receives one
+  /// on_fast_forward() per skipped window instead of its per-round events
+  /// and must tolerate the gap (src/telemetry/ renders it as a synthetic
+  /// span). Must be a constant property of the sink instance.
+  virtual bool allows_fast_forward() const { return false; }
+  /// Fired after a permitted fast-forward: rounds [from, to) were skipped
+  /// wholesale (no activation, no delivery, a silent adversary).
+  virtual void on_fast_forward(RoundId /*from*/, RoundId /*to*/) {}
 };
 
 /// Records everything in memory; for tests and small diagnostic runs.
+///
+/// Growth is capped: each event stream stores at most `capacity()` entries
+/// (default 2^20); later events are counted in dropped_events() and
+/// discarded, so a MemoryTrace left attached to a long maintenance run
+/// degrades to a bounded prefix instead of exhausting memory. Tests that
+/// need completeness assert dropped_events() == 0.
 class MemoryTrace final : public TraceSink {
  public:
   void on_round(const RoundTraceEvent& event) override;
@@ -87,7 +110,33 @@ class MemoryTrace final : public TraceSink {
   /// Max broadcast weight observed over all rounds so far.
   double max_broadcast_weight() const;
 
+  /// Per-stream entry cap; must be positive. Only affects events recorded
+  /// after the call.
+  void set_capacity(int64_t per_stream_capacity);
+  int64_t capacity() const { return capacity_; }
+  /// Events discarded because their stream was at capacity.
+  int64_t dropped_events() const { return dropped_events_; }
+
+  /// Publishes the drop counter into `registry` as the
+  /// `trace_events_dropped_total` counter (deterministic class: a pure
+  /// function of (spec, seed, capacity), and MemoryTrace pins the traced
+  /// engine to round-by-round execution, so dense and sparse agree).
+  void publish_metrics(telemetry::MetricsRegistry* registry) const;
+
  private:
+  /// Default per-stream cap: generous for every diagnostic run in the test
+  /// suite, small enough that a runaway maintenance run stays bounded.
+  static constexpr int64_t kDefaultCapacity = int64_t{1} << 20;
+
+  template <typename T>
+  bool admit(const std::vector<T>& stream) {
+    if (static_cast<int64_t>(stream.size()) < capacity_) return true;
+    ++dropped_events_;
+    return false;
+  }
+
+  int64_t capacity_ = kDefaultCapacity;
+  int64_t dropped_events_ = 0;
   std::vector<RoundTraceEvent> rounds_;
   std::vector<Activation> activations_;
   std::vector<DeliveryTraceEvent> deliveries_;

@@ -12,7 +12,9 @@ namespace wsync {
 
 namespace {
 
-constexpr char kHeaderPrefix[] = "wsync-checkpoint v2 fingerprint ";
+// v3 appended the seven deterministic/engine run-metric sums to every chunk
+// line; a v2 file no longer round-trips and is rejected by the header check.
+constexpr char kHeaderPrefix[] = "wsync-checkpoint v3 fingerprint ";
 
 std::string hex64(uint64_t value) {
   char buffer[17];
@@ -114,7 +116,11 @@ std::string encode_chunk_line(const std::string& scenario,
      << r.multi_leader_runs << ' ' << r.energy_budget_violations << ' '
      << r.broadcast_rounds << ' ' << r.listen_rounds << ' '
      << r.sleep_rounds << ' ' << r.offset_violations << ' '
-     << r.resync_count << ' ' << double_bits(r.max_broadcast_weight);
+     << r.resync_count << ' ' << r.rounds_simulated << ' '
+     << r.deliveries << ' ' << r.collisions << ' ' << r.absences << ' '
+     << r.knockouts << ' ' << r.wake_events_popped << ' '
+     << r.fast_forwarded_rounds << ' '
+     << double_bits(r.max_broadcast_weight);
   encode_summary(os, r.rounds_to_live);
   encode_summary(os, r.max_node_latency);
   encode_summary(os, r.max_awake_rounds);
@@ -156,6 +162,11 @@ std::string decode_chunk_line(const std::string& line, std::string* scenario,
         reader.next_int(&r.sleep_rounds) &&
         reader.next_int(&r.offset_violations) &&
         reader.next_int(&r.resync_count) &&
+        reader.next_int(&r.rounds_simulated) &&
+        reader.next_int(&r.deliveries) && reader.next_int(&r.collisions) &&
+        reader.next_int(&r.absences) && reader.next_int(&r.knockouts) &&
+        reader.next_int(&r.wake_events_popped) &&
+        reader.next_int(&r.fast_forwarded_rounds) &&
         reader.next_double_bits(&r.max_broadcast_weight) &&
         reader.next_summary(&r.rounds_to_live) &&
         reader.next_summary(&r.max_node_latency) &&

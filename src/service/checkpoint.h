@@ -6,7 +6,7 @@
 // seeds, and every result-affecting point parameter — but not the engine
 // mode or worker count, which are bit-identical by contract):
 //
-//   wsync-checkpoint v2 fingerprint <16-hex>
+//   wsync-checkpoint v3 fingerprint <16-hex>
 //
 // Every completed chunk (one experiment point's full PointResult aggregate)
 // is appended as one self-checksummed line and flushed before the next

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "src/experiment/parallel_sweep.h"
 #include "src/service/job_queue.h"
 #include "src/sync/runner.h"
+#include "src/telemetry/stopwatch.h"
 
 namespace wsync {
 
@@ -160,22 +162,33 @@ SweepOutcome run_streaming_sweep(const SweepPlan& plan, ThreadPool& pool,
     RunSpec spec;
     std::vector<RunOutcome> outcomes;
     bool from_checkpoint = false;
+    /// Admission-to-delivery latency meter (kTiming only; never a result).
+    telemetry::Stopwatch stopwatch;
   };
   std::vector<ChunkState> ring(window);
 
   SweepOutcome outcome;
   std::vector<PointResult> scenario_results;
 
+  // The one chunk whose first seed carries options.trace: the first chunk
+  // admitted that is actually computed. Admission happens in chunk order on
+  // this thread, so the choice is deterministic.
+  std::optional<size_t> traced_chunk;
+
   auto tasks_in_chunk = [&](size_t chunk) -> size_t {
     const auto [si, pi] = map.locate(chunk);
     const PlannedScenario& planned = plan.scenarios[si];
     ChunkState& state = ring[chunk % window];
+    state.stopwatch.reset();
     state.from_checkpoint =
         options.resume != nullptr &&
         options.resume->count({planned.scenario.name, pi}) > 0;
     if (state.from_checkpoint) {
       state.outcomes.clear();
       return 0;
+    }
+    if (options.trace != nullptr && !traced_chunk.has_value()) {
+      traced_chunk = chunk;
     }
     state.spec = make_run_spec(planned.scenario.grid[pi]);
     state.outcomes.assign(seeds[si].size(), RunOutcome{});
@@ -187,6 +200,7 @@ SweepOutcome run_streaming_sweep(const SweepPlan& plan, ThreadPool& pool,
     ChunkState& state = ring[chunk % window];
     RunSpec seeded = state.spec;
     seeded.sim.seed = seeds[si][task];
+    if (task == 0 && traced_chunk == chunk) seeded.trace = options.trace;
     state.outcomes[task] = run_sync_experiment(seeded);
   };
 
@@ -216,6 +230,17 @@ SweepOutcome run_streaming_sweep(const SweepPlan& plan, ThreadPool& pool,
         options.checkpoint->append(planned.scenario.name, pi, result);
       }
       ++outcome.computed_chunks;
+    }
+
+    if (options.metrics != nullptr) {
+      options.metrics->add_chunk(planned.scenario.name, pi, result);
+      if (!state.from_checkpoint) {
+        options.metrics->registry()
+            .histogram("chunk_latency_millis",
+                       telemetry::MetricClass::kTiming,
+                       {1.0, 10.0, 100.0, 1000.0, 10000.0})
+            .record(state.stopwatch.elapsed_millis());
+      }
     }
 
     sink.on_chunk(si, pi, result, state.from_checkpoint);

@@ -28,8 +28,11 @@
 #include "src/common/thread_pool.h"
 #include "src/scenario/scenario.h"
 #include "src/service/checkpoint.h"
+#include "src/service/run_metrics.h"
 
 namespace wsync {
+
+class TraceSink;
 
 /// One scenario of a sweep plan, seeds resolved (never 0).
 struct PlannedScenario {
@@ -89,6 +92,16 @@ struct StreamingSweepOptions {
   /// chunk, so the crash/resume harnesses can kill a run mid-grid
   /// deterministically. Never affects results, only pacing.
   int throttle_ms = 0;
+  /// When set, records one deterministic metrics block per delivered chunk
+  /// (on the delivery thread, in catalog order — computed and resumed
+  /// chunks alike, so a resumed sweep accumulates the one-shot blocks) plus
+  /// a chunk-latency timing histogram for computed chunks.
+  RunMetricsCollector* metrics = nullptr;
+  /// When set, attached to the first seed of the FIRST freshly computed
+  /// chunk — a single task owns the sink, and a sink that
+  /// allows_fast_forward() (the telemetry sink does) leaves every result
+  /// byte-identical to the untraced sweep.
+  TraceSink* trace = nullptr;
 };
 
 struct SweepOutcome {

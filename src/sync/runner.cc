@@ -21,7 +21,7 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
                 "maintenance_rounds must be non-negative");
 
   Simulation sim(spec.sim, spec.factory, spec.make_adversary(),
-                 spec.make_activation());
+                 spec.make_activation(), spec.trace);
   SyncVerifier verifier(spec.verifier);
 
   RunOutcome outcome;
@@ -86,6 +86,18 @@ RunOutcome run_sync_experiment(const RunSpec& spec) {
   outcome.properties = verifier.report();
   outcome.max_broadcast_weight = max_weight;
   outcome.energy = sim.energy().totals();
+
+  // Deterministic run metrics. role() settles sparse nodes, so the
+  // knockout count matches the dense engine's bit-for-bit.
+  outcome.rounds_simulated = sim.round();
+  outcome.deliveries = sim.deliveries_total();
+  outcome.collisions = sim.collisions_total();
+  outcome.absences = sim.absences_total();
+  for (NodeId id = 0; id < spec.sim.n; ++id) {
+    if (sim.role(id) == Role::kKnockedOut) ++outcome.knockouts;
+  }
+  outcome.wake_events_popped = sim.wake_events_popped();
+  outcome.fast_forwarded_rounds = sim.fast_forwarded_rounds();
   return outcome;
 }
 
@@ -96,6 +108,8 @@ std::vector<RunOutcome> run_sync_experiments(
   RunSpec seeded = spec;
   for (uint64_t seed : seeds) {
     seeded.sim.seed = seed;
+    // Only the first replicate is traced (see RunSpec::trace).
+    seeded.trace = outcomes.empty() ? spec.trace : nullptr;
     outcomes.push_back(run_sync_experiment(seeded));
   }
   return outcomes;
@@ -110,6 +124,9 @@ std::vector<RunOutcome> run_sync_experiments_parallel(
     // share no mutable state, and each Simulation owns its forked Rngs.
     RunSpec seeded = spec;
     seeded.sim.seed = seeds[i];
+    // Only the first replicate is traced (see RunSpec::trace), so a single
+    // task owns the sink and tracing stays race-free under the pool.
+    if (i != 0) seeded.trace = nullptr;
     outcomes[i] = run_sync_experiment(seeded);
   });
   return outcomes;

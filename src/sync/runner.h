@@ -46,6 +46,14 @@ struct RunSpec {
   /// Offset bound enforced during maintenance: any round whose max pairwise
   /// offset exceeds this counts as a violation. Negative = chart only.
   int64_t offset_bound = -1;
+  /// Optional trace sink, observed by the FIRST run only when the spec is
+  /// replayed across seeds (one writer, and seed replication would
+  /// otherwise interleave unrelated executions into one trace). Not owned;
+  /// must outlive the run. A sink that allows_fast_forward() (the
+  /// telemetry sink does) leaves every result bit-identical to the
+  /// untraced run; MemoryTrace degrades the sparse engine to
+  /// round-by-round execution as before.
+  TraceSink* trace = nullptr;
 };
 
 struct RunOutcome {
@@ -64,6 +72,19 @@ struct RunOutcome {
   int64_t max_offset_seen = 0;    ///< max per-round pairwise output spread
   int64_t offset_violations = 0;  ///< rounds whose spread exceeded the bound
   int64_t resync_count = 0;       ///< re-adoptions during maintenance
+
+  // --- deterministic run metrics (src/telemetry/) --------------------------
+  // Pure functions of (spec, seed): identical across worker counts and
+  // across the dense/sparse engines.
+  int64_t rounds_simulated = 0;   ///< total rounds elapsed, incl. maintenance
+  int64_t deliveries = 0;         ///< listener receptions, whole run
+  int64_t collisions = 0;         ///< freq-rounds with >= 2 reaching broadcasters
+  int64_t absences = 0;           ///< choices voided by a whitespace mask
+  int64_t knockouts = 0;          ///< live nodes ending the run knocked out
+  // Engine-dependent metrics: reproducible per (spec, seed, engine); the
+  // dense engine reports 0 for both.
+  int64_t wake_events_popped = 0;
+  int64_t fast_forwarded_rounds = 0;
 };
 
 /// Runs one seeded experiment to completion.

@@ -1,0 +1,150 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/common/require.h"
+
+namespace wsync::telemetry {
+
+const char* to_string(MetricClass cls) {
+  switch (cls) {
+    case MetricClass::kDeterministic: return "deterministic";
+    case MetricClass::kEngineDependent: return "engine";
+    case MetricClass::kTiming: return "timing";
+  }
+  return "unknown";
+}
+
+bool is_snake_case(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.front() < 'a' || name.front() > 'z') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string json_double(double value) {
+  WSYNC_REQUIRE(std::isfinite(value), "metric values must be finite");
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  WSYNC_REQUIRE(!upper_bounds_.empty(), "histogram needs >= 1 bucket bound");
+  WSYNC_REQUIRE(
+      std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) &&
+          std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+              upper_bounds_.end(),
+      "histogram bounds must be strictly increasing");
+}
+
+void Histogram::record(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - upper_bounds_.begin())];
+  ++total_count_;
+  sum_ += value;
+}
+
+void MetricsRegistry::check_registration(const std::string& name,
+                                         MetricClass cls, Kind kind) {
+  WSYNC_REQUIRE(is_snake_case(name),
+                "metric names must be snake_case ([a-z][a-z0-9_]*)");
+  const auto [it, inserted] =
+      registrations_.emplace(name, Registration{cls, kind});
+  WSYNC_REQUIRE(it->second.cls == cls && it->second.kind == kind,
+                "metric re-registered under a different class or kind");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, MetricClass cls) {
+  check_registration(name, cls, Kind::kCounter);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricClass cls) {
+  check_registration(name, cls, Kind::kGauge);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      MetricClass cls,
+                                      std::vector<double> upper_bounds) {
+  check_registration(name, cls, Kind::kHistogram);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+void MetricsRegistry::write_class_json(std::ostream& out, MetricClass cls,
+                                       const std::string& indent) const {
+  const auto in_class = [&](const std::string& name) {
+    const auto it = registrations_.find(name);
+    return it != registrations_.end() && it->second.cls == cls;
+  };
+
+  out << "{\n";
+  out << indent << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!in_class(name)) continue;
+    out << (first ? "\n" : ",\n") << indent << "    \"" << name
+        << "\": " << counter.value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "},\n";
+
+  out << indent << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!in_class(name)) continue;
+    out << (first ? "\n" : ",\n") << indent << "    \"" << name
+        << "\": " << json_double(gauge.value());
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "},\n";
+
+  out << indent << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!in_class(name)) continue;
+    out << (first ? "\n" : ",\n") << indent << "    \"" << name << "\": {";
+    out << "\"bounds\": [";
+    for (size_t i = 0; i < histogram.upper_bounds().size(); ++i) {
+      out << (i == 0 ? "" : ", ") << json_double(histogram.upper_bounds()[i]);
+    }
+    out << "], \"counts\": [";
+    for (size_t i = 0; i < histogram.counts().size(); ++i) {
+      out << (i == 0 ? "" : ", ") << histogram.counts()[i];
+    }
+    out << "], \"total\": " << histogram.total_count()
+        << ", \"sum\": " << json_double(histogram.sum()) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "}\n";
+  out << indent << "}";
+}
+
+std::string MetricsRegistry::class_json(MetricClass cls) const {
+  std::ostringstream os;
+  write_class_json(os, cls);
+  return os.str();
+}
+
+}  // namespace wsync::telemetry

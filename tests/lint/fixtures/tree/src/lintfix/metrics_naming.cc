@@ -1,0 +1,26 @@
+// Metrics-naming fixtures: registered metric names must be snake_case and
+// documented in docs/ARCHITECTURE.md (this fixture tree carries its own
+// one documenting only `documented_metric_total`).
+//
+// Expected findings: two metrics-naming violations (the CamelCase name and
+// the undocumented name). The documented registration, the suppressed
+// registration, and the commented-out registration must stay clean.
+#include <string>
+
+namespace wsync::lintfix {
+
+struct Registry {
+  int& counter(const std::string& name);
+  double& gauge(const std::string& name);
+};
+
+void register_metrics(Registry& registry) {
+  registry.counter("documented_metric_total") += 1;  // clean: documented
+  registry.counter("RoundsSimulated") += 1;          // VIOLATION: CamelCase
+  registry.gauge("orphan_metric_total") = 0.0;       // VIOLATION: undocumented
+  // wsync-lint: allow(metrics-naming)
+  registry.counter("suppressed_metric_total") += 1;
+  // registry.counter("CommentedOutMetric") += 1;  -- comments never flag
+}
+
+}  // namespace wsync::lintfix

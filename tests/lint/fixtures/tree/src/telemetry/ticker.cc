@@ -1,0 +1,16 @@
+// Seeded violation: a wall-clock read in src/telemetry/ but OUTSIDE the
+// whitelisted stopwatch.h — the whitelist is the single file, not the
+// directory. Telemetry code reads wall time through Stopwatch only.
+#include <chrono>
+#include <cstdint>
+
+namespace wsync::lintfix {
+
+int64_t tick_millis() {
+  const auto now = std::chrono::steady_clock::now();  // VIOLATION
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace wsync::lintfix

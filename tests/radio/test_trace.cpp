@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "src/telemetry/metrics.h"
+
 namespace wsync {
 namespace {
 
@@ -66,7 +70,67 @@ TEST(TraceSinkTest, DefaultSinkIgnoresEverything) {
   sink.on_delivery(DeliveryTraceEvent{});
   sink.on_synchronized(0, 0, 0);
   sink.on_crash(0, 0);
+  sink.on_fast_forward(0, 10);
   // Nothing to assert: the base class must simply be callable.
+}
+
+TEST(TraceSinkTest, DefaultSinkForbidsFastForward) {
+  // The default keeps the engine's attach-a-sink-disables-fast-forward
+  // behavior: MemoryTrace goldens must see every round.
+  TraceSink sink;
+  EXPECT_FALSE(sink.allows_fast_forward());
+  MemoryTrace trace;
+  EXPECT_FALSE(trace.allows_fast_forward());
+}
+
+TEST(MemoryTraceTest, CapsPerStreamGrowthAndCountsDrops) {
+  MemoryTrace trace;
+  trace.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    trace.on_round(event_with_weight(i, 1.0));
+  }
+  EXPECT_EQ(trace.rounds().size(), 3u);
+  EXPECT_EQ(trace.dropped_events(), 2);
+  // The cap is per stream: a different stream still admits events.
+  trace.on_activation(0, 1);
+  EXPECT_EQ(trace.activations().size(), 1u);
+  EXPECT_EQ(trace.dropped_events(), 2);
+}
+
+TEST(MemoryTraceTest, CapAppliesToEveryStream) {
+  MemoryTrace trace;
+  trace.set_capacity(2);
+  for (int i = 0; i < 4; ++i) {
+    trace.on_activation(i, i);
+    trace.on_delivery(DeliveryTraceEvent{});
+    trace.on_synchronized(i, i, i);
+    trace.on_crash(i, i);
+  }
+  EXPECT_EQ(trace.activations().size(), 2u);
+  EXPECT_EQ(trace.deliveries().size(), 2u);
+  EXPECT_EQ(trace.sync_events().size(), 2u);
+  EXPECT_EQ(trace.crashes().size(), 2u);
+  EXPECT_EQ(trace.dropped_events(), 8);
+}
+
+TEST(MemoryTraceTest, DefaultCapacityIsGenerous) {
+  MemoryTrace trace;
+  EXPECT_EQ(trace.capacity(), int64_t{1} << 20);
+  EXPECT_EQ(trace.dropped_events(), 0);
+}
+
+TEST(MemoryTraceTest, PublishesDropCounterAsMetric) {
+  MemoryTrace trace;
+  trace.set_capacity(1);
+  for (int i = 0; i < 3; ++i) trace.on_activation(i, i);
+  telemetry::MetricsRegistry registry;
+  trace.publish_metrics(&registry);
+  EXPECT_EQ(registry
+                .counter("trace_events_dropped_total",
+                         telemetry::MetricClass::kDeterministic)
+                .value(),
+            2);
+  EXPECT_THROW(trace.publish_metrics(nullptr), std::invalid_argument);
 }
 
 }  // namespace

@@ -95,6 +95,14 @@ bool await_chunks(const std::string& path, size_t want) {
   return false;
 }
 
+/// The walled prefix of a metrics document: everything before the
+/// "timing" section (schema + deterministic + engine). Wall-clock figures
+/// legitimately differ between runs; every byte before them must not.
+std::string walled_metrics_prefix(const std::string& document) {
+  const size_t timing = document.find("\"timing\":");
+  return timing == std::string::npos ? document : document.substr(0, timing);
+}
+
 class CrashResumeTest : public ::testing::Test {
  protected:
   std::string tmp_ = ::testing::TempDir();
@@ -102,7 +110,8 @@ class CrashResumeTest : public ::testing::Test {
   /// One uninterrupted reference run; returns exit code.
   int baseline(const std::string& tag) {
     return wait_exit(spawn_run({"--json", tmp_ + tag + ".json", "--csv",
-                                tmp_ + tag + ".csv"},
+                                tmp_ + tag + ".csv", "--metrics-out",
+                                tmp_ + tag + ".metrics.json"},
                                tmp_ + tag + ".out"));
   }
 };
@@ -137,11 +146,20 @@ TEST_F(CrashResumeTest, KillAfterCheckpointedChunksThenResumeIsByteIdentical) {
   // to the uninterrupted run.
   const int resumed = wait_exit(
       spawn_run({"--checkpoint", ck, "--resume", "--json",
-                 tmp_ + "resumed.json", "--csv", tmp_ + "resumed.csv"},
+                 tmp_ + "resumed.json", "--csv", tmp_ + "resumed.csv",
+                 "--metrics-out", tmp_ + "resumed.metrics.json"},
                 tmp_ + "resumed.out"));
   ASSERT_EQ(resumed, 0) << read_file(tmp_ + "resumed.out");
   EXPECT_EQ(read_file(tmp_ + "resumed.json"), ref_json);
   EXPECT_EQ(read_file(tmp_ + "resumed.csv"), ref_csv);
+
+  // Metrics accumulation is checkpoint-safe: the killed-and-resumed run's
+  // deterministic and engine metric sections are byte-equal to the
+  // uninterrupted run's (only the trailing timing section may differ).
+  const std::string ref_metrics = read_file(tmp_ + "ref.metrics.json");
+  ASSERT_FALSE(ref_metrics.empty());
+  EXPECT_EQ(walled_metrics_prefix(read_file(tmp_ + "resumed.metrics.json")),
+            walled_metrics_prefix(ref_metrics));
 
   // The resumed checkpoint now covers the whole grid; a second resume
   // recomputes nothing and still matches.

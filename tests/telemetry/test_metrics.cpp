@@ -1,0 +1,162 @@
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wsync::telemetry {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& counter =
+      registry.counter("events_total", MetricClass::kDeterministic);
+  EXPECT_EQ(counter.value(), 0);
+  counter.add(3);
+  counter.add(4);
+  EXPECT_EQ(counter.value(), 7);
+}
+
+TEST(CounterTest, ReRegistrationReturnsTheSameCounter) {
+  MetricsRegistry registry;
+  registry.counter("events_total", MetricClass::kDeterministic).add(5);
+  EXPECT_EQ(
+      registry.counter("events_total", MetricClass::kDeterministic).value(),
+      5);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("level", MetricClass::kTiming);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  gauge.set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketsByUpperBound) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram(
+      "latency_millis", MetricClass::kTiming, {1.0, 10.0, 100.0});
+  histogram.record(0.5);   // <= 1
+  histogram.record(1.0);   // <= 1 (bounds are inclusive)
+  histogram.record(7.0);   // <= 10
+  histogram.record(99.0);  // <= 100
+  histogram.record(500.0);  // overflow
+  const std::vector<int64_t> expected = {2, 1, 1, 1};
+  EXPECT_EQ(histogram.counts(), expected);
+  EXPECT_EQ(histogram.total_count(), 5);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 7.0 + 99.0 + 500.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(
+      registry.histogram("empty_bounds", MetricClass::kTiming, {}),
+      std::invalid_argument);
+  EXPECT_THROW(registry.histogram("unsorted_bounds", MetricClass::kTiming,
+                                  {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, RejectsNonSnakeCaseNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("CamelCase", MetricClass::kTiming),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space", MetricClass::kTiming),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("9starts_with_digit", MetricClass::kTiming),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("", MetricClass::kTiming),
+               std::invalid_argument);
+  registry.counter("ok_name_2", MetricClass::kTiming);  // must not throw
+}
+
+TEST(RegistryTest, RejectsClassAndKindMismatch) {
+  MetricsRegistry registry;
+  registry.counter("mixed", MetricClass::kDeterministic);
+  // Same name, different class: a metric cannot switch identity sections.
+  EXPECT_THROW(registry.counter("mixed", MetricClass::kTiming),
+               std::invalid_argument);
+  // Same name, different kind: a counter cannot come back as a gauge.
+  EXPECT_THROW(registry.gauge("mixed", MetricClass::kDeterministic),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, ClassJsonFiltersByClass) {
+  MetricsRegistry registry;
+  registry.counter("det_total", MetricClass::kDeterministic).add(2);
+  registry.counter("eng_total", MetricClass::kEngineDependent).add(3);
+  registry.gauge("wall_millis", MetricClass::kTiming).set(1.5);
+
+  const std::string det = registry.class_json(MetricClass::kDeterministic);
+  EXPECT_NE(det.find("\"det_total\": 2"), std::string::npos);
+  EXPECT_EQ(det.find("eng_total"), std::string::npos);
+  EXPECT_EQ(det.find("wall_millis"), std::string::npos);
+
+  const std::string eng = registry.class_json(MetricClass::kEngineDependent);
+  EXPECT_NE(eng.find("\"eng_total\": 3"), std::string::npos);
+  EXPECT_EQ(eng.find("det_total"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonIsDeterministicallyOrdered) {
+  // Registration order must not leak into the export: names render in
+  // sorted order, so two runs that register in different orders still
+  // export identical bytes.
+  MetricsRegistry a;
+  a.counter("zeta_total", MetricClass::kDeterministic).add(1);
+  a.counter("alpha_total", MetricClass::kDeterministic).add(2);
+  MetricsRegistry b;
+  b.counter("alpha_total", MetricClass::kDeterministic).add(2);
+  b.counter("zeta_total", MetricClass::kDeterministic).add(1);
+  EXPECT_EQ(a.class_json(MetricClass::kDeterministic),
+            b.class_json(MetricClass::kDeterministic));
+}
+
+TEST(RegistryTest, HistogramJsonCarriesBoundsCountsTotalSum) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("lat", MetricClass::kTiming, {1.0, 2.0});
+  histogram.record(0.5);
+  histogram.record(3.0);
+  const std::string json = registry.class_json(MetricClass::kTiming);
+  EXPECT_NE(json.find("\"bounds\": [1, 2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 3.5"), std::string::npos);
+}
+
+TEST(MetricClassTest, ToStringNamesAllClasses) {
+  EXPECT_STREQ(to_string(MetricClass::kDeterministic), "deterministic");
+  EXPECT_STREQ(to_string(MetricClass::kEngineDependent), "engine");
+  EXPECT_STREQ(to_string(MetricClass::kTiming), "timing");
+}
+
+TEST(SnakeCaseTest, AcceptsAndRejects) {
+  EXPECT_TRUE(is_snake_case("rounds_simulated_total"));
+  EXPECT_TRUE(is_snake_case("x"));
+  EXPECT_TRUE(is_snake_case("a1_b2"));
+  EXPECT_FALSE(is_snake_case(""));
+  EXPECT_FALSE(is_snake_case("Rounds"));
+  EXPECT_FALSE(is_snake_case("_leading"));
+  EXPECT_FALSE(is_snake_case("1digit"));
+  EXPECT_FALSE(is_snake_case("kebab-case"));
+}
+
+TEST(JsonDoubleTest, IntegralValuesRenderWithoutExponent) {
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(42.0), "42");
+  EXPECT_EQ(json_double(-3.0), "-3");
+}
+
+TEST(JsonDoubleTest, FractionsRoundTrip) {
+  EXPECT_EQ(json_double(0.25), "0.25");
+  const std::string rendered = json_double(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(rendered), 0.1);
+}
+
+}  // namespace
+}  // namespace wsync::telemetry

@@ -1,0 +1,66 @@
+# End-to-end smoke for the telemetry export path: run one catalog scenario
+# with --metrics-out and --trace-out, validate both documents as real JSON
+# (the trace against the Chrome trace-event schema Perfetto requires), then
+# render the metrics with wsync_profile in both text and CSV modes. Driven
+# as `cmake -P` from a CTest entry in tools/CMakeLists.txt, which passes
+# WSYNC_RUN, WSYNC_PROFILE, PYTHON_EXECUTABLE, and OUT_DIR.
+set(metrics_json ${OUT_DIR}/profile_smoke_metrics.json)
+set(trace_json ${OUT_DIR}/profile_smoke_trace.json)
+
+execute_process(
+  COMMAND ${WSYNC_RUN} --filter ^single_frequency_band$ --seeds 1
+          --metrics-out ${metrics_json} --trace-out ${trace_json}
+  RESULT_VARIABLE run_rc OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "wsync_run --metrics-out/--trace-out failed: ${run_rc}")
+endif()
+
+# Schema validation: the metrics file is a JSON object with the three
+# class sections; the trace is a JSON array of event objects each carrying
+# the keys the Chrome trace-event format requires (name/ph/pid/ts or, for
+# metadata records, name/ph/pid).
+execute_process(
+  COMMAND ${PYTHON_EXECUTABLE} -c "
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+assert metrics['schema'] == 'wsync-metrics-v1', metrics['schema']
+for section in ('deterministic', 'engine', 'timing'):
+    assert section in metrics, section
+trace = json.load(open(sys.argv[2]))
+assert isinstance(trace, list) and trace, 'empty trace'
+for event in trace:
+    assert isinstance(event, dict), event
+    assert {'name', 'ph', 'pid'} <= event.keys(), event
+    assert event['ph'] == 'M' or 'ts' in event, event
+print(f'validated {len(trace)} trace event(s)')
+" ${metrics_json} ${trace_json}
+  RESULT_VARIABLE schema_rc)
+if(NOT schema_rc EQUAL 0)
+  message(FATAL_ERROR "telemetry JSON schema validation failed")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON_EXECUTABLE} ${WSYNC_PROFILE} ${metrics_json}
+  RESULT_VARIABLE profile_rc OUTPUT_VARIABLE profile_out)
+if(NOT profile_rc EQUAL 0)
+  message(FATAL_ERROR "wsync_profile failed: ${profile_rc}")
+endif()
+if(NOT profile_out MATCHES "hot spots \\(by rounds simulated\\)")
+  message(FATAL_ERROR "wsync_profile output missing the hot-spot table:\n"
+                      "${profile_out}")
+endif()
+if(NOT profile_out MATCHES "single_frequency_band")
+  message(FATAL_ERROR "wsync_profile output missing the scenario row")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON_EXECUTABLE} ${WSYNC_PROFILE} ${metrics_json} --csv
+  RESULT_VARIABLE csv_rc OUTPUT_VARIABLE csv_out)
+if(NOT csv_rc EQUAL 0)
+  message(FATAL_ERROR "wsync_profile --csv failed: ${csv_rc}")
+endif()
+if(NOT csv_out MATCHES "scenario,chunks,runs,")
+  message(FATAL_ERROR "wsync_profile --csv missing the header row")
+endif()
+
+message(STATUS "profile smoke ok")

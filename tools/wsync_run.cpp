@@ -6,6 +6,8 @@
 //   wsync_run --filter REGEX [options]   # run scenarios matching a pattern
 //   wsync_run ... --max-rounds [NAME=]K  # override per-point round budgets
 //   wsync_run ... --checkpoint PATH [--resume]  # checkpointable execution
+//   wsync_run ... --metrics-out PATH     # export the metrics document
+//   wsync_run ... --trace-out PATH [--trace-filter REGEX]  # Chrome trace
 //
 // Every selected scenario runs through the streaming sweep service
 // (src/service/): (scenario, point, seed)-granular jobs on one shared pool,
@@ -25,6 +27,16 @@
 // (NAME=K, repeatable; the per-scenario form wins). Exit status: 0 when
 // every scenario met its expected invariants (including per-point energy
 // budgets), 1 otherwise, 2 on usage errors.
+//
+// --metrics-out PATH writes the wsync-metrics-v1 JSON document (see
+// src/service/run_metrics.h): the "deterministic" section is
+// byte-identical across --workers, --engine, and one-shot vs resumed
+// execution — CI diffs it the same way it diffs the exports — while
+// "engine" and "timing" carry the per-engine and wall-clock observations.
+// --trace-out PATH streams a Chrome trace-event JSON array (load it in
+// Perfetto / chrome://tracing) of the first computed chunk's first seed;
+// attaching the sink never changes any result. --trace-filter REGEX keeps
+// only events whose name matches.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -41,9 +53,13 @@
 #include "src/scenario/report.h"
 #include "src/scenario/scenario.h"
 #include "src/service/checkpoint.h"
+#include "src/service/run_metrics.h"
 #include "src/service/serve_protocol.h"
 #include "src/service/streaming_sweep.h"
 #include "src/stats/table.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/stopwatch.h"
+#include "src/telemetry/trace_writer.h"
 
 namespace wsync {
 namespace {
@@ -64,6 +80,9 @@ struct Options {
   bool resume = false;
   int window = 0;       // 0 = 2 x workers
   int throttle_ms = 0;  // sleep per computed chunk (test/ops pacing)
+  std::string metrics_path;  // empty = no metrics export
+  std::string trace_path;    // empty = no Chrome trace export
+  std::string trace_filter;  // regex over event names; empty = keep all
 };
 
 void print_usage(std::FILE* out) {
@@ -113,7 +132,24 @@ void print_usage(std::FILE* out) {
                "               sleep MS after each computed chunk (pacing"
                " for the\n"
                "               crash/resume harnesses; never affects"
-               " results)\n");
+               " results)\n"
+               "  --metrics-out PATH\n"
+               "               write the wsync-metrics-v1 JSON document:"
+               " the\n"
+               "               \"deterministic\" section is byte-identical"
+               " across\n"
+               "               --workers/--engine/resume; \"timing\" is"
+               " wall-clock\n"
+               "  --trace-out PATH\n"
+               "               stream a Chrome trace-event JSON array"
+               " (Perfetto /\n"
+               "               chrome://tracing) of the first computed"
+               " chunk's\n"
+               "               first seed; never affects results\n"
+               "  --trace-filter REGEX\n"
+               "               keep only trace events whose name matches"
+               " (requires\n"
+               "               --trace-out)\n");
 }
 
 bool parse_positive_long(const char* text, long* out) {
@@ -216,6 +252,27 @@ bool parse_args(int argc, char** argv, Options* options) {
       ++i;
     } else if (arg == "--resume") {
       options->resume = true;
+    } else if (arg == "--metrics-out") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --metrics-out needs a path\n");
+        return false;
+      }
+      options->metrics_path = next;
+      ++i;
+    } else if (arg == "--trace-out") {
+      if (next == nullptr) {
+        std::fprintf(stderr, "wsync_run: --trace-out needs a path\n");
+        return false;
+      }
+      options->trace_path = next;
+      ++i;
+    } else if (arg == "--trace-filter") {
+      if (next == nullptr || *next == '\0') {
+        std::fprintf(stderr, "wsync_run: --trace-filter needs a regex\n");
+        return false;
+      }
+      options->trace_filter = next;
+      ++i;
     } else if (arg == "--filter") {
       if (next == nullptr || *next == '\0') {
         std::fprintf(stderr, "wsync_run: --filter needs a regex\n");
@@ -260,6 +317,11 @@ bool parse_args(int argc, char** argv, Options* options) {
   }
   if (options->resume && options->checkpoint_path.empty()) {
     std::fprintf(stderr, "wsync_run: --resume requires --checkpoint PATH\n");
+    return false;
+  }
+  if (!options->trace_filter.empty() && options->trace_path.empty()) {
+    std::fprintf(stderr,
+                 "wsync_run: --trace-filter requires --trace-out PATH\n");
     return false;
   }
   for (const auto& [name, rounds] : options->max_rounds_overrides) {
@@ -491,6 +553,37 @@ int run_scenarios(const Options& options) {
     }
     csv_writer.emplace(*csv_file);
   }
+  std::optional<std::ofstream> metrics_file;
+  if (!options.metrics_path.empty()) {
+    metrics_file.emplace(options.metrics_path);
+    if (!*metrics_file) {
+      std::fprintf(stderr, "wsync_run: cannot write --metrics-out '%s'\n",
+                   options.metrics_path.c_str());
+      return 2;
+    }
+  }
+  std::optional<std::ofstream> trace_file;
+  std::optional<telemetry::ChromeTraceWriter> trace_writer;
+  std::optional<telemetry::TelemetrySink> trace_sink;
+  if (!options.trace_path.empty()) {
+    trace_file.emplace(options.trace_path);
+    if (!*trace_file) {
+      std::fprintf(stderr, "wsync_run: cannot write --trace-out '%s'\n",
+                   options.trace_path.c_str());
+      return 2;
+    }
+    trace_writer.emplace(*trace_file);
+    try {
+      trace_sink.emplace(&*trace_writer, options.trace_filter);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "wsync_run: bad --trace-filter '%s': %s\n",
+                   options.trace_filter.c_str(), error.what());
+      return 2;
+    }
+  }
+
+  telemetry::MetricsRegistry registry;
+  RunMetricsCollector metrics(&registry);
 
   ThreadPool pool(options.workers);
   CliSink sink(json_writer.has_value() ? &*json_writer : nullptr,
@@ -501,7 +594,10 @@ int run_scenarios(const Options& options) {
       checkpoint.has_value() ? &*checkpoint : nullptr;
   sweep_options.resume = options.resume ? &resumed : nullptr;
   sweep_options.throttle_ms = options.throttle_ms;
+  sweep_options.metrics = metrics_file.has_value() ? &metrics : nullptr;
+  sweep_options.trace = trace_sink.has_value() ? &*trace_sink : nullptr;
 
+  const telemetry::Stopwatch sweep_watch;
   SweepOutcome outcome;
   try {
     outcome = run_streaming_sweep(plan, pool, sweep_options, sink);
@@ -510,6 +606,40 @@ int run_scenarios(const Options& options) {
     return 2;
   }
   if (json_writer.has_value()) json_writer->finish();
+  if (trace_writer.has_value()) trace_writer->close();
+
+  if (metrics_file.has_value()) {
+    // Timing metrics land in the "timing" section only — the walls and CI
+    // diff "deterministic" alone, so wall-clock and pool-schedule noise
+    // here is harmless by construction.
+    const auto timing = telemetry::MetricClass::kTiming;
+    const ThreadPool::Stats pool_stats = pool.stats();
+    const double sweep_millis = sweep_watch.elapsed_millis();
+    registry.gauge("stage_sweep_millis", timing).set(sweep_millis);
+    registry.counter("pool_tasks_executed", timing)
+        .add(pool_stats.tasks_executed);
+    registry.counter("pool_tasks_stolen", timing)
+        .add(pool_stats.tasks_stolen);
+    registry.gauge("pool_busy_millis", timing)
+        .set(static_cast<double>(pool_stats.busy_nanos) / 1e6);
+    registry.gauge("pool_peak_pending", timing)
+        .set(static_cast<double>(pool_stats.peak_pending));
+    registry.gauge("pool_workers", timing)
+        .set(static_cast<double>(pool_stats.workers));
+    // Fraction of worker wall time spent inside tasks over the sweep.
+    const double capacity_millis = sweep_millis * pool_stats.workers;
+    registry.gauge("pool_utilization", timing)
+        .set(capacity_millis > 0.0
+                 ? static_cast<double>(pool_stats.busy_nanos) / 1e6 /
+                       capacity_millis
+                 : 0.0);
+    metrics.write_json(*metrics_file);
+    if (!*metrics_file) {
+      std::fprintf(stderr, "wsync_run: error writing --metrics-out '%s'\n",
+                   options.metrics_path.c_str());
+      return 2;
+    }
+  }
 
   std::printf("%zu scenario(s), %d failed\n", plan.scenarios.size(),
               outcome.failed_scenarios);

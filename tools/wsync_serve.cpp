@@ -22,6 +22,16 @@
 // `all seeds=K` must produce byte-identical export files to
 // `wsync_run --all --seeds K`, which CI diffs.
 //
+// After each executed job the server prints one telemetry line:
+//
+//   stat jobs=N failed=M job_millis=X pool_busy_millis=Y
+//        pool_tasks=T pool_stolen=S
+//
+// job_millis is the just-finished job's wall time (telemetry Stopwatch);
+// the pool_* figures are cumulative since startup. stat lines are
+// operational observability only — they never appear in the exports, and
+// drivers parsing point/end lines can ignore them.
+//
 // --deadline-ms arms an operational watchdog (the sanctioned Deadline
 // wall-clock site): once expired the server stops accepting jobs after the
 // current one and prints `serve: deadline reached`. It gates acceptance
@@ -51,6 +61,7 @@
 #include "src/service/deadline.h"
 #include "src/service/serve_protocol.h"
 #include "src/service/streaming_sweep.h"
+#include "src/telemetry/stopwatch.h"
 
 namespace wsync {
 namespace {
@@ -333,6 +344,7 @@ int serve(const Options& options, std::istream& jobs) {
     }
 
     SweepOutcome outcome;
+    const telemetry::Stopwatch job_watch;
     try {
       const SweepPlan plan = make_plan(planned, job->seeds);
       StreamingSweepOptions sweep_options;
@@ -345,6 +357,14 @@ int serve(const Options& options, std::istream& jobs) {
     }
     ++executed_jobs;
     if (outcome.failed_scenarios > 0) ++failed_jobs;
+    const ThreadPool::Stats pool_stats = pool.stats();
+    std::printf("stat jobs=%zu failed=%d job_millis=%.3f "
+                "pool_busy_millis=%.3f pool_tasks=%lld pool_stolen=%lld\n",
+                executed_jobs, failed_jobs, job_watch.elapsed_millis(),
+                static_cast<double>(pool_stats.busy_nanos) / 1e6,
+                static_cast<long long>(pool_stats.tasks_executed),
+                static_cast<long long>(pool_stats.tasks_stolen));
+    std::fflush(stdout);
     // Deadline-fires-during-drain: latch before blocking on the next line.
     if (check_deadline()) break;
   }
